@@ -1,0 +1,49 @@
+"""Benchmark fixtures.
+
+Scale factors are our SF1/SF10 stand-ins (DESIGN.md §2): the paper ran
+TPC-H SF 1 and SF 10 on a C++ vectorized engine; a pure-Python engine is
+~100× slower per tuple, so the suite defaults to SF 0.01 / SF 0.1 —
+preserving the paper's 10× ratio and every selectivity — and can be
+scaled up via the ``REPRO_SF_SMALL`` / ``REPRO_SF_LARGE`` environment
+variables.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.tpch import generate_tpch
+
+SF_SMALL = float(os.environ.get("REPRO_SF_SMALL", "0.02"))
+SF_LARGE = float(os.environ.get("REPRO_SF_LARGE", "0.1"))
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def artifact():
+    """Write a regenerated paper table/figure to benchmarks/results/ and
+    echo it to the test output."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        (RESULTS_DIR / name).write_text(text + "\n")
+        print()
+        print(text)
+
+    return write
+
+
+@pytest.fixture(scope="session")
+def catalog_small():
+    """The paper's SF1 stand-in."""
+    return generate_tpch(sf=SF_SMALL, seed=0)
+
+
+@pytest.fixture(scope="session")
+def catalog_large():
+    """The paper's SF10 stand-in."""
+    return generate_tpch(sf=SF_LARGE, seed=0)

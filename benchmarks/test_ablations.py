@@ -1,0 +1,182 @@
+"""Ablation benches for the design choices DESIGN.md §7 calls out:
+
+* filter type (Bloom vs exact/semi-join transfer) — §3.2 "Filter Type";
+* Bloom false-positive-rate sweep — the §3.5 β-vs-ε tradeoff;
+* transfer-path pruning — §3.2 "Transfer Path Pruning" (future work);
+* single-pass vs two-pass schedules;
+* LIP-style incoming-filter ordering;
+* post-transfer replanning — §3.3.
+
+These are extensions beyond the paper's measured prototype; each test
+prints its comparison so EXPERIMENTS.md can cite the numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import time_query
+from repro.bench.report import format_table
+from repro.core.runner import RunConfig
+from repro.core.transfer import TransferConfig
+from repro.tpch.queries import get_query
+
+from .conftest import SF_LARGE
+
+
+def _run(catalog, qid, config, repeats=2):
+    spec = get_query(qid, sf=SF_LARGE)
+    return time_query(spec, catalog, config.strategy, repeats=repeats, config=config)
+
+
+def test_ablation_filter_type(catalog_large):
+    """Bloom vs exact transfer on Q5/Q9: exact filters reduce more rows
+    but cost hash-table traffic; Bloom must win on time (the paper's
+    core argument vs Yannakakis)."""
+    rows = []
+    for qid in (5, 9):
+        bloom = _run(
+            catalog_large, qid, RunConfig(strategy="predtrans")
+        )
+        exact = _run(
+            catalog_large,
+            qid,
+            RunConfig(
+                strategy="predtrans", transfer=TransferConfig(filter_type="exact")
+            ),
+        )
+        rows.append(
+            [
+                f"q{qid}",
+                f"{bloom.seconds:.4f}",
+                f"{exact.seconds:.4f}",
+                bloom.stats.transfer.total_rows_after(),
+                exact.stats.transfer.total_rows_after(),
+            ]
+        )
+        # Exact transfer never leaves MORE rows than Bloom.
+        assert (
+            exact.stats.transfer.total_rows_after()
+            <= bloom.stats.transfer.total_rows_after()
+        )
+    print()
+    print(
+        format_table(
+            ["query", "bloom_s", "exact_s", "bloom_rows", "exact_rows"],
+            rows,
+            title="Ablation: filter type",
+        )
+    )
+
+
+def test_ablation_fpp_sweep(catalog_large):
+    """ε sweep: looser filters leave more surviving rows (never fewer).
+
+    Wall-clock is non-monotonic in ε (bit-array size vs survivor count),
+    so only the row-count relationship is asserted."""
+    rows = []
+    survivors = []
+    for fpp in (0.001, 0.01, 0.1, 0.5):
+        m = _run(
+            catalog_large,
+            5,
+            RunConfig(strategy="predtrans", transfer=TransferConfig(fpp=fpp)),
+        )
+        survivors.append(m.stats.transfer.total_rows_after())
+        rows.append([fpp, f"{m.seconds:.4f}", survivors[-1]])
+    print()
+    print(
+        format_table(
+            ["fpp", "seconds", "surviving_rows"], rows, title="Ablation: Bloom fpp"
+        )
+    )
+    assert survivors == sorted(survivors)
+
+
+def test_ablation_pruning(catalog_large):
+    """Pruning skips transfers from unselective vertices; results stay
+    identical (checked in tests/) and transfer work drops."""
+    plain = _run(catalog_large, 9, RunConfig(strategy="predtrans"))
+    pruned = _run(
+        catalog_large,
+        9,
+        RunConfig(
+            strategy="predtrans",
+            transfer=TransferConfig(prune_selectivity=0.8),
+        ),
+    )
+    print(
+        f"\nAblation pruning (q9): plain {plain.seconds:.4f}s "
+        f"({plain.stats.transfer.filters_built} filters) vs pruned "
+        f"{pruned.seconds:.4f}s ({pruned.stats.transfer.filters_built} filters, "
+        f"{pruned.stats.transfer.edges_pruned} pruned)"
+    )
+    assert pruned.stats.transfer.filters_built <= plain.stats.transfer.filters_built
+
+
+def test_ablation_passes(catalog_large):
+    """Forward-only vs two passes: the backward pass buys extra
+    reduction on Q5 (the paper's schedule uses both)."""
+    both = _run(catalog_large, 5, RunConfig(strategy="predtrans"))
+    fwd_only = _run(
+        catalog_large,
+        5,
+        RunConfig(strategy="predtrans", transfer=TransferConfig(backward=False)),
+    )
+    print(
+        f"\nAblation passes (q5): both {both.stats.transfer.total_rows_after()} rows, "
+        f"forward-only {fwd_only.stats.transfer.total_rows_after()} rows"
+    )
+    assert (
+        both.stats.transfer.total_rows_after()
+        <= fwd_only.stats.transfer.total_rows_after()
+    )
+
+
+def test_ablation_lip_ordering(catalog_large):
+    """LIP-style most-selective-first filter application: same result,
+    and the probe count with LIP ordering is never higher."""
+    with_lip = _run(catalog_large, 5, RunConfig(strategy="predtrans"))
+    without = _run(
+        catalog_large,
+        5,
+        RunConfig(
+            strategy="predtrans", transfer=TransferConfig(lip_reorder=False)
+        ),
+    )
+    print(
+        f"\nAblation LIP (q5): probes with {with_lip.stats.transfer.bloom_probes} "
+        f"vs without {without.stats.transfer.bloom_probes}"
+    )
+    assert with_lip.stats.transfer.bloom_probes <= without.stats.transfer.bloom_probes
+    assert (
+        with_lip.stats.transfer.total_rows_after()
+        == without.stats.transfer.total_rows_after()
+    )
+
+
+def test_ablation_replan(catalog_large):
+    """§3.3: replanning with post-transfer cardinalities must not hurt,
+    and both plans return the same row counts."""
+    plain = _run(catalog_large, 3, RunConfig(strategy="predtrans"))
+    replanned = _run(
+        catalog_large, 3, RunConfig(strategy="predtrans", replan=True)
+    )
+    print(
+        f"\nAblation replan (q3): planned {plain.seconds:.4f}s, "
+        f"replanned {replanned.seconds:.4f}s"
+    )
+    assert replanned.output_rows == plain.output_rows
+
+
+@pytest.mark.parametrize("fpp", (0.01, 0.1))
+def test_ablation_fpp_benchmark(benchmark, catalog_large, fpp):
+    from repro.core.runner import run_query
+
+    spec = get_query(5, sf=SF_LARGE)
+    config = RunConfig(strategy="predtrans", transfer=TransferConfig(fpp=fpp))
+
+    def measure():
+        run_query(spec, catalog_large, config=config)
+
+    benchmark.pedantic(measure, rounds=3, iterations=1, warmup_rounds=1)

@@ -1,0 +1,68 @@
+"""Figure 4a — normalized runtime of the four strategies over the 20
+join queries of TPC-H at the small scale factor (the paper's SF 1).
+
+Prints the paper-style table (per-query normalized runtime + geomean)
+and benchmarks each strategy's full-suite runtime.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import (
+    format_fig4,
+    normalized_runtimes,
+    run_suite,
+    speedup_summary,
+)
+from repro.core.runner import STRATEGIES, run_query
+from repro.tpch.queries import BENCH_QUERY_IDS, get_query
+
+from .conftest import SF_SMALL
+
+
+@pytest.fixture(scope="module")
+def suite(catalog_small):
+    return run_suite(catalog_small, sf=SF_SMALL, repeats=2)
+
+
+def test_fig4a_report(suite, benchmark, artifact):
+    """Regenerate Figure 4a; check the paper's headline shape."""
+    text = benchmark(
+        format_fig4,
+        suite,
+        title=f"Figure 4a: TPC-H normalized runtime (SF={SF_SMALL})",
+    )
+    speedups = speedup_summary(suite)
+    artifact(
+        "fig4a.txt", f"{text}\npredtrans geomean speedup over: {speedups}"
+    )
+    norm = normalized_runtimes(suite)
+    geo = norm["geomean"]
+    # Paper shape: PredTrans is the fastest strategy overall.  At the
+    # small SF the per-query Python dispatch floor (~10ms) compresses
+    # all ratios toward 1 (see EXPERIMENTS.md "fidelity limits"), so the
+    # PredTrans-vs-Yannakakis comparison gets 10% noise headroom here;
+    # Figure 4b asserts it strictly at the larger scale.
+    assert geo["predtrans"] < geo["nopredtrans"]
+    assert geo["predtrans"] < geo["bloomjoin"]
+    assert geo["predtrans"] < geo["yannakakis"] * 1.10
+
+
+def test_fig4a_heavy_queries_speed_up(suite):
+    """The paper's biggest winners (Q3/Q5/Q9) must show clear speedups."""
+    norm = normalized_runtimes(suite)
+    for q in ("q3", "q5", "q9"):
+        assert norm[q]["predtrans"] < 0.8, (q, norm[q])
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_fig4a_suite_runtime(benchmark, catalog_small, strategy):
+    """pytest-benchmark entry: whole-suite runtime per strategy."""
+    specs = [get_query(q, sf=SF_SMALL) for q in BENCH_QUERY_IDS]
+
+    def run_all():
+        for spec in specs:
+            run_query(spec, catalog_small, strategy=strategy)
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1, warmup_rounds=1)

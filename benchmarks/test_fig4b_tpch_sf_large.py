@@ -1,0 +1,59 @@
+"""Figure 4b — the Figure 4 sweep at the large scale factor (the
+paper's SF 10; 10× the small SF, as in the paper)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import (
+    format_fig4,
+    normalized_runtimes,
+    run_suite,
+    speedup_summary,
+)
+from repro.core.runner import run_query
+from repro.tpch.queries import BENCH_QUERY_IDS, get_query
+
+from .conftest import SF_LARGE
+
+
+@pytest.fixture(scope="module")
+def suite(catalog_large):
+    return run_suite(catalog_large, sf=SF_LARGE, repeats=2)
+
+
+def test_fig4b_report(suite, benchmark, artifact):
+    """Regenerate Figure 4b; check the paper's headline shape."""
+    text = benchmark(
+        format_fig4,
+        suite,
+        title=f"Figure 4b: TPC-H normalized runtime (SF={SF_LARGE})",
+    )
+    speedups = speedup_summary(suite)
+    artifact(
+        "fig4b.txt", f"{text}\npredtrans geomean speedup over: {speedups}"
+    )
+    geo = normalized_runtimes(suite)["geomean"]
+    assert geo["predtrans"] < geo["nopredtrans"]
+    assert geo["predtrans"] < geo["bloomjoin"]
+    assert geo["predtrans"] < geo["yannakakis"]
+
+
+def test_fig4b_gains_grow_with_scale(suite):
+    """Pre-filtering pays more at larger scale on the heavy queries
+    (fixed per-query overheads amortize away)."""
+    norm = normalized_runtimes(suite)
+    assert norm["q5"]["predtrans"] < 0.4
+    assert norm["q9"]["predtrans"] < 0.5
+
+
+@pytest.mark.parametrize("strategy", ("nopredtrans", "predtrans"))
+def test_fig4b_suite_runtime(benchmark, catalog_large, strategy):
+    """pytest-benchmark entry: whole-suite runtime, baseline vs paper."""
+    specs = [get_query(q, sf=SF_LARGE) for q in BENCH_QUERY_IDS]
+
+    def run_all():
+        for spec in specs:
+            run_query(spec, catalog_large, strategy=strategy)
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1, warmup_rounds=1)

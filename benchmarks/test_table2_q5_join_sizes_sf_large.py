@@ -1,0 +1,66 @@
+"""Table 2 — Q5 per-join HT/PR input sizes at the large scale factor
+(the paper's SF 10 analogue)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import (
+    format_join_sizes,
+    join_size_table,
+    total_join_input_reduction,
+)
+from repro.core.runner import run_query
+from repro.tpch.queries import get_query
+
+from .conftest import SF_LARGE
+
+
+@pytest.fixture(scope="module")
+def sizes(catalog_large):
+    return join_size_table(catalog_large, sf=SF_LARGE)
+
+
+def test_table2_report(sizes, benchmark, artifact):
+    text = benchmark(
+        format_join_sizes, sizes, title=f"Table 2: Q5 join sizes (SF={SF_LARGE})"
+    )
+    artifact("table2.txt", text)
+
+
+def test_table2_predtrans_reduction_vs_baselines(sizes):
+    vs_nopred = total_join_input_reduction(sizes, "nopredtrans", "predtrans")
+    vs_bloom = total_join_input_reduction(sizes, "bloomjoin", "predtrans")
+    vs_yann = total_join_input_reduction(sizes, "yannakakis", "predtrans")
+    print(
+        f"join-input reduction: vs nopredtrans {vs_nopred:.1%}, "
+        f"vs bloomjoin {vs_bloom:.1%}, vs yannakakis {vs_yann:.1%}"
+    )
+    assert vs_nopred > 0.90  # paper: 98%
+    assert vs_bloom > 0.50  # paper: 92%
+    assert vs_yann > 0.0  # paper: 67%
+
+
+def test_table2_ht_structure_matches_paper_plan(sizes):
+    """Join order is the paper's plan: supplier, orders, customer,
+    nation, region build hash tables in that order, so HT sizes must be
+    descending after Join 2 and end at region's single ASIA row."""
+    for strategy in ("nopredtrans", "predtrans"):
+        ht = [row[1] for row in sizes[strategy]]
+        assert ht[3] <= 25  # nation
+        assert ht[4] == 1  # region after r_name predicate
+    pred_ht = [row[1] for row in sizes["predtrans"]]
+    base_ht = [row[1] for row in sizes["nopredtrans"]]
+    # Transfer shrinks every intermediate hash table except region (=1).
+    assert all(p <= b for p, b in zip(pred_ht, base_ht))
+    assert sum(pred_ht) < sum(base_ht)
+
+
+def test_table2_benchmark(benchmark, catalog_large):
+    spec = get_query(5, sf=SF_LARGE)
+
+    def measure():
+        return run_query(spec, catalog_large, strategy="predtrans")
+
+    result = benchmark.pedantic(measure, rounds=3, iterations=1, warmup_rounds=1)
+    assert result.stats.transfer.reduction() > 0.9

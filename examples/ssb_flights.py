@@ -1,0 +1,49 @@
+"""Run the 13 SSB queries under all four strategies.
+
+Star schemas are where one-hop Bloom join (the paper's BloomJoin
+baseline, and LIP before it) already performs well; this example shows
+PredTrans matching it there — complementing the TPC-H examples where
+multi-hop transfer wins outright.
+
+Run:  python examples/ssb_flights.py [scale_factor]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.core import run_query
+from repro.ssb import ALL_SSB_QUERY_IDS, generate_ssb, get_ssb_query
+
+STRATEGIES = ("nopredtrans", "bloomjoin", "yannakakis", "predtrans")
+
+
+def main() -> None:
+    sf = float(sys.argv[1]) if len(sys.argv) > 1 else 0.05
+    print(f"Generating SSB at SF={sf} ...")
+    catalog = generate_ssb(sf=sf, seed=0)
+    header = "query  " + "  ".join(f"{s:>12s}" for s in STRATEGIES)
+    print(header)
+    print("-" * len(header))
+    totals = dict.fromkeys(STRATEGIES, 0.0)
+    for qid in ALL_SSB_QUERY_IDS:
+        spec = get_ssb_query(qid)
+        cells = []
+        for strategy in STRATEGIES:
+            best = min(_run_once(spec, catalog, strategy) for _ in range(2))
+            totals[strategy] += best
+            cells.append(f"{best:12.4f}")
+        print(f"Q{qid:4s}  " + "  ".join(cells))
+    print("-" * len(header))
+    print("total  " + "  ".join(f"{totals[s]:12.4f}" for s in STRATEGIES))
+
+
+def _run_once(spec, catalog, strategy) -> float:
+    start = time.perf_counter()
+    run_query(spec, catalog, strategy=strategy)
+    return time.perf_counter() - start
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Full TPC-H benchmark run (the paper's Figure 4) as a standalone
+script with a choosable scale factor.
+
+Run:  python examples/tpch_benchmark.py [scale_factor]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.harness import format_fig4, run_suite, speedup_summary
+from repro.tpch import generate_tpch
+
+
+def main() -> None:
+    sf = float(sys.argv[1]) if len(sys.argv) > 1 else 0.02
+    print(f"Generating TPC-H at SF={sf} ...")
+    catalog = generate_tpch(sf=sf, seed=0)
+    print("Running 20 queries x 4 strategies (twice each, keeping the "
+          "warm run) ...\n")
+    suite = run_suite(catalog, sf=sf, repeats=2)
+    print(format_fig4(suite, title=f"Figure 4: normalized runtime (SF={sf})"))
+    speedups = speedup_summary(suite)
+    print("\nPredTrans geomean speedup:")
+    for strategy, factor in sorted(speedups.items()):
+        print(f"  vs {strategy:12s}: {factor:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

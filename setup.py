@@ -1,0 +1,5 @@
+"""Legacy setup shim for environments whose setuptools predates PEP 660."""
+
+from setuptools import setup
+
+setup()

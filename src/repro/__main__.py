@@ -1,0 +1,138 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``tpch``   Run TPC-H queries under one or more strategies.
+``ssb``    Run SSB queries likewise.
+``fig4``   Regenerate the paper's Figure 4 table at a chosen SF.
+``q5``     Regenerate the Q5 case study (Tables 1–2, Figures 5–6).
+
+Examples::
+
+    python -m repro tpch --sf 0.02 --query 5 --strategy predtrans
+    python -m repro fig4 --sf 0.05
+    python -m repro q5 --sf 0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bench.harness import (
+    breakdown,
+    format_breakdown,
+    format_fig4,
+    format_join_orders,
+    format_join_sizes,
+    join_order_runtimes,
+    join_size_table,
+    run_suite,
+    speedup_summary,
+    time_query,
+)
+from .core.runner import STRATEGIES
+from .ssb import ALL_SSB_QUERY_IDS, generate_ssb, get_ssb_query
+from .tpch import generate_tpch
+from .tpch.queries import BENCH_QUERY_IDS, Q5_JOIN_ORDERS, get_query
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--sf", type=float, default=0.01, help="scale factor")
+    parser.add_argument("--seed", type=int, default=0, help="generator seed")
+
+
+def _cmd_tpch(args: argparse.Namespace) -> int:
+    catalog = generate_tpch(sf=args.sf, seed=args.seed)
+    queries = [args.query] if args.query else list(BENCH_QUERY_IDS)
+    strategies = [args.strategy] if args.strategy else list(STRATEGIES)
+    for qid in queries:
+        spec = get_query(qid, sf=args.sf)
+        for strategy in strategies:
+            m = time_query(spec, catalog, strategy, repeats=args.repeats)
+            print(
+                f"q{qid:<3d} {strategy:12s} {m.seconds:9.4f}s  "
+                f"rows={m.output_rows}  "
+                f"prefiltered={m.stats.transfer.reduction():.1%}"
+            )
+    return 0
+
+
+def _cmd_ssb(args: argparse.Namespace) -> int:
+    catalog = generate_ssb(sf=args.sf, seed=args.seed)
+    queries = [args.query] if args.query else list(ALL_SSB_QUERY_IDS)
+    strategies = [args.strategy] if args.strategy else list(STRATEGIES)
+    for qid in queries:
+        spec = get_ssb_query(qid)
+        for strategy in strategies:
+            m = time_query(spec, catalog, strategy, repeats=args.repeats)
+            print(
+                f"Q{qid:<4s} {strategy:12s} {m.seconds:9.4f}s  rows={m.output_rows}"
+            )
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    catalog = generate_tpch(sf=args.sf, seed=args.seed)
+    suite = run_suite(catalog, sf=args.sf, repeats=args.repeats)
+    print(format_fig4(suite, title=f"Figure 4 (SF={args.sf})"))
+    print(f"\npredtrans geomean speedup over: {speedup_summary(suite)}")
+    return 0
+
+
+def _cmd_q5(args: argparse.Namespace) -> int:
+    catalog = generate_tpch(sf=args.sf, seed=args.seed)
+    sizes = join_size_table(catalog, sf=args.sf)
+    print(format_join_sizes(sizes, title=f"Q5 join sizes (SF={args.sf})"))
+    print()
+    parts = breakdown(catalog, sf=args.sf, repeats=args.repeats)
+    print(format_breakdown(parts, title="Q5 phase breakdown"))
+    print()
+    times = join_order_runtimes(
+        catalog, sf=args.sf, join_orders=Q5_JOIN_ORDERS, repeats=args.repeats
+    )
+    print(format_join_orders(times, title="Q5 join-order robustness"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Predicate transfer reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    tpch = sub.add_parser("tpch", help="run TPC-H queries")
+    _add_common(tpch)
+    tpch.add_argument("--query", type=int, help="query number 1-22")
+    tpch.add_argument("--strategy", choices=STRATEGIES)
+    tpch.add_argument("--repeats", type=int, default=2)
+    tpch.set_defaults(func=_cmd_tpch)
+
+    ssb = sub.add_parser("ssb", help="run SSB queries")
+    _add_common(ssb)
+    ssb.add_argument("--query", help='query id like "2.1"')
+    ssb.add_argument("--strategy", choices=STRATEGIES)
+    ssb.add_argument("--repeats", type=int, default=2)
+    ssb.set_defaults(func=_cmd_ssb)
+
+    fig4 = sub.add_parser("fig4", help="regenerate Figure 4")
+    _add_common(fig4)
+    fig4.add_argument("--repeats", type=int, default=2)
+    fig4.set_defaults(func=_cmd_fig4)
+
+    q5 = sub.add_parser("q5", help="regenerate the Q5 case study")
+    _add_common(q5)
+    q5.add_argument("--repeats", type=int, default=2)
+    q5.set_defaults(func=_cmd_q5)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

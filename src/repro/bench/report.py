@@ -1,0 +1,45 @@
+"""ASCII report formatting for paper-style tables and figures."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render a simple aligned ASCII table."""
+    cells = [[str(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    head = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    sep = "-+-".join("-" * w for w in widths)
+    body = "\n".join(
+        " | ".join(c.ljust(w) for c, w in zip(row, widths)) for row in cells
+    )
+    parts = []
+    if title:
+        parts.append(title)
+    parts.extend([head, sep, body])
+    return "\n".join(parts)
+
+
+def format_ratio(value: float) -> str:
+    """Format a normalized runtime (two decimals, paper-style)."""
+    return f"{value:.2f}"
+
+
+def format_bar_chart(
+    labels: Sequence[str], values: Sequence[float], width: int = 40, title: str = ""
+) -> str:
+    """A horizontal ASCII bar chart (stand-in for the paper's figures)."""
+    peak = max(values) if values else 1.0
+    peak = peak or 1.0
+    lines = [title] if title else []
+    label_width = max((len(l) for l in labels), default=0)
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(round(width * value / peak))) if value > 0 else ""
+        lines.append(f"{label.ljust(label_width)} | {bar} {value:.4f}")
+    return "\n".join(lines)

@@ -1,0 +1,144 @@
+"""Predicate transfer graph (paper §3.2).
+
+The PT graph is a directed version of the join graph.  The paper's
+heuristic, reproduced here, keeps **every** edge and orients each from
+the smaller table to the bigger table; because orientation follows a
+total order on vertices (size, then alias), the result is a DAG by
+construction.
+
+Non-inner edges restrict direction (paper §3.4, DESIGN.md §6):
+
+* ``left``  (L left-outer R): only L→R transfers are sound.
+* ``anti``  (L anti R): only L→R.
+* ``semi``: both directions.
+* ``right`` joins are normalized to ``left`` by the join-graph builder.
+
+A restricted edge keeps its forced direction regardless of sizes and is
+marked non-reversible: it participates only in the pass whose direction
+matches (forward if the DAG orientation equals the allowed direction;
+it is skipped in the backward pass).  Forced directions can in principle
+create cycles; those are resolved by dropping forced edges on cycles
+(always sound — dropping a transfer opportunity never affects
+correctness), and the dropped edges are reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from ..plan.joingraph import edge_keys_for
+
+
+def allowed_directions(data: dict) -> tuple[bool, bool]:
+    """``(left_to_right, right_to_left)`` transfer permissions of an edge.
+
+    "left"/"right" here refer to the edge's *syntactic* sides, with
+    ``data["syntactic_left"]`` naming the left alias.
+    """
+    how = data["how"]
+    if how == "inner" or how == "semi":
+        return True, True
+    if how in ("left", "anti"):
+        return True, False
+    return False, False  # full outer (not representable) / unknown
+
+
+@dataclass
+class PTEdge:
+    """One directed transfer edge: ``src`` builds a filter for ``dst``."""
+
+    src: str
+    dst: str
+    src_keys: tuple[str, ...]
+    dst_keys: tuple[str, ...]
+    reversible: bool
+
+
+@dataclass
+class PTGraph:
+    """A predicate transfer graph: DAG + per-vertex size estimates."""
+
+    digraph: nx.DiGraph
+    sizes: dict[str, int]
+    dropped_edges: list[tuple[str, str]] = field(default_factory=list)
+
+    def topological_order(self) -> list[str]:
+        """Vertices in a deterministic topological order."""
+        return list(nx.lexicographical_topological_sort(self.digraph))
+
+    def forward_edges(self) -> list[PTEdge]:
+        """Transfer edges of the forward pass (DAG direction)."""
+        out = []
+        for src, dst, data in self.digraph.edges(data=True):
+            out.append(
+                PTEdge(src, dst, data["src_keys"], data["dst_keys"], data["reversible"])
+            )
+        return out
+
+    def backward_edges(self) -> list[PTEdge]:
+        """Transfer edges of the backward pass (reversed, reversible only)."""
+        out = []
+        for src, dst, data in self.digraph.edges(data=True):
+            if data["reversible"]:
+                out.append(
+                    PTEdge(dst, src, data["dst_keys"], data["src_keys"], True)
+                )
+        return out
+
+    def sources(self) -> list[str]:
+        """Vertices with no incoming edge (the forward pass's leaves)."""
+        return sorted(v for v in self.digraph if self.digraph.in_degree(v) == 0)
+
+
+def build_pt_graph(join_graph: nx.Graph, sizes: dict[str, int]) -> PTGraph:
+    """Orient the join graph into a predicate transfer DAG.
+
+    ``sizes`` gives the per-alias row counts used by the small→large
+    heuristic (the paper uses table sizes; the runner passes sizes after
+    local predicates, which matches where Bloom filters are built).
+    """
+    rank = {alias: (sizes[alias], alias) for alias in join_graph.nodes}
+    digraph = nx.DiGraph()
+    digraph.add_nodes_from(join_graph.nodes)
+    forced: list[tuple[str, str]] = []
+
+    for u, v, data in join_graph.edges(data=True):
+        fwd_ok, bwd_ok = allowed_directions(data)
+        left = data["syntactic_left"]
+        right = v if left == u else u
+        if not fwd_ok and not bwd_ok:
+            continue  # non-transferable edge (kept for the join phase only)
+        keys_uv = edge_keys_for(join_graph, u, v)
+        if fwd_ok and bwd_ok:
+            src, dst = (u, v) if rank[u] <= rank[v] else (v, u)
+            reversible = True
+        else:
+            src, dst = left, right  # forced direction
+            reversible = False
+            forced.append((src, dst))
+        if src == u:
+            src_keys = tuple(p for p, _ in keys_uv)
+            dst_keys = tuple(q for _, q in keys_uv)
+        else:
+            src_keys = tuple(q for _, q in keys_uv)
+            dst_keys = tuple(p for p, _ in keys_uv)
+        digraph.add_edge(
+            src, dst, src_keys=src_keys, dst_keys=dst_keys, reversible=reversible
+        )
+
+    dropped = _break_cycles(digraph, forced)
+    return PTGraph(digraph=digraph, sizes=dict(sizes), dropped_edges=dropped)
+
+
+def _break_cycles(digraph: nx.DiGraph, forced: list[tuple[str, str]]) -> list:
+    """Drop forced edges until the graph is acyclic (see module doc)."""
+    dropped: list[tuple[str, str]] = []
+    while not nx.is_directed_acyclic_graph(digraph):
+        cycle = nx.find_cycle(digraph)
+        candidates = [e[:2] for e in cycle if e[:2] in forced]
+        victim = candidates[0] if candidates else cycle[0][:2]
+        digraph.remove_edge(*victim)
+        dropped.append(victim)
+    return dropped

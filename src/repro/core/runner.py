@@ -1,0 +1,365 @@
+"""Query runner: the four execution strategies of the paper's evaluation.
+
+* ``nopredtrans`` — local predicates only, then plain hash joins.
+* ``bloomjoin``  — one-hop Bloom filtering inside each join (build side
+  constructs a Bloom filter applied to the probe side).
+* ``yannakakis`` — exact semi-join forward/backward passes over a BFS
+  join tree, then plain hash joins.
+* ``predtrans``  — the paper's contribution: Bloom-filter transfer over
+  the whole predicate transfer graph, then plain hash joins.
+
+All strategies share the scanner, the join phase (left-deep over a
+deterministic order) and the post-operator pipeline, so measured
+differences are attributable to pre-filtering alone — mirroring the
+paper's single-executor methodology.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..engine.aggregate import AggSpec, GroupKey, group_aggregate
+from ..engine.hashjoin import hash_join
+from ..engine.sort import limit, sort_table
+from ..engine.stats import QueryStats
+from ..errors import PlanError
+from ..expr.eval import evaluate, evaluate_mask
+from ..expr.nodes import And, Expr
+from ..filters.bloom import BloomFilter
+from ..filters.hashing import bloom_keys
+from ..optimizer.cardinality import NdvCache
+from ..optimizer.joinorder import greedy_join_order
+from ..plan.joingraph import build_join_graph, edge_keys_for
+from ..plan.query import Aggregate, Filter, Limit, Project, QuerySpec, Sort
+from ..plan.rewrite import resolve_scalars
+from ..storage.catalog import Catalog
+from ..storage.table import Table
+from .ptgraph import build_pt_graph
+from .transfer import TransferConfig, run_transfer
+from .yannakakis import run_semi_join_phase
+
+STRATEGIES = ("nopredtrans", "bloomjoin", "yannakakis", "predtrans")
+
+
+@dataclass
+class RunConfig:
+    """Execution options shared by all strategies."""
+
+    strategy: str = "predtrans"
+    transfer: TransferConfig = field(default_factory=TransferConfig)
+    bloom_fpp: float = 0.01
+    replan: bool = False
+    yannakakis_root: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.strategy not in STRATEGIES:
+            raise PlanError(
+                f"unknown strategy {self.strategy!r}; choose from {STRATEGIES}"
+            )
+
+
+@dataclass
+class QueryResult:
+    """A query's output table plus execution statistics."""
+
+    table: Table
+    stats: QueryStats
+
+
+def run_query(
+    spec: QuerySpec,
+    catalog: Catalog,
+    strategy: str | None = None,
+    config: RunConfig | None = None,
+    join_order: list[str] | None = None,
+) -> QueryResult:
+    """Execute ``spec`` against ``catalog`` with the chosen strategy.
+
+    ``join_order`` overrides both the spec's stored order and the
+    optimizer (used by the Fig. 6 robustness experiment).
+    """
+    if config is None:
+        config = RunConfig(strategy=strategy or "predtrans")
+    elif strategy is not None and strategy != config.strategy:
+        config = replace(config, strategy=strategy)
+    scoped = catalog.scoped()
+    stats = QueryStats(strategy=config.strategy, query=spec.name)
+
+    for stage in spec.pre_stages:
+        sub = run_query(stage.spec, scoped, config=config)
+        scoped.register(sub.table, stage.output)
+        stats.stage_stats.append(sub.stats)
+
+    resolved = _resolve_spec(spec, scoped)
+    graph = build_join_graph(resolved)
+
+    # ------------------------------------------------------------------
+    # Pre-filter phase: scan + local predicates + strategy-specific
+    # whole-graph filtering.
+    # ------------------------------------------------------------------
+    t0 = time.perf_counter()
+    scanned, masks = _scan(resolved, scoped)
+    local_sizes = {a: int(m.sum()) for a, m in masks.items()}
+
+    if config.strategy == "yannakakis":
+        masks, stats.transfer = run_semi_join_phase(
+            graph, scanned, masks, config.yannakakis_root
+        )
+    elif config.strategy == "predtrans":
+        ptgraph = build_pt_graph(graph, local_sizes)
+        masks, stats.transfer = run_transfer(ptgraph, scanned, masks, config.transfer)
+    else:
+        stats.transfer.rows_before = dict(local_sizes)
+        stats.transfer.rows_after = dict(local_sizes)
+    stats.transfer_seconds = time.perf_counter() - t0
+
+    # ------------------------------------------------------------------
+    # Join phase.
+    # ------------------------------------------------------------------
+    t1 = time.perf_counter()
+    reduced = {alias: scanned[alias].filter(masks[alias]) for alias in masks}
+    order = _choose_order(resolved, graph, reduced, local_sizes, config, join_order)
+    current = _execute_join_phase(resolved, graph, reduced, order, config, stats)
+    stats.join_seconds = time.perf_counter() - t1
+
+    # ------------------------------------------------------------------
+    # Post-operator pipeline (aggregation, having, order by, ...).
+    # ------------------------------------------------------------------
+    t2 = time.perf_counter()
+    result = _apply_post(resolved, current)
+    stats.post_seconds = time.perf_counter() - t2
+    stats.output_rows = result.num_rows
+    return QueryResult(result, stats)
+
+
+# ----------------------------------------------------------------------
+# Spec resolution & scanning
+# ----------------------------------------------------------------------
+def _resolve_spec(spec: QuerySpec, catalog: Catalog) -> QuerySpec:
+    """Resolve scalar-subquery references to literals everywhere."""
+    relations = [
+        replace(r, predicate=resolve_scalars(r.predicate, catalog))
+        for r in spec.relations
+    ]
+    edges = [
+        replace(e, residual=resolve_scalars(e.residual, catalog)) for e in spec.edges
+    ]
+    residuals = [resolve_scalars(r, catalog) for r in spec.residuals]
+    post = []
+    for op in spec.post:
+        if isinstance(op, Filter):
+            post.append(Filter(resolve_scalars(op.predicate, catalog)))
+        elif isinstance(op, Project):
+            post.append(
+                Project(
+                    tuple(
+                        (name, resolve_scalars(expr, catalog))
+                        for name, expr in op.outputs
+                    )
+                )
+            )
+        elif isinstance(op, Aggregate):
+            keys = tuple(
+                GroupKey(k.name, resolve_scalars(k.expr, catalog)) for k in op.keys
+            )
+            aggs = tuple(
+                AggSpec(a.func, resolve_scalars(a.input, catalog), a.name)
+                for a in op.aggs
+            )
+            post.append(Aggregate(keys, aggs))
+        else:
+            post.append(op)
+    return QuerySpec(
+        name=spec.name,
+        relations=relations,
+        edges=edges,
+        residuals=residuals,
+        post=post,
+        pre_stages=[],
+        join_order=spec.join_order,
+    )
+
+
+def _scan(
+    spec: QuerySpec, catalog: Catalog
+) -> tuple[dict[str, Table], dict[str, np.ndarray]]:
+    """Scan every relation (qualified columns) and apply local predicates."""
+    scanned: dict[str, Table] = {}
+    masks: dict[str, np.ndarray] = {}
+    for relation in spec.relations:
+        table = catalog.get(relation.table).prefixed(relation.alias)
+        scanned[relation.alias] = table
+        if relation.predicate is None:
+            masks[relation.alias] = np.ones(table.num_rows, dtype=np.bool_)
+        else:
+            masks[relation.alias] = evaluate_mask(relation.predicate, table)
+    return scanned, masks
+
+
+def _choose_order(
+    spec: QuerySpec,
+    graph,
+    reduced: dict[str, Table],
+    local_sizes: dict[str, int],
+    config: RunConfig,
+    override: list[str] | None,
+) -> list[str]:
+    if override is not None:
+        spec.validate_join_order(override)
+        return override
+    if spec.join_order is not None and not config.replan:
+        return spec.join_order
+    if len(reduced) == 1:
+        return list(reduced)
+    sizes = (
+        {a: t.num_rows for a, t in reduced.items()} if config.replan else local_sizes
+    )
+    return greedy_join_order(graph, sizes, NdvCache(reduced))
+
+
+# ----------------------------------------------------------------------
+# Join phase
+# ----------------------------------------------------------------------
+def _and_fold(exprs: list[Expr]) -> Expr | None:
+    if not exprs:
+        return None
+    acc = exprs[0]
+    for expr in exprs[1:]:
+        acc = And(acc, expr)
+    return acc
+
+
+def _execute_join_phase(
+    spec: QuerySpec,
+    graph,
+    reduced: dict[str, Table],
+    order: list[str],
+    config: RunConfig,
+    stats: QueryStats,
+) -> Table:
+    current = reduced[order[0]]
+    joined = {order[0]}
+    pending = list(spec.residuals)
+    current = _apply_ready_residuals(current, pending)
+
+    for i, alias in enumerate(order[1:], start=1):
+        neighbors = sorted(n for n in graph.neighbors(alias) if n in joined)
+        if not neighbors:
+            raise PlanError(
+                f"join order {order} creates a cross product at {alias!r}"
+            )
+        how, probe_on, build_on, residual = _gather_edges(graph, neighbors, alias)
+        probe_table, build_table = current, reduced[alias]
+        if how == "inner" and build_table.num_rows > probe_table.num_rows:
+            probe_table, build_table = build_table, probe_table
+            probe_on, build_on = build_on, probe_on
+
+        probe_rows = None
+        if config.strategy == "bloomjoin" and how in ("inner", "semi"):
+            probe_rows = _bloom_prefilter(
+                probe_table, build_table, probe_on, build_on, config, stats
+            )
+
+        current, jstat = hash_join(
+            probe_table,
+            build_table,
+            probe_on,
+            build_on,
+            how=how,
+            residual=residual,
+            label=f"Join {i}",
+            probe_rows=probe_rows,
+        )
+        stats.joins.append(jstat)
+        joined.add(alias)
+        current = _apply_ready_residuals(current, pending)
+
+    if pending:
+        raise PlanError(
+            f"residual predicates never became applicable: {pending}"
+        )
+    return current
+
+
+def _apply_ready_residuals(current: Table, pending: list[Expr]) -> Table:
+    """Apply every pending residual whose columns are now all available."""
+    available = set(current.columns)
+    still_pending = []
+    for expr in pending:
+        if expr.columns() <= available:
+            current = current.filter(evaluate_mask(expr, current))
+            available = set(current.columns)
+        else:
+            still_pending.append(expr)
+    pending[:] = still_pending
+    return current
+
+
+def _gather_edges(graph, neighbors: list[str], alias: str):
+    """Combine all edges from the joined set to ``alias`` into one join."""
+    probe_on: list[str] = []
+    build_on: list[str] = []
+    residuals: list[Expr] = []
+    kinds: set[str] = set()
+    for other in neighbors:
+        data = graph.edges[other, alias]
+        kinds.add(data["how"])
+        for other_col, alias_col in edge_keys_for(graph, other, alias):
+            probe_on.append(other_col)
+            build_on.append(alias_col)
+        if data["residual"] is not None:
+            residuals.append(data["residual"])
+    non_inner = kinds - {"inner"}
+    if len(non_inner) > 1:
+        raise PlanError(f"mixed non-inner edges connecting {alias!r}")
+    how = non_inner.pop() if non_inner else "inner"
+    return how, probe_on, build_on, _and_fold(residuals)
+
+
+def _bloom_prefilter(
+    probe_table: Table,
+    build_table: Table,
+    probe_on: list[str],
+    build_on: list[str],
+    config: RunConfig,
+    stats: QueryStats,
+) -> np.ndarray:
+    """BloomJoin's one-hop filter: build side filters probe side.
+
+    Returns the surviving probe row indices, which the join consumes
+    directly (no intermediate materialization — the Bloom test touches
+    only the key columns, as a real engine's runtime filter would).
+    """
+    build_keys = bloom_keys([build_table.column(c) for c in build_on])
+    bloom = BloomFilter.from_keys(build_keys, fpp=config.bloom_fpp)
+    keep = bloom.contains_keys(bloom_keys([probe_table.column(c) for c in probe_on]))
+    stats.transfer.bloom_inserts += len(build_keys)
+    stats.transfer.bloom_probes += len(keep)
+    stats.transfer.filters_built += 1
+    return np.flatnonzero(keep)
+
+
+# ----------------------------------------------------------------------
+# Post-operator pipeline
+# ----------------------------------------------------------------------
+def _apply_post(spec: QuerySpec, table: Table) -> Table:
+    for op in spec.post:
+        if isinstance(op, Aggregate):
+            table = group_aggregate(table, list(op.keys), list(op.aggs))
+        elif isinstance(op, Filter):
+            table = table.filter(evaluate_mask(op.predicate, table))
+        elif isinstance(op, Project):
+            table = Table(
+                table.name,
+                {name: evaluate(expr, table) for name, expr in op.outputs},
+            )
+        elif isinstance(op, Sort):
+            table = sort_table(table, list(op.by))
+        elif isinstance(op, Limit):
+            table = limit(table, op.k)
+        else:  # pragma: no cover - defensive
+            raise PlanError(f"unknown post operator {op!r}")
+    return table

@@ -1,0 +1,234 @@
+"""The predicate transfer phase (paper §3.2).
+
+Given scanned relations (with local predicates already applied as row
+masks) and a :class:`~repro.core.ptgraph.PTGraph`, this engine runs the
+paper's two-pass schedule:
+
+* **Forward pass** — vertices are visited in topological order of the
+  PT DAG.  Each vertex first applies every incoming filter to its
+  current surviving rows (the single-scan *filter transformation* of
+  Fig. 2: incoming keys are probed, survivors feed the outgoing key
+  columns), then builds one outgoing filter per out-edge from the
+  surviving rows.
+* **Backward pass** — all reversible edges are flipped and the same
+  procedure runs in reverse topological order, starting from the row
+  masks the forward pass left behind (Fig. 3b).
+
+Incoming filters are applied most-selective-first (LIP-style ordering,
+paper §3.2, citing [39]) using the observed reduction at the producing
+vertex as the selectivity estimate; this is ablatable via
+:class:`TransferConfig`.
+
+Filter representation is pluggable: Bloom filters (the paper's choice)
+or exact key sets (which turns a transfer into a semi-join).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..engine.stats import TransferStats
+from ..errors import FilterError
+from ..filters.bloom import BloomFilter
+from ..filters.exact import ExactFilter
+from ..filters.hashing import bloom_keys
+from ..storage.table import Table
+from .ptgraph import PTEdge, PTGraph
+
+
+@dataclass(frozen=True)
+class TransferConfig:
+    """Tuning knobs of the predicate transfer phase.
+
+    Attributes
+    ----------
+    filter_type:
+        ``"bloom"`` (the paper's prototype) or ``"exact"`` (semi-join
+        precise; §3.2 "Filter Type").
+    fpp:
+        Bloom filter target false-positive rate.
+    forward / backward:
+        Enable the respective pass (both on in the paper).
+    lip_reorder:
+        Apply incoming filters most-selective-first.
+    prune_selectivity:
+        Transfer-path pruning threshold (extension; §3.2 lists pruning
+        as future work and the paper's prototype uses ``None`` = never
+        prune).  A vertex whose surviving-row fraction is above the
+        threshold does not emit filters — its filter would remove
+        little downstream but still cost probe time.
+    rounds:
+        Number of forward+backward round trips (extension; §3.2 notes
+        transfers "can happen back and forth").  The paper's prototype
+        uses one round; additional rounds can only shrink the masks
+        further (at extra transfer cost) and converge to a fixpoint.
+    """
+
+    filter_type: str = "bloom"
+    fpp: float = 0.01
+    forward: bool = True
+    backward: bool = True
+    lip_reorder: bool = True
+    prune_selectivity: float | None = None
+    rounds: int = 1
+
+    def __post_init__(self) -> None:
+        if self.filter_type not in ("bloom", "exact"):
+            raise FilterError(f"unknown filter type {self.filter_type!r}")
+        if self.rounds < 1:
+            raise FilterError("rounds must be >= 1")
+
+
+@dataclass
+class _IncomingFilter:
+    """A filter parked at a vertex, waiting to be applied."""
+
+    filt: object
+    key_columns: tuple[str, ...]
+    producer_selectivity: float
+
+
+@dataclass
+class TransferState:
+    """Mutable per-query transfer state: one mask per alias."""
+
+    tables: dict[str, Table]
+    masks: dict[str, np.ndarray]
+    pending: dict[str, list[_IncomingFilter]] = field(default_factory=dict)
+
+    def selected_count(self, alias: str) -> int:
+        """Rows currently surviving at ``alias``."""
+        return int(self.masks[alias].sum())
+
+    def selectivity(self, alias: str) -> float:
+        """Fraction of base rows surviving at ``alias``."""
+        total = len(self.masks[alias])
+        return self.selected_count(alias) / total if total else 1.0
+
+
+def run_transfer(
+    ptgraph: PTGraph,
+    tables: dict[str, Table],
+    masks: dict[str, np.ndarray],
+    config: TransferConfig | None = None,
+) -> tuple[dict[str, np.ndarray], TransferStats]:
+    """Run the predicate transfer phase.
+
+    Parameters
+    ----------
+    ptgraph:
+        The oriented transfer DAG.
+    tables:
+        Alias → scanned table (columns qualified ``alias.col``).
+    masks:
+        Alias → boolean survivor mask (local predicates pre-applied).
+        Not mutated; a copy is returned.
+
+    Returns the reduced masks and phase statistics.
+    """
+    config = config or TransferConfig()
+    state = TransferState(
+        tables=tables, masks={a: m.copy() for a, m in masks.items()}
+    )
+    stats = TransferStats()
+    for alias, mask in masks.items():
+        stats.rows_before[alias] = int(mask.sum())
+
+    order = ptgraph.topological_order()
+    for round_index in range(config.rounds):
+        survivors_before = sum(state.selected_count(a) for a in masks)
+        if config.forward:
+            _run_pass(state, order, ptgraph.forward_edges(), config, stats)
+        if config.backward:
+            _run_pass(
+                state, list(reversed(order)), ptgraph.backward_edges(), config, stats
+            )
+        # Extra rounds stop early once a fixpoint is reached.
+        if round_index and survivors_before == sum(
+            state.selected_count(a) for a in masks
+        ):
+            break
+
+    for alias in masks:
+        stats.rows_after[alias] = state.selected_count(alias)
+    return state.masks, stats
+
+
+def _run_pass(
+    state: TransferState,
+    order: list[str],
+    edges: list[PTEdge],
+    config: TransferConfig,
+    stats: TransferStats,
+) -> None:
+    """One pass: visit vertices in ``order`` along the given edges."""
+    out_edges: dict[str, list[PTEdge]] = {}
+    for e in edges:
+        out_edges.setdefault(e.src, []).append(e)
+    state.pending = {alias: [] for alias in order}
+
+    for alias in order:
+        _apply_incoming(state, alias, config, stats)
+        emit = out_edges.get(alias, [])
+        if not emit:
+            continue
+        selectivity = state.selectivity(alias)
+        if (
+            config.prune_selectivity is not None
+            and selectivity >= config.prune_selectivity
+        ):
+            stats.edges_pruned += len(emit)
+            continue
+        rows = np.flatnonzero(state.masks[alias])
+        for e in sorted(emit, key=lambda x: x.dst):
+            filt = _build_filter(state.tables[alias], rows, e.src_keys, config, stats)
+            state.pending[e.dst].append(
+                _IncomingFilter(filt, e.dst_keys, selectivity)
+            )
+            stats.filters_built += 1
+            stats.edges_traversed += 1
+
+
+def _apply_incoming(
+    state: TransferState, alias: str, config: TransferConfig, stats: TransferStats
+) -> None:
+    incoming = state.pending.get(alias, [])
+    if not incoming:
+        return
+    if config.lip_reorder:
+        incoming = sorted(incoming, key=lambda f: f.producer_selectivity)
+    mask = state.masks[alias]
+    table = state.tables[alias]
+    for inc in incoming:
+        rows = np.flatnonzero(mask)
+        if len(rows) == 0:
+            break
+        columns = [table.column(c) for c in inc.key_columns]
+        keys = bloom_keys(columns, rows)
+        keep = inc.filt.contains_keys(keys)
+        if isinstance(inc.filt, BloomFilter):
+            stats.bloom_probes += len(rows)
+        else:
+            stats.hash_probes += len(rows)
+        mask[rows[~keep]] = False
+    state.pending[alias] = []
+
+
+def _build_filter(
+    table: Table,
+    rows: np.ndarray,
+    key_columns: tuple[str, ...],
+    config: TransferConfig,
+    stats: TransferStats,
+):
+    columns = [table.column(c) for c in key_columns]
+    keys = bloom_keys(columns, rows)
+    if config.filter_type == "bloom":
+        filt = BloomFilter.from_keys(keys, fpp=config.fpp)
+        stats.bloom_inserts += len(keys)
+    else:
+        filt = ExactFilter.from_keys(keys)
+        stats.hash_inserts += len(keys)
+    return filt

@@ -1,0 +1,136 @@
+"""The Yannakakis baseline (paper §2.2 and §4.1).
+
+The semi-join phase of the Yannakakis algorithm, implemented with exact
+key-set filters (each semi-join builds a hash set of the child's keys
+and probes the parent — unit-cost hash ops in the paper's cost model).
+
+Per the paper's setup, two extensions make it applicable to all TPC-H
+queries:
+
+* non-inner edges adopt the same direction-blocking rules as predicate
+  transfer (a semi-join along a blocked direction is skipped);
+* cyclic join graphs are handled by picking a root and taking the BFS
+  tree — edges off the tree are **not traversed** (the source of
+  Yannakakis' filtering loss on cyclic queries like Q5, §4.3).
+
+The join phase is shared with every other strategy (the runner's).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+
+from ..engine.stats import TransferStats
+from ..filters.exact import ExactFilter
+from ..filters.hashing import bloom_keys
+from ..plan.joingraph import edge_keys_for
+from ..storage.table import Table
+from .ptgraph import allowed_directions
+
+
+@dataclass
+class JoinTree:
+    """A rooted spanning tree of the join graph."""
+
+    root: str
+    tree: nx.DiGraph  # edges parent -> child
+    dropped_edges: list[tuple[str, str]] = field(default_factory=list)
+
+    def bottom_up(self) -> list[str]:
+        """Vertices ordered leaves-first (children before parents)."""
+        return list(reversed(list(nx.topological_sort(self.tree))))
+
+    def top_down(self) -> list[str]:
+        """Vertices ordered root-first."""
+        return list(nx.topological_sort(self.tree))
+
+
+def build_join_tree(join_graph: nx.Graph, root: str | None = None) -> JoinTree:
+    """BFS spanning tree from ``root`` (default: lexicographically first).
+
+    The paper picks the root randomly and notes the resulting
+    instability (§4.2, Q11/Q16 discussion); callers can pass any root to
+    reproduce that sensitivity.
+    """
+    if root is None:
+        root = sorted(join_graph.nodes)[0]
+    tree = nx.bfs_tree(join_graph, root)
+    tree_pairs = {frozenset(e) for e in tree.edges}
+    dropped = [
+        (u, v) for u, v in join_graph.edges if frozenset((u, v)) not in tree_pairs
+    ]
+    return JoinTree(root=root, tree=tree, dropped_edges=dropped)
+
+
+def _direction_allowed(join_graph: nx.Graph, src: str, dst: str) -> bool:
+    """May a semi-join filter flow from ``src`` into ``dst``?"""
+    data = join_graph.edges[src, dst]
+    l2r, r2l = allowed_directions(data)
+    if data["syntactic_left"] == src:
+        return l2r
+    return r2l
+
+
+def _semi_join(
+    join_graph: nx.Graph,
+    tables: dict[str, Table],
+    masks: dict[str, np.ndarray],
+    src: str,
+    dst: str,
+    stats: TransferStats,
+) -> None:
+    """Filter ``dst`` to rows whose key matches a surviving ``src`` row."""
+    keys_src_dst = edge_keys_for(join_graph, src, dst)
+    src_cols = [tables[src].column(a) for a, _ in keys_src_dst]
+    dst_cols = [tables[dst].column(b) for _, b in keys_src_dst]
+    src_rows = np.flatnonzero(masks[src])
+    dst_rows = np.flatnonzero(masks[dst])
+    if len(dst_rows) == 0:
+        return
+    filt = ExactFilter.from_keys(bloom_keys(src_cols, src_rows))
+    stats.hash_inserts += len(src_rows)
+    keep = filt.contains_keys(bloom_keys(dst_cols, dst_rows))
+    stats.hash_probes += len(dst_rows)
+    masks[dst][dst_rows[~keep]] = False
+    stats.edges_traversed += 1
+
+
+def run_semi_join_phase(
+    join_graph: nx.Graph,
+    tables: dict[str, Table],
+    masks: dict[str, np.ndarray],
+    root: str | None = None,
+) -> tuple[dict[str, np.ndarray], TransferStats]:
+    """Run the Yannakakis forward + backward semi-join passes.
+
+    ``masks`` (local predicates pre-applied) is not mutated; reduced
+    copies are returned together with hash-op statistics.
+    """
+    masks = {a: m.copy() for a, m in masks.items()}
+    stats = TransferStats()
+    for alias, mask in masks.items():
+        stats.rows_before[alias] = int(mask.sum())
+
+    for component in nx.connected_components(join_graph):
+        if len(component) < 2:
+            continue
+        subgraph = join_graph.subgraph(component)
+        component_root = root if root in component else None
+        jtree = build_join_tree(subgraph, component_root)
+        # Forward pass (bottom-up): each vertex is reduced by its children.
+        for parent in jtree.bottom_up():
+            for child in jtree.tree.successors(parent):
+                if _direction_allowed(join_graph, child, parent):
+                    _semi_join(join_graph, tables, masks, child, parent, stats)
+        # Backward pass (top-down): each child is reduced by its parent.
+        for parent in jtree.top_down():
+            for child in jtree.tree.successors(parent):
+                if _direction_allowed(join_graph, parent, child):
+                    _semi_join(join_graph, tables, masks, parent, child, stats)
+
+    for alias in masks:
+        stats.rows_after[alias] = int(masks[alias].sum())
+    return masks, stats

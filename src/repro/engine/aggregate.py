@@ -1,0 +1,171 @@
+"""Vectorized grouped and scalar aggregation.
+
+Group keys are factorized column-by-column and packed into dense group
+ids (re-densified after each column so the packing can never overflow);
+aggregates are then computed with ``bincount`` / ``ufunc.at`` scatter
+kernels.  Null inputs (which arise only after outer joins) are excluded
+from every aggregate, matching SQL semantics; ``COUNT(*)`` counts rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..expr.eval import evaluate
+from ..expr.nodes import ColumnRef, Expr
+from ..storage.column import Column, DType
+from ..storage.table import Table
+
+_AGG_FUNCS = ("sum", "count", "count_star", "avg", "min", "max", "count_distinct")
+
+
+@dataclass(frozen=True)
+class GroupKey:
+    """One grouping key: an output name plus the expression producing it."""
+
+    name: str
+    expr: Expr = field(default=None)  # type: ignore[assignment]
+
+    def resolved_expr(self) -> Expr:
+        """The key expression (defaults to a reference to ``name``)."""
+        return self.expr if self.expr is not None else ColumnRef(self.name)
+
+
+@dataclass(frozen=True)
+class AggSpec:
+    """One aggregate: function, input expression, output column name."""
+
+    func: str
+    input: Expr | None
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.func not in _AGG_FUNCS:
+            raise ExecutionError(f"unknown aggregate {self.func!r}")
+        if self.func != "count_star" and self.input is None:
+            raise ExecutionError(f"aggregate {self.func!r} needs an input")
+
+
+def _factorize(column: Column) -> tuple[np.ndarray, int]:
+    """Dense integer codes + cardinality for one key column."""
+    if column.dtype is DType.STRING:
+        # Dictionary codes are already dense enough; re-unique to be safe
+        # after filtering.
+        codes, inverse = np.unique(column.data, return_inverse=True)
+        return inverse, len(codes)
+    codes, inverse = np.unique(column.data, return_inverse=True)
+    return inverse, len(codes)
+
+
+def _group_ids(key_columns: list[Column], n_rows: int) -> tuple[np.ndarray, np.ndarray]:
+    """Dense group ids and first-occurrence row index per group."""
+    if not key_columns:
+        gid = np.zeros(n_rows, dtype=np.int64)
+        first = np.zeros(1 if n_rows else 0, dtype=np.int64)
+        return gid, (first if n_rows else np.zeros(0, dtype=np.int64))
+    gid = np.zeros(n_rows, dtype=np.int64)
+    for column in key_columns:
+        codes, card = _factorize(column)
+        combined = gid * card + codes
+        _, gid = np.unique(combined, return_inverse=True)
+        gid = gid.astype(np.int64)
+    _, first = np.unique(gid, return_index=True)
+    return gid, first
+
+
+def group_aggregate(
+    table: Table,
+    keys: list[GroupKey],
+    aggs: list[AggSpec],
+    result_name: str = "agg",
+) -> Table:
+    """Group ``table`` by ``keys`` and compute ``aggs`` per group.
+
+    With no keys this is a scalar aggregation producing exactly one row
+    (even over empty input, matching SQL).
+    """
+    n_rows = table.num_rows
+    key_columns = [evaluate(k.resolved_expr(), table) for k in keys]
+    gid, first = _group_ids(key_columns, n_rows)
+    n_groups = len(first) if (keys or n_rows) else 0
+    if not keys:
+        n_groups = 1  # scalar aggregate: always one output row
+
+    out: dict[str, Column] = {}
+    for key, column in zip(keys, key_columns):
+        if n_rows:
+            out[key.name] = column.take(first)
+        else:
+            out[key.name] = column  # empty column, schema-preserving
+
+    for agg in aggs:
+        out[agg.name] = _compute_agg(agg, table, gid, n_groups, n_rows)
+    return Table(result_name, out)
+
+
+def _agg_input(agg: AggSpec, table: Table) -> tuple[np.ndarray, np.ndarray]:
+    """Evaluate the aggregate input; returns (values, valid_mask)."""
+    column = evaluate(agg.input, table)
+    return column, column.validity()
+
+
+def _compute_agg(
+    agg: AggSpec, table: Table, gid: np.ndarray, n_groups: int, n_rows: int
+) -> Column:
+    if agg.func == "count_star":
+        counts = np.bincount(gid, minlength=n_groups) if n_rows else np.zeros(
+            n_groups, dtype=np.int64
+        )
+        return Column.from_ints(counts)
+
+    column, valid = _agg_input(agg, table)
+    use = valid if column.valid is not None else None
+
+    if agg.func == "count":
+        if n_rows == 0:
+            return Column.from_ints(np.zeros(n_groups, dtype=np.int64))
+        weights = valid.astype(np.int64)
+        return Column.from_ints(np.bincount(gid, weights=weights, minlength=n_groups).astype(np.int64))
+
+    if agg.func == "count_distinct":
+        return Column.from_ints(_count_distinct(column, gid, n_groups, use))
+
+    values = column.data.astype(np.float64)
+    row_gid, row_vals = (gid, values) if use is None else (gid[use], values[use])
+
+    if agg.func == "sum":
+        sums = np.bincount(row_gid, weights=row_vals, minlength=n_groups)
+        return Column.from_floats(sums)
+    if agg.func == "avg":
+        sums = np.bincount(row_gid, weights=row_vals, minlength=n_groups)
+        counts = np.bincount(row_gid, minlength=n_groups)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return Column.from_floats(sums / counts)
+    if agg.func in ("min", "max"):
+        init = np.inf if agg.func == "min" else -np.inf
+        acc = np.full(n_groups, init, dtype=np.float64)
+        scatter = np.minimum if agg.func == "min" else np.maximum
+        scatter.at(acc, row_gid, row_vals)
+        return Column.from_floats(acc)
+    raise ExecutionError(f"unknown aggregate {agg.func!r}")  # pragma: no cover
+
+
+def _count_distinct(
+    column: Column, gid: np.ndarray, n_groups: int, use: np.ndarray | None
+) -> np.ndarray:
+    if len(gid) == 0:
+        return np.zeros(n_groups, dtype=np.int64)
+    vcodes, card = _factorize(column)
+    row_gid, row_codes = (gid, vcodes) if use is None else (gid[use], vcodes[use])
+    pairs = row_gid.astype(np.int64) * card + row_codes
+    unique_pairs = np.unique(pairs)
+    return np.bincount(unique_pairs // card, minlength=n_groups).astype(np.int64)
+
+
+def distinct(table: Table, columns: list[str], result_name: str = "distinct") -> Table:
+    """Distinct rows over the given columns (a group-by with no aggregates)."""
+    keys = [GroupKey(name) for name in columns]
+    return group_aggregate(table, keys, [], result_name=result_name)

@@ -1,0 +1,58 @@
+"""Sorting, top-K and limit operators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..storage.column import Column, DType
+from ..storage.table import Table
+
+
+def _sort_key(column: Column) -> np.ndarray:
+    """Numeric sort key for a column (lexicographic rank for strings).
+
+    Nulls sort last regardless of direction by mapping them to +inf rank
+    after direction negation (handled in :func:`sort_table`).
+    """
+    if column.dtype is DType.STRING:
+        # Dictionary entries are not guaranteed sorted after code-space
+        # surgery, so rank them explicitly.
+        order = np.argsort(column.dictionary.astype(str), kind="stable")
+        ranks = np.empty(len(order), dtype=np.int64)
+        ranks[order] = np.arange(len(order))
+        return ranks[column.data].astype(np.float64)
+    return column.data.astype(np.float64)
+
+
+def sort_table(table: Table, by: list[tuple[str, str]]) -> Table:
+    """Sort by a list of ``(column, "asc"|"desc")`` specs (stable).
+
+    The first spec is the primary key, as in SQL ``ORDER BY``.
+    """
+    if table.num_rows == 0 or not by:
+        return table
+    keys = []
+    for name, direction in reversed(by):  # lexsort: last key is primary
+        if direction not in ("asc", "desc"):
+            raise ExecutionError(f"bad sort direction {direction!r}")
+        column = table.column(name)
+        key = _sort_key(column)
+        if direction == "desc":
+            key = -key
+        if column.valid is not None:
+            # Nulls last: give invalid rows a rank beyond every real key.
+            key = np.where(column.valid, key, np.inf)
+        keys.append(key)
+    order = np.lexsort(keys)
+    return table.take(order)
+
+
+def top_k(table: Table, by: list[tuple[str, str]], k: int) -> Table:
+    """Sort and keep the first ``k`` rows (SQL ORDER BY ... LIMIT k)."""
+    return sort_table(table, by).head(k)
+
+
+def limit(table: Table, k: int) -> Table:
+    """Keep the first ``k`` rows in current order."""
+    return table.head(k)

@@ -1,0 +1,104 @@
+"""Execution statistics.
+
+The paper's evaluation reports three kinds of numbers; every one is
+collected here so the benchmark harness can print paper-style tables:
+
+* per-join input sizes — ``HT`` (rows inserted into the hash table,
+  i.e. the build side) and ``PR`` (rows probing it), as in Tables 1–2;
+* per-phase wall time — pre-filter (transfer / semi-join) time versus
+  join-phase time, as in Figure 5;
+* filter operation counts (hash vs Bloom inserts/probes), backing the
+  §3.5 cost-model ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class JoinStat:
+    """Input/output sizes and timing of one join operator."""
+
+    label: str
+    ht_rows: int
+    pr_rows: int
+    out_rows: int
+    seconds: float = 0.0
+
+
+@dataclass
+class TransferStats:
+    """What the pre-filter phase did."""
+
+    filters_built: int = 0
+    bloom_inserts: int = 0
+    bloom_probes: int = 0
+    hash_inserts: int = 0
+    hash_probes: int = 0
+    rows_before: dict[str, int] = field(default_factory=dict)
+    rows_after: dict[str, int] = field(default_factory=dict)
+    edges_traversed: int = 0
+    edges_pruned: int = 0
+
+    def total_rows_before(self) -> int:
+        """Total base rows entering the pre-filter phase."""
+        return sum(self.rows_before.values())
+
+    def total_rows_after(self) -> int:
+        """Total rows surviving the pre-filter phase."""
+        return sum(self.rows_after.values())
+
+    def reduction(self) -> float:
+        """Fraction of rows removed by pre-filtering (0 when no input)."""
+        before = self.total_rows_before()
+        if before == 0:
+            return 0.0
+        return 1.0 - self.total_rows_after() / before
+
+
+@dataclass
+class QueryStats:
+    """End-to-end statistics for one query execution."""
+
+    strategy: str = ""
+    query: str = ""
+    transfer_seconds: float = 0.0
+    join_seconds: float = 0.0
+    post_seconds: float = 0.0
+    joins: list[JoinStat] = field(default_factory=list)
+    transfer: TransferStats = field(default_factory=TransferStats)
+    output_rows: int = 0
+    stage_stats: list["QueryStats"] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        """Total execution time including all pre-stages."""
+        own = self.transfer_seconds + self.join_seconds + self.post_seconds
+        return own + sum(s.total_seconds for s in self.stage_stats)
+
+    @property
+    def prefilter_seconds(self) -> float:
+        """Pre-filter phase time including pre-stages' pre-filter time."""
+        return self.transfer_seconds + sum(
+            s.prefilter_seconds for s in self.stage_stats
+        )
+
+    @property
+    def joinphase_seconds(self) -> float:
+        """Join+post phase time including pre-stages'."""
+        own = self.join_seconds + self.post_seconds
+        return own + sum(s.joinphase_seconds for s in self.stage_stats)
+
+    def all_joins(self) -> list[JoinStat]:
+        """Join stats across pre-stages and the main block, in order."""
+        out: list[JoinStat] = []
+        for stage in self.stage_stats:
+            out.extend(stage.all_joins())
+        out.extend(self.joins)
+        return out
+
+    def total_join_input_rows(self) -> int:
+        """Sum of HT+PR rows over all joins (the Tables 1–2 reduction
+        metric aggregates this)."""
+        return sum(j.ht_rows + j.pr_rows for j in self.all_joins())

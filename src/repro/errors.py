@@ -1,0 +1,27 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the common failure classes below.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A table/column was referenced that does not exist or has a bad type."""
+
+
+class PlanError(ReproError):
+    """A query specification is malformed (unknown alias, disconnected
+    join graph where connectivity is required, bad edge kind, ...)."""
+
+
+class ExecutionError(ReproError):
+    """A runtime failure inside the execution engine."""
+
+
+class FilterError(ReproError):
+    """Invalid configuration or use of a transferable filter."""

@@ -1,0 +1,291 @@
+"""Vectorized expression evaluation.
+
+:func:`evaluate` turns an expression tree into a
+:class:`~repro.storage.column.Column` against a table; :func:`evaluate_mask`
+is the predicate entry point and returns a plain boolean NumPy array
+(with null comparisons yielding ``False``, per SQL three-valued logic
+collapsed to its WHERE-clause behaviour).
+
+String predicates exploit dictionary encoding: LIKE, IN, ordering and
+equality are computed once per *distinct* value on the dictionary and
+then gathered through the codes, so a LIKE over a 6-million-row column
+costs one regex pass over a few thousand dictionary entries.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..storage.column import Column, DType
+from ..storage.dates import date_to_days, years_of
+from ..storage.table import Table
+from . import nodes as N
+
+
+@dataclass(frozen=True)
+class _Scalar:
+    """A literal value flowing through evaluation before broadcasting."""
+
+    value: object
+    is_date: bool = False
+
+
+def _eval(expr: N.Expr, table: Table):
+    """Recursively evaluate, returning a Column or a _Scalar."""
+    if isinstance(expr, N.ColumnRef):
+        return table.column(expr.name)
+    if isinstance(expr, N.Literal):
+        return _Scalar(expr.value)
+    if isinstance(expr, N.DateLiteral):
+        return _Scalar(date_to_days(expr.iso), is_date=True)
+    if isinstance(expr, N.Comparison):
+        return _compare(expr.op, _eval(expr.left, table), _eval(expr.right, table))
+    if isinstance(expr, N.Between):
+        operand = _eval(expr.operand, table)
+        low = _compare(">=", operand, _eval(expr.low, table))
+        high = _compare("<=", operand, _eval(expr.high, table))
+        return _bool_col(low.data & high.data)
+    if isinstance(expr, N.InSet):
+        return _in_set(_eval(expr.operand, table), expr.values)
+    if isinstance(expr, N.Like):
+        return _like(_eval(expr.operand, table), expr.pattern, expr.negate)
+    if isinstance(expr, N.IsNull):
+        operand = _eval(expr.operand, table)
+        if isinstance(operand, _Scalar):
+            raise ExecutionError("IS NULL on a literal")
+        nulls = ~operand.validity()
+        return _bool_col(~nulls if expr.negate else nulls)
+    if isinstance(expr, N.And):
+        left = _as_mask(_eval(expr.left, table))
+        right = _as_mask(_eval(expr.right, table))
+        return _bool_col(left & right)
+    if isinstance(expr, N.Or):
+        left = _as_mask(_eval(expr.left, table))
+        right = _as_mask(_eval(expr.right, table))
+        return _bool_col(left | right)
+    if isinstance(expr, N.Not):
+        return _bool_col(~_as_mask(_eval(expr.operand, table)))
+    if isinstance(expr, N.Arithmetic):
+        return _arith(expr.op, _eval(expr.left, table), _eval(expr.right, table))
+    if isinstance(expr, N.Case):
+        return _case(expr, table)
+    if isinstance(expr, N.Year):
+        operand = _eval(expr.operand, table)
+        if isinstance(operand, _Scalar) or operand.dtype is not DType.DATE:
+            raise ExecutionError("YEAR expects a DATE column")
+        return Column(
+            years_of(operand.data.astype(np.int64)), DType.INT64, valid=operand.valid
+        )
+    if isinstance(expr, N.Substr):
+        return _substr(_eval(expr.operand, table), expr.start, expr.length)
+    raise ExecutionError(f"cannot evaluate node {type(expr).__name__}")
+
+
+def evaluate(expr: N.Expr, table: Table) -> Column:
+    """Evaluate an expression to a column of ``table.num_rows`` values."""
+    result = _eval(expr, table)
+    if isinstance(result, _Scalar):
+        return _broadcast(result, table.num_rows)
+    return result
+
+
+def evaluate_mask(expr: N.Expr, table: Table) -> np.ndarray:
+    """Evaluate a predicate to a boolean row mask."""
+    result = evaluate(expr, table)
+    if result.dtype is not DType.BOOL:
+        raise ExecutionError("predicate did not evaluate to a boolean column")
+    mask = result.data
+    if result.valid is not None:
+        mask = mask & result.valid
+    return mask
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def _bool_col(mask: np.ndarray) -> Column:
+    return Column(mask.astype(np.bool_), DType.BOOL)
+
+
+def _as_mask(value) -> np.ndarray:
+    if isinstance(value, _Scalar):
+        raise ExecutionError("boolean connective applied to a literal")
+    if value.dtype is not DType.BOOL:
+        raise ExecutionError("boolean connective applied to a non-boolean")
+    mask = value.data
+    if value.valid is not None:
+        mask = mask & value.valid
+    return mask
+
+
+def _broadcast(scalar: _Scalar, n: int) -> Column:
+    value = scalar.value
+    if scalar.is_date:
+        return Column(np.full(n, value, dtype=np.int32), DType.DATE)
+    if isinstance(value, bool):
+        return Column(np.full(n, value, dtype=np.bool_), DType.BOOL)
+    if isinstance(value, int):
+        return Column(np.full(n, value, dtype=np.int64), DType.INT64)
+    if isinstance(value, float):
+        return Column(np.full(n, value, dtype=np.float64), DType.FLOAT64)
+    if isinstance(value, str):
+        return Column.from_strings([value] * n)
+    raise ExecutionError(f"cannot broadcast literal {value!r}")
+
+
+_CMP = {
+    "==": np.equal,
+    "!=": np.not_equal,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+}
+
+
+def _compare(op: str, left, right) -> Column:
+    func = _CMP[op]
+    if isinstance(left, _Scalar) and isinstance(right, _Scalar):
+        raise ExecutionError("comparison between two literals")
+    # Normalize so the column (or wider column) is on the left.
+    if isinstance(left, _Scalar):
+        flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+        return _compare(flipped, right, left)
+
+    if isinstance(right, _Scalar):
+        value = right.value
+        if left.dtype is DType.STRING:
+            if not isinstance(value, str):
+                raise ExecutionError("string column compared to non-string")
+            dict_hits = func(left.dictionary.astype(str), value)
+            mask = dict_hits[left.data]
+        elif left.dtype is DType.DATE and isinstance(value, str):
+            mask = func(left.data, date_to_days(value))
+        else:
+            mask = func(left.data, value)
+        if left.valid is not None:
+            mask = mask & left.valid
+        return _bool_col(mask)
+
+    # column vs column
+    lvals = left.dictionary[left.data].astype(str) if left.is_string else left.data
+    rvals = right.dictionary[right.data].astype(str) if right.is_string else right.data
+    mask = func(lvals, rvals)
+    if left.valid is not None:
+        mask = mask & left.valid
+    if right.valid is not None:
+        mask = mask & right.valid
+    return _bool_col(mask)
+
+
+def _in_set(operand, values: tuple) -> Column:
+    if isinstance(operand, _Scalar):
+        raise ExecutionError("IN applied to a literal")
+    if operand.dtype is DType.STRING:
+        wanted = set(values)
+        dict_hits = np.fromiter(
+            (entry in wanted for entry in operand.dictionary),
+            dtype=np.bool_,
+            count=len(operand.dictionary),
+        )
+        mask = dict_hits[operand.data]
+    elif operand.dtype is DType.DATE:
+        days = np.array([date_to_days(v) for v in values], dtype=np.int32)
+        mask = np.isin(operand.data, days)
+    else:
+        mask = np.isin(operand.data, np.asarray(list(values)))
+    if operand.valid is not None:
+        mask = mask & operand.valid
+    return _bool_col(mask)
+
+
+def like_to_regex(pattern: str) -> re.Pattern:
+    """Compile a SQL LIKE pattern (``%``/``_``) to an anchored regex."""
+    out = []
+    for char in pattern:
+        if char == "%":
+            out.append(".*")
+        elif char == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(char))
+    return re.compile("".join(out) + r"\Z", re.DOTALL)
+
+
+def _like(operand, pattern: str, negate: bool) -> Column:
+    if isinstance(operand, _Scalar) or operand.dtype is not DType.STRING:
+        raise ExecutionError("LIKE expects a string column")
+    regex = like_to_regex(pattern)
+    dict_hits = np.fromiter(
+        (regex.match(entry) is not None for entry in operand.dictionary),
+        dtype=np.bool_,
+        count=len(operand.dictionary),
+    )
+    mask = dict_hits[operand.data]
+    if negate:
+        mask = ~mask
+    if operand.valid is not None:
+        mask = mask & operand.valid
+    return _bool_col(mask)
+
+
+def _arith(op: str, left, right):
+    lscalar, rscalar = isinstance(left, _Scalar), isinstance(right, _Scalar)
+    if lscalar and rscalar:
+        # Constant folding (e.g. resolved scalar subquery times a literal).
+        lv, rv = left.value, right.value
+        folded = {
+            "+": lv + rv,
+            "-": lv - rv,
+            "*": lv * rv,
+            "/": lv / rv if op == "/" else None,
+        }[op]
+        return _Scalar(folded)
+    ldata = left.value if lscalar else left.data
+    rdata = right.value if rscalar else right.data
+    if op == "+":
+        data = np.add(ldata, rdata)
+    elif op == "-":
+        data = np.subtract(ldata, rdata)
+    elif op == "*":
+        data = np.multiply(ldata, rdata)
+    elif op == "/":
+        data = np.divide(np.asarray(ldata, dtype=np.float64), rdata)
+    else:  # pragma: no cover - defensive
+        raise ExecutionError(f"unknown arithmetic op {op!r}")
+    valid = None
+    if not lscalar and left.valid is not None:
+        valid = left.valid
+    if not rscalar and right.valid is not None:
+        valid = right.valid if valid is None else (valid & right.valid)
+    dtype = DType.INT64 if data.dtype.kind in "iu" else DType.FLOAT64
+    return Column(data, dtype, valid=valid)
+
+
+def _case(expr: N.Case, table: Table) -> Column:
+    conditions = [evaluate_mask(cond, table) for cond, _ in expr.whens]
+    values = [evaluate(value, table).data for _, value in expr.whens]
+    default = evaluate(expr.default, table).data
+    data = np.select(conditions, values, default=default)
+    dtype = DType.INT64 if data.dtype.kind in "iu" else DType.FLOAT64
+    return Column(data.astype(np.float64) if dtype is DType.FLOAT64 else data, dtype)
+
+
+def _substr(operand, start: int, length: int) -> Column:
+    if isinstance(operand, _Scalar) or operand.dtype is not DType.STRING:
+        raise ExecutionError("SUBSTRING expects a string column")
+    clipped = np.asarray(
+        [entry[start - 1 : start - 1 + length] for entry in operand.dictionary],
+        dtype=object,
+    )
+    new_dict, remap = np.unique(clipped.astype(str), return_inverse=True)
+    return Column(
+        remap.astype(np.int32)[operand.data],
+        DType.STRING,
+        dictionary=new_dict.astype(object),
+        valid=operand.valid,
+    )

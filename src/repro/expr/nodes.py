@@ -1,0 +1,310 @@
+"""Expression AST.
+
+Expressions are built with a small fluent DSL::
+
+    col("l.quantity").gt(lit(24)) & col("p.brand").eq(lit("Brand#12"))
+
+and evaluated vectorized against a :class:`~repro.storage.table.Table`
+(see :mod:`repro.expr.eval`).  Predicates evaluate to BOOL columns;
+value expressions to typed columns.
+
+Comparison methods are named (``.eq``, ``.lt``, ...) rather than
+overloading ``__eq__`` so that expressions remain hashable and usable in
+sets/dicts; arithmetic does use the natural operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+class Expr:
+    """Base class for all expression nodes."""
+
+    # -- comparisons ---------------------------------------------------
+    def eq(self, other: "Expr") -> "Comparison":
+        """``self = other``"""
+        return Comparison("==", self, other)
+
+    def ne(self, other: "Expr") -> "Comparison":
+        """``self <> other``"""
+        return Comparison("!=", self, other)
+
+    def lt(self, other: "Expr") -> "Comparison":
+        """``self < other``"""
+        return Comparison("<", self, other)
+
+    def le(self, other: "Expr") -> "Comparison":
+        """``self <= other``"""
+        return Comparison("<=", self, other)
+
+    def gt(self, other: "Expr") -> "Comparison":
+        """``self > other``"""
+        return Comparison(">", self, other)
+
+    def ge(self, other: "Expr") -> "Comparison":
+        """``self >= other``"""
+        return Comparison(">=", self, other)
+
+    def between(self, low, high) -> "Between":
+        """``self BETWEEN low AND high`` (inclusive both ends)."""
+        return Between(self, low, high)
+
+    def isin(self, values: Sequence) -> "InSet":
+        """``self IN (values...)``"""
+        return InSet(self, tuple(values))
+
+    def like(self, pattern: str) -> "Like":
+        """SQL ``LIKE`` with ``%`` and ``_`` wildcards."""
+        return Like(self, pattern, negate=False)
+
+    def not_like(self, pattern: str) -> "Like":
+        """SQL ``NOT LIKE``."""
+        return Like(self, pattern, negate=True)
+
+    def is_null(self) -> "IsNull":
+        """``self IS NULL``"""
+        return IsNull(self, negate=False)
+
+    def is_not_null(self) -> "IsNull":
+        """``self IS NOT NULL``"""
+        return IsNull(self, negate=True)
+
+    # -- boolean connectives -------------------------------------------
+    def __and__(self, other: "Expr") -> "And":
+        return And(self, other)
+
+    def __or__(self, other: "Expr") -> "Or":
+        return Or(self, other)
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    # -- arithmetic ------------------------------------------------------
+    def __add__(self, other: "Expr") -> "Arithmetic":
+        return Arithmetic("+", self, other)
+
+    def __sub__(self, other: "Expr") -> "Arithmetic":
+        return Arithmetic("-", self, other)
+
+    def __mul__(self, other: "Expr") -> "Arithmetic":
+        return Arithmetic("*", self, other)
+
+    def __truediv__(self, other: "Expr") -> "Arithmetic":
+        return Arithmetic("/", self, other)
+
+    def columns(self) -> set[str]:
+        """Set of column names referenced by this expression tree."""
+        out: set[str] = set()
+        _collect_columns(self, out)
+        return out
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """Reference to a (qualified) column name."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A Python constant (int, float, str, bool, or ISO date string)."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class DateLiteral(Expr):
+    """An ISO date constant, compared against DATE columns."""
+
+    iso: str
+
+
+@dataclass(frozen=True)
+class Comparison(Expr):
+    """Binary comparison between two expressions."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    """Inclusive range predicate."""
+
+    operand: Expr
+    low: Expr
+    high: Expr
+
+
+@dataclass(frozen=True)
+class InSet(Expr):
+    """Membership in a literal value list."""
+
+    operand: Expr
+    values: tuple
+
+
+@dataclass(frozen=True)
+class Like(Expr):
+    """SQL LIKE / NOT LIKE over a string expression."""
+
+    operand: Expr
+    pattern: str
+    negate: bool
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    """Null test (only meaningful after outer joins)."""
+
+    operand: Expr
+    negate: bool
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    """Logical conjunction."""
+
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    """Logical disjunction."""
+
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    """Logical negation."""
+
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Arithmetic(Expr):
+    """Binary arithmetic (+ - * /) producing a numeric column."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Case(Expr):
+    """``CASE WHEN cond THEN value ... ELSE default END``."""
+
+    whens: tuple[tuple[Expr, Expr], ...]
+    default: Expr
+
+
+@dataclass(frozen=True)
+class Year(Expr):
+    """``EXTRACT(YEAR FROM date_expr)``."""
+
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Substr(Expr):
+    """``SUBSTRING(string_expr FROM start FOR length)`` (1-based)."""
+
+    operand: Expr
+    start: int
+    length: int
+
+
+@dataclass(frozen=True)
+class ScalarRef(Expr):
+    """A scalar subquery placeholder: one value from a one-row table.
+
+    The query runner resolves these to :class:`Literal` values after the
+    producing pre-stage has executed (see
+    :func:`repro.plan.rewrite.resolve_scalars`); evaluating an unresolved
+    reference is an error.
+    """
+
+    table: str
+    column: str
+
+
+def _collect_columns(expr: Expr, out: set[str]) -> None:
+    if isinstance(expr, ColumnRef):
+        out.add(expr.name)
+    elif isinstance(expr, (Literal, DateLiteral, ScalarRef)):
+        pass
+    elif isinstance(expr, Comparison):
+        _collect_columns(expr.left, out)
+        _collect_columns(expr.right, out)
+    elif isinstance(expr, Between):
+        _collect_columns(expr.operand, out)
+        _collect_columns(expr.low, out)
+        _collect_columns(expr.high, out)
+    elif isinstance(expr, (InSet, Like, IsNull, Not, Year, Substr)):
+        _collect_columns(expr.operand, out)
+    elif isinstance(expr, (And, Or, Arithmetic)):
+        _collect_columns(expr.left, out)
+        _collect_columns(expr.right, out)
+    elif isinstance(expr, Case):
+        for cond, value in expr.whens:
+            _collect_columns(cond, out)
+            _collect_columns(value, out)
+        _collect_columns(expr.default, out)
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"unknown expression node: {type(expr).__name__}")
+
+
+# ----------------------------------------------------------------------
+# Builder helpers (the public DSL surface)
+# ----------------------------------------------------------------------
+def col(name: str) -> ColumnRef:
+    """Reference a column by (qualified) name."""
+    return ColumnRef(name)
+
+
+def lit(value) -> Literal:
+    """Wrap a Python constant as a literal expression."""
+    return Literal(value)
+
+
+def date(iso: str) -> DateLiteral:
+    """Wrap an ISO date string as a DATE literal."""
+    return DateLiteral(iso)
+
+
+def case(whens: Sequence[tuple[Expr, Expr]], default: Expr) -> Case:
+    """Build a CASE expression from (condition, value) pairs."""
+    return Case(tuple(whens), default)
+
+
+def year(operand: Expr) -> Year:
+    """EXTRACT(YEAR FROM operand)."""
+    return Year(operand)
+
+
+def substr(operand: Expr, start: int, length: int) -> Substr:
+    """SUBSTRING(operand FROM start FOR length), 1-based like SQL."""
+    return Substr(operand, start, length)
+
+
+def all_of(*exprs: Expr) -> Expr:
+    """AND-fold a sequence of predicates."""
+    acc = exprs[0]
+    for expr in exprs[1:]:
+        acc = And(acc, expr)
+    return acc
+
+
+def any_of(*exprs: Expr) -> Expr:
+    """OR-fold a sequence of predicates."""
+    acc = exprs[0]
+    for expr in exprs[1:]:
+        acc = Or(acc, expr)
+    return acc

@@ -1,0 +1,20 @@
+"""Transferable filter substrate: Bloom filters, exact filters, hashing."""
+
+from .base import FilterOpCounts, TransferableFilter
+from .bloom import BloomFilter
+from .exact import ExactFilter
+from .hashing import bloom_keys, column_to_u64, fnv1a_text, hash_combine, splitmix64
+from .hashset import VectorHashSet
+
+__all__ = [
+    "BloomFilter",
+    "ExactFilter",
+    "VectorHashSet",
+    "FilterOpCounts",
+    "TransferableFilter",
+    "bloom_keys",
+    "column_to_u64",
+    "fnv1a_text",
+    "hash_combine",
+    "splitmix64",
+]

@@ -1,0 +1,58 @@
+"""Common interface for transferable filters.
+
+Predicate transfer is parametric in the filter representation (paper
+§3.2, "Filter Type"): the prototype uses Bloom filters, but a precise
+representation turns each transfer into a semi-join and the algorithm
+into Yannakakis.  Both implementations in this package speak the same
+two-method protocol so the transfer engine is agnostic.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class FilterOpCounts:
+    """Operation counters used by the cost-model benches.
+
+    The paper's cost analysis (§3.5) charges a unit per hash-table
+    insert/probe and a much smaller β per Bloom insert/probe; these
+    counters let benchmarks report both op counts and wall time.
+    """
+
+    inserts: int = 0
+    probes: int = 0
+
+    def merge(self, other: "FilterOpCounts") -> None:
+        """Accumulate another counter set into this one."""
+        self.inserts += other.inserts
+        self.probes += other.probes
+
+
+@dataclass
+class TransferableFilter(ABC):
+    """A set-membership summary built from hashed join keys."""
+
+    ops: FilterOpCounts = field(default_factory=FilterOpCounts, init=False)
+
+    @abstractmethod
+    def add_keys(self, keys: np.ndarray) -> None:
+        """Insert a ``uint64`` key array."""
+
+    @abstractmethod
+    def contains_keys(self, keys: np.ndarray) -> np.ndarray:
+        """Boolean membership mask for a ``uint64`` key array.
+
+        Must never return ``False`` for a key that was inserted (no
+        false negatives); may return ``True`` for keys never inserted
+        (false positives), depending on the implementation.
+        """
+
+    @property
+    @abstractmethod
+    def exact(self) -> bool:
+        """True when the filter admits no false positives."""

@@ -1,0 +1,101 @@
+"""Exact (semi-join-precise) transferable filter.
+
+Answers membership exactly, so a transfer using it is a genuine
+semi-join — the Yannakakis baseline builds directly on it, and the
+transfer engine can be switched to it for the §3.2 "Filter Type"
+ablation.
+
+Two backends:
+
+* ``"hash"`` (default) — a linear-probing hash table
+  (:class:`~repro.filters.hashset.VectorHashSet`).  This is the faithful
+  backend: the paper's §3.5 cost model charges a unit per hash-table
+  insert/probe, and the random-access slot traffic of a real hash table
+  is what makes the Yannakakis semi-join phase expensive relative to
+  Bloom transfer.
+* ``"sorted"`` — a sorted distinct-key array probed by binary search.
+  Cheaper in vectorized NumPy; provided as an ablation to show how much
+  of Yannakakis' measured penalty is the hash-table access pattern.
+
+Cost accounting matches the paper's model: one hash insert per input
+key on build, one hash probe per key on lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import FilterError
+from .base import TransferableFilter
+from .hashset import VectorHashSet
+
+
+@dataclass
+class ExactFilter(TransferableFilter):
+    """A precise key-set filter over ``uint64`` keys."""
+
+    backend: str = "hash"
+
+    def __post_init__(self) -> None:
+        super().__init__()
+        if self.backend not in ("hash", "sorted"):
+            raise FilterError(f"unknown exact-filter backend {self.backend!r}")
+        self._set: VectorHashSet | None = None
+        self._sorted_keys = np.empty(0, dtype=np.uint64)
+
+    @staticmethod
+    def from_keys(keys: np.ndarray, backend: str = "hash") -> "ExactFilter":
+        """Build a filter containing exactly ``keys``."""
+        filt = ExactFilter(backend=backend)
+        filt.add_keys(keys)
+        return filt
+
+    def add_keys(self, keys: np.ndarray) -> None:
+        """Insert keys (deduplicated)."""
+        if len(keys) == 0:
+            return
+        if self.backend == "hash":
+            if self._set is None:
+                self._set = VectorHashSet(capacity=len(keys))
+            self._set.insert(keys)
+        else:
+            if len(self._sorted_keys) == 0:
+                self._sorted_keys = np.unique(keys)
+            else:
+                self._sorted_keys = np.unique(
+                    np.concatenate([self._sorted_keys, keys])
+                )
+        self.ops.inserts += len(keys)
+
+    def contains_keys(self, keys: np.ndarray) -> np.ndarray:
+        """Exact membership mask."""
+        self.ops.probes += len(keys)
+        if self.backend == "hash":
+            if self._set is None:
+                return np.zeros(len(keys), dtype=np.bool_)
+            return self._set.contains(keys)
+        if len(self._sorted_keys) == 0:
+            return np.zeros(len(keys), dtype=np.bool_)
+        pos = np.searchsorted(self._sorted_keys, keys)
+        pos = np.minimum(pos, len(self._sorted_keys) - 1)
+        return self._sorted_keys[pos] == keys
+
+    @property
+    def exact(self) -> bool:
+        """Exact filters admit no false positives."""
+        return True
+
+    def __len__(self) -> int:
+        if self.backend == "hash":
+            return 0 if self._set is None else len(self._set)
+        return len(self._sorted_keys)
+
+    def size_bytes(self) -> int:
+        """Memory footprint of the key store."""
+        if self.backend == "hash":
+            if self._set is None:
+                return 0
+            return self._set._slots.nbytes + self._set._occupied.nbytes
+        return self._sorted_keys.nbytes

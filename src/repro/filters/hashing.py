@@ -1,0 +1,93 @@
+"""64-bit key normalization and hashing.
+
+Transferable filters (Bloom and exact) operate on ``uint64`` key arrays.
+This module converts join-key columns of any supported type into such
+arrays, and provides the vectorized mixers the Bloom filter needs.
+
+Two distinct needs are served:
+
+* **Bloom keys** (:func:`bloom_keys`): probabilistic — hash-combining of
+  multi-column keys is fine because the Bloom filter is allowed false
+  positives anyway.
+* **Exact join keys** (:func:`repro.engine.keys.normalize_join_keys`):
+  joins must be exact, so multi-column keys there use exact factorization
+  rather than hashing.  String columns are the one exception everywhere:
+  they are identified by a 64-bit FNV-1a hash of their text, a standard
+  engineering tradeoff (collision probability ~n²/2⁶⁵ is negligible at
+  the scales simulated here, and TPC-H never joins on strings).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..storage.column import Column, DType
+
+_UINT64 = np.uint64
+# splitmix64 constants (Steele et al.), the standard 64-bit finalizer.
+_SM_GAMMA = _UINT64(0x9E3779B97F4A7C15)
+_SM_M1 = _UINT64(0xBF58476D1CE4E5B9)
+_SM_M2 = _UINT64(0x94D049BB133111EB)
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def splitmix64(keys: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 finalizer over a ``uint64`` array."""
+    with np.errstate(over="ignore"):
+        z = keys + _SM_GAMMA
+        z = (z ^ (z >> _UINT64(30))) * _SM_M1
+        z = (z ^ (z >> _UINT64(27))) * _SM_M2
+        return z ^ (z >> _UINT64(31))
+
+
+def hash_combine(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Order-sensitive combination of two ``uint64`` hash arrays."""
+    with np.errstate(over="ignore"):
+        return splitmix64(a * _UINT64(0x9DDFEA08EB382D69) ^ b)
+
+
+def fnv1a_text(text: str) -> int:
+    """64-bit FNV-1a hash of a string (scalar; used per dictionary entry)."""
+    acc = _FNV_OFFSET
+    for byte in text.encode("utf-8"):
+        acc = ((acc ^ byte) * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+    return acc
+
+
+def column_to_u64(column: Column) -> np.ndarray:
+    """Normalize a single column to ``uint64`` identity keys.
+
+    Integer-like columns map injectively (two's-complement reinterpret);
+    floats map via their bit pattern; strings map via an FNV-1a hash of
+    each distinct dictionary entry gathered through the codes.
+    """
+    if column.dtype is DType.STRING:
+        dict_hashes = np.fromiter(
+            (fnv1a_text(s) for s in column.dictionary),
+            dtype=np.uint64,
+            count=len(column.dictionary),
+        )
+        return dict_hashes[column.data]
+    if column.dtype is DType.FLOAT64:
+        return column.data.view(np.uint64)
+    return column.data.astype(np.int64).view(np.uint64)
+
+
+def bloom_keys(columns: list[Column], rows: np.ndarray | None = None) -> np.ndarray:
+    """Build Bloom-ready hashed keys from one or more key columns.
+
+    Single integer columns are passed through splitmix64 directly;
+    multi-column keys are hash-combined left to right.  ``rows`` limits
+    the computation to a row subset (selection indices).
+    """
+    parts = []
+    for column in columns:
+        u = column_to_u64(column)
+        if rows is not None:
+            u = u[rows]
+        parts.append(u)
+    acc = splitmix64(parts[0])
+    for part in parts[1:]:
+        acc = hash_combine(acc, splitmix64(part))
+    return acc

@@ -1,0 +1,6 @@
+"""Join-order optimization substrate (stand-in for Apache Calcite)."""
+
+from .cardinality import NdvCache, estimate_join_rows, ndv
+from .joinorder import greedy_join_order
+
+__all__ = ["NdvCache", "estimate_join_rows", "greedy_join_order", "ndv"]

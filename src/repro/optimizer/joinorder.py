@@ -1,0 +1,143 @@
+"""Greedy left-deep join ordering.
+
+Stands in for the paper's Apache Calcite optimizer: produces one
+reasonable left-deep order per query, deterministically, from (possibly
+pre-filtered) input cardinalities.  The runner calls it once with
+post-local-predicate sizes (the "planned before transfer" default, as in
+the paper) or, when ``replan=True`` (§3.3 extension), again with
+post-transfer sizes.
+
+Ordering constraints for non-inner edges: the syntactic right side of a
+``left``/``semi``/``anti`` edge may only enter the order once its left
+side is already joined (the executor probes with the accumulated
+intermediate, which must hold the preserved side).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..errors import PlanError
+from ..plan.joingraph import edge_keys_for
+from .cardinality import NdvCache, estimate_join_rows
+
+
+def _restricted_rights(graph: nx.Graph) -> dict[str, str]:
+    """Alias → required-predecessor for right sides of non-inner edges."""
+    out: dict[str, str] = {}
+    for u, v, data in graph.edges(data=True):
+        if data["how"] == "inner":
+            continue
+        left = data["syntactic_left"]
+        right = v if left == u else u
+        out[right] = left
+    return out
+
+
+def greedy_join_order(
+    graph: nx.Graph,
+    sizes: dict[str, int],
+    ndv_cache: NdvCache,
+) -> list[str]:
+    """Pick a left-deep join order greedily by estimated intermediate size.
+
+    Starts from the smallest eligible relation and repeatedly appends the
+    connected relation minimizing the estimated next intermediate.
+    """
+    aliases = sorted(graph.nodes)
+    if len(aliases) == 1:
+        return aliases
+    restricted = _restricted_rights(graph)
+
+    start_candidates = sorted(
+        (a for a in aliases if a not in restricted),
+        key=lambda a: (sizes[a], a),
+    )
+    if not start_candidates:
+        raise PlanError("every relation is the right side of a non-inner join")
+    # A start vertex can deadlock (e.g. its only neighbours are restricted
+    # rights whose left sides are unreachable from it); fall back to the
+    # next-smallest start until one admits a complete order.
+    last_error: PlanError | None = None
+    for start in start_candidates:
+        try:
+            return _greedy_from(graph, sizes, ndv_cache, restricted, start, aliases)
+        except PlanError as exc:
+            last_error = exc
+    raise last_error
+
+
+def _greedy_from(
+    graph: nx.Graph,
+    sizes: dict[str, int],
+    ndv_cache: NdvCache,
+    restricted: dict[str, str],
+    current: str,
+    aliases: list[str],
+) -> list[str]:
+    order = [current]
+    joined = {current}
+    est_rows = float(sizes[current])
+
+    while len(order) < len(aliases):
+        best: tuple[float, str] | None = None
+        best_est = 0.0
+        for alias in aliases:
+            if alias in joined:
+                continue
+            neighbors = [n for n in graph.neighbors(alias) if n in joined]
+            if not neighbors:
+                continue
+            if alias in restricted and restricted[alias] not in joined:
+                continue
+            est = _estimate_step(graph, sizes, ndv_cache, joined, est_rows, alias)
+            key = (est, alias)
+            if best is None or key < best:
+                best, best_est = key, est
+        if best is None:
+            raise PlanError(
+                "join graph is disconnected or deadlocked by non-inner "
+                f"ordering constraints; joined so far: {sorted(joined)}"
+            )
+        order.append(best[1])
+        joined.add(best[1])
+        est_rows = max(best_est, 1.0)
+    return order
+
+
+def _estimate_step(
+    graph: nx.Graph,
+    sizes: dict[str, int],
+    ndv_cache: NdvCache,
+    joined: set[str],
+    est_rows: float,
+    alias: str,
+) -> float:
+    """Estimated intermediate size after joining ``alias``."""
+    how = _edge_kind(graph, joined, alias)
+    if how in ("semi", "anti"):
+        return est_rows  # upper bound: probe side can only shrink
+    key_ndvs: list[tuple[int, int]] = []
+    for other in graph.neighbors(alias):
+        if other not in joined:
+            continue
+        for other_col, alias_col in edge_keys_for(graph, other, alias):
+            ndv_other = min(ndv_cache.get(other, other_col), int(est_rows) + 1)
+            ndv_alias = ndv_cache.get(alias, alias_col)
+            key_ndvs.append((ndv_other, ndv_alias))
+    est = estimate_join_rows(est_rows, float(sizes[alias]), key_ndvs)
+    if how == "left":
+        est = max(est, est_rows)  # every preserved row survives
+    return est
+
+
+def _edge_kind(graph: nx.Graph, joined: set[str], alias: str) -> str:
+    kinds = {
+        graph.edges[other, alias]["how"]
+        for other in graph.neighbors(alias)
+        if other in joined
+    }
+    non_inner = kinds - {"inner"}
+    if len(non_inner) > 1:
+        raise PlanError(f"mixed non-inner edges connecting {alias!r}")
+    return non_inner.pop() if non_inner else "inner"

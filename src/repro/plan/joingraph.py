@@ -1,0 +1,107 @@
+"""Join graph construction and inspection.
+
+The join graph (paper Fig. 1a) has one vertex per relation occurrence
+and one edge per equi-join.  Multiple key pairs between the same alias
+pair are merged into a single composite-key edge (conjunctive equi-join
+semantics).  Edge attributes carry everything downstream phases need:
+key pairs oriented by endpoint, the join kind, the residual condition
+and which endpoint is the syntactic left (for direction-restricted
+kinds).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..errors import PlanError
+from .query import JoinEdge, QuerySpec
+
+
+def build_join_graph(spec: QuerySpec) -> nx.Graph:
+    """Build an undirected join graph from a query spec.
+
+    Edge data keys:
+
+    * ``keys`` — list of ``(u_col, v_col)`` *qualified* column pairs,
+      oriented so the first element belongs to the lexically smaller
+      endpoint stored in ``u_of_keys``;
+    * ``how`` — join kind;
+    * ``syntactic_left`` — the alias that was the left side of the
+      original :class:`JoinEdge` (meaningful for left/anti kinds);
+    * ``residual`` — non-equi condition or ``None``.
+    """
+    graph = nx.Graph()
+    for relation in spec.relations:
+        graph.add_node(relation.alias, table=relation.table)
+    for e in spec.edges:
+        _add_edge(graph, e, spec.name)
+    return graph
+
+
+def _add_edge(graph: nx.Graph, e: JoinEdge, query_name: str) -> None:
+    how, syntactic_left = e.how, e.left
+    if how == "right":
+        # Normalize: (L right-outer R) executes and transfers as
+        # (R left-outer L).
+        how, syntactic_left = "left", e.right
+    u, v = sorted((e.left, e.right))
+    pairs = list(zip(e.qualified_left(), e.qualified_right()))
+    if u != e.left:
+        pairs = [(b, a) for a, b in pairs]
+    if graph.has_edge(u, v):
+        data = graph.edges[u, v]
+        if data["how"] != how or how != "inner":
+            raise PlanError(
+                f"cannot merge parallel non-inner edges {u}-{v} in {query_name!r}"
+            )
+        for pair in pairs:
+            if pair not in data["keys"]:
+                data["keys"].append(pair)
+        if e.residual is not None:
+            if data["residual"] is not None:
+                raise PlanError(f"two residuals on edge {u}-{v} in {query_name!r}")
+            data["residual"] = e.residual
+        return
+    graph.add_edge(
+        u,
+        v,
+        keys=pairs,
+        how=how,
+        syntactic_left=syntactic_left,
+        residual=e.residual,
+        u_of_keys=u,
+    )
+
+
+def edge_keys_for(graph: nx.Graph, a: str, b: str) -> list[tuple[str, str]]:
+    """Key pairs of edge ``a``–``b`` oriented as ``(a_col, b_col)``."""
+    data = graph.edges[a, b]
+    pairs = data["keys"]
+    if data["u_of_keys"] == a:
+        return list(pairs)
+    return [(q, p) for p, q in pairs]
+
+
+def is_acyclic_graph(graph: nx.Graph) -> bool:
+    """True when the join graph (ignoring kinds) is a forest.
+
+    This is *graph* acyclicity, which for the binary equi-join graphs
+    used here coincides with the query shapes the Yannakakis baseline
+    needs a spanning tree for.  (Full α-acyclicity of hypergraphs is not
+    needed: every edge is binary.)
+    """
+    return nx.is_forest(graph)
+
+
+def connected_components(graph: nx.Graph) -> list[set[str]]:
+    """Connected components of the join graph (cross products split)."""
+    return [set(c) for c in nx.connected_components(graph)]
+
+
+def validate_connected(graph: nx.Graph, query_name: str) -> None:
+    """Raise when the join graph would force a cross product."""
+    if graph.number_of_nodes() and not nx.is_connected(graph):
+        raise PlanError(
+            f"join graph of {query_name!r} is disconnected (cross product); "
+            "add an edge or split the query"
+        )

@@ -1,0 +1,116 @@
+"""Expression tree rewriting.
+
+The only rewrite the runner needs is resolving
+:class:`~repro.expr.nodes.ScalarRef` placeholders — references to the
+single value produced by a scalar-aggregate pre-stage — into plain
+literals once the stage has run.
+"""
+
+from __future__ import annotations
+
+from ..errors import PlanError
+from ..expr import nodes as N
+from ..storage.catalog import Catalog
+
+
+def resolve_scalars(expr: N.Expr | None, catalog: Catalog) -> N.Expr | None:
+    """Replace every :class:`ScalarRef` with the value it points at.
+
+    The referenced table must exist in ``catalog`` and contain exactly
+    one row; dates surface as :class:`DateLiteral`, everything else as
+    :class:`Literal`.
+    """
+    if expr is None:
+        return None
+    return _rewrite(expr, catalog)
+
+
+def _lookup(ref: N.ScalarRef, catalog: Catalog) -> N.Expr:
+    table = catalog.get(ref.table)
+    if table.num_rows != 1:
+        raise PlanError(
+            f"scalar subquery {ref.table!r} produced {table.num_rows} rows"
+        )
+    value = table.column(ref.column).value_at(0)
+    if value is None:
+        raise PlanError(f"scalar subquery {ref.table}.{ref.column} is NULL")
+    return N.Literal(value)
+
+
+def _rewrite(expr: N.Expr, catalog: Catalog) -> N.Expr:
+    if isinstance(expr, N.ScalarRef):
+        return _lookup(expr, catalog)
+    if isinstance(expr, (N.ColumnRef, N.Literal, N.DateLiteral)):
+        return expr
+    if isinstance(expr, N.Comparison):
+        return N.Comparison(
+            expr.op, _rewrite(expr.left, catalog), _rewrite(expr.right, catalog)
+        )
+    if isinstance(expr, N.Between):
+        return N.Between(
+            _rewrite(expr.operand, catalog),
+            _rewrite(expr.low, catalog),
+            _rewrite(expr.high, catalog),
+        )
+    if isinstance(expr, N.InSet):
+        return N.InSet(_rewrite(expr.operand, catalog), expr.values)
+    if isinstance(expr, N.Like):
+        return N.Like(_rewrite(expr.operand, catalog), expr.pattern, expr.negate)
+    if isinstance(expr, N.IsNull):
+        return N.IsNull(_rewrite(expr.operand, catalog), expr.negate)
+    if isinstance(expr, N.And):
+        return N.And(_rewrite(expr.left, catalog), _rewrite(expr.right, catalog))
+    if isinstance(expr, N.Or):
+        return N.Or(_rewrite(expr.left, catalog), _rewrite(expr.right, catalog))
+    if isinstance(expr, N.Not):
+        return N.Not(_rewrite(expr.operand, catalog))
+    if isinstance(expr, N.Arithmetic):
+        return N.Arithmetic(
+            expr.op, _rewrite(expr.left, catalog), _rewrite(expr.right, catalog)
+        )
+    if isinstance(expr, N.Case):
+        whens = tuple(
+            (_rewrite(cond, catalog), _rewrite(value, catalog))
+            for cond, value in expr.whens
+        )
+        return N.Case(whens, _rewrite(expr.default, catalog))
+    if isinstance(expr, N.Year):
+        return N.Year(_rewrite(expr.operand, catalog))
+    if isinstance(expr, N.Substr):
+        return N.Substr(_rewrite(expr.operand, catalog), expr.start, expr.length)
+    raise PlanError(f"cannot rewrite node {type(expr).__name__}")
+
+
+def has_scalar_refs(expr: N.Expr | None) -> bool:
+    """True when the tree still contains unresolved scalar references."""
+    if expr is None:
+        return False
+    found = False
+
+    def visit(node: N.Expr) -> None:
+        nonlocal found
+        if isinstance(node, N.ScalarRef):
+            found = True
+        for child in _children(node):
+            visit(child)
+
+    visit(expr)
+    return found
+
+
+def _children(node: N.Expr) -> list[N.Expr]:
+    if isinstance(node, (N.ColumnRef, N.Literal, N.DateLiteral, N.ScalarRef)):
+        return []
+    if isinstance(node, (N.Comparison, N.And, N.Or, N.Arithmetic)):
+        return [node.left, node.right]
+    if isinstance(node, N.Between):
+        return [node.operand, node.low, node.high]
+    if isinstance(node, (N.InSet, N.Like, N.IsNull, N.Not, N.Year, N.Substr)):
+        return [node.operand]
+    if isinstance(node, N.Case):
+        out: list[N.Expr] = []
+        for cond, value in node.whens:
+            out.extend((cond, value))
+        out.append(node.default)
+        return out
+    raise PlanError(f"unknown node {type(node).__name__}")

@@ -1,0 +1,6 @@
+"""Star Schema Benchmark substrate (the LIP [39] workload family)."""
+
+from .datagen import SSBGenerator, generate_ssb
+from .queries import ALL_SSB_QUERY_IDS, get_ssb_query
+
+__all__ = ["ALL_SSB_QUERY_IDS", "SSBGenerator", "generate_ssb", "get_ssb_query"]

@@ -1,0 +1,272 @@
+"""The 13 SSB queries (flights 1–4) as :class:`QuerySpec` builders.
+
+All thirteen are pure star joins plus dimension predicates — the shape
+where one-hop Bloom join already broadcasts every dimension filter to
+the fact table.  PredTrans should therefore match BloomJoin here (the
+backward pass adds little), which the SSB bench verifies; the TPC-H
+suite shows where multi-hop transfer pulls ahead.
+"""
+
+from __future__ import annotations
+
+from ..engine.aggregate import AggSpec, GroupKey
+from ..expr.nodes import col, lit
+from ..plan.query import Aggregate, QuerySpec, Relation, Sort, edge
+
+_REVENUE = col("lo.lo_extendedprice") * col("lo.lo_discount") / lit(100.0)
+_PROFIT = col("lo.lo_revenue") - col("lo.lo_supplycost")
+
+
+def _star(name, lo_pred=None, dims=(), post=()):
+    """Assemble a star query: lineorder plus the given dimensions.
+
+    ``dims`` is a list of ``(alias, table, fact_key, dim_key, predicate)``.
+    """
+    relations = [Relation("lo", "lineorder", lo_pred)]
+    edges = []
+    for alias, table, fact_key, dim_key, predicate in dims:
+        relations.append(Relation(alias, table, predicate))
+        edges.append(edge("lo", alias, (fact_key, dim_key)))
+    return QuerySpec(name=name, relations=relations, edges=edges, post=list(post))
+
+
+def _flight1(name, date_pred, disc_lo, disc_hi, qty_pred):
+    lo_pred = col("lo.lo_discount").between(lit(disc_lo), lit(disc_hi)) & qty_pred
+    return _star(
+        name,
+        lo_pred=lo_pred,
+        dims=[("d", "date", "lo_orderdate", "d_datekey", date_pred)],
+        post=[Aggregate(keys=(), aggs=(AggSpec("sum", _REVENUE, "revenue"),))],
+    )
+
+
+def q1_1() -> QuerySpec:
+    """Q1.1: 1993, discount 1–3, quantity < 25."""
+    return _flight1(
+        "ssb_q1_1",
+        col("d.d_year").eq(lit(1993)),
+        1, 3,
+        col("lo.lo_quantity").lt(lit(25)),
+    )
+
+
+def q1_2() -> QuerySpec:
+    """Q1.2: January 1994, discount 4–6, quantity 26–35."""
+    return _flight1(
+        "ssb_q1_2",
+        col("d.d_yearmonthnum").eq(lit(199401)),
+        4, 6,
+        col("lo.lo_quantity").between(lit(26), lit(35)),
+    )
+
+
+def q1_3() -> QuerySpec:
+    """Q1.3: week 6 of 1994, discount 5–7, quantity 26–35."""
+    return _flight1(
+        "ssb_q1_3",
+        col("d.d_weeknuminyear").eq(lit(6)) & col("d.d_year").eq(lit(1994)),
+        5, 7,
+        col("lo.lo_quantity").between(lit(26), lit(35)),
+    )
+
+
+def _flight2(name, part_pred):
+    post = [
+        Aggregate(
+            keys=(
+                GroupKey("d_year", col("d.d_year")),
+                GroupKey("p_brand1", col("p.p_brand1")),
+            ),
+            aggs=(AggSpec("sum", col("lo.lo_revenue"), "revenue"),),
+        ),
+        Sort((("d_year", "asc"), ("p_brand1", "asc"))),
+    ]
+    return _star(
+        name,
+        dims=[
+            ("d", "date", "lo_orderdate", "d_datekey", None),
+            ("p", "part", "lo_partkey", "p_partkey", part_pred),
+            (
+                "s", "supplier", "lo_suppkey", "s_suppkey",
+                col("s.s_region").eq(lit("AMERICA"))
+                if name == "ssb_q2_1"
+                else col("s.s_region").eq(lit("ASIA"))
+                if name == "ssb_q2_2"
+                else col("s.s_region").eq(lit("EUROPE")),
+            ),
+        ],
+        post=post,
+    )
+
+
+def q2_1() -> QuerySpec:
+    """Q2.1: category MFGR#12, suppliers in AMERICA."""
+    return _flight2("ssb_q2_1", col("p.p_category").eq(lit("MFGR#12")))
+
+
+def q2_2() -> QuerySpec:
+    """Q2.2: brand1 between MFGR#2221 and MFGR#2228, suppliers in ASIA."""
+    return _flight2(
+        "ssb_q2_2",
+        col("p.p_brand1").between(lit("MFGR#2221"), lit("MFGR#2228")),
+    )
+
+
+def q2_3() -> QuerySpec:
+    """Q2.3: brand1 = MFGR#2239, suppliers in EUROPE."""
+    return _flight2("ssb_q2_3", col("p.p_brand1").eq(lit("MFGR#2239")))
+
+
+def _flight3(name, cust_pred, supp_pred, date_pred, group_cols, sort_desc_rev=True):
+    keys = tuple(GroupKey(out, col(src)) for out, src in group_cols)
+    post = [
+        Aggregate(keys=keys, aggs=(AggSpec("sum", col("lo.lo_revenue"), "revenue"),)),
+        Sort(
+            (
+                ("d_year", "asc"),
+                ("revenue", "desc"),
+            )
+        ),
+    ]
+    return _star(
+        name,
+        dims=[
+            ("c", "customer", "lo_custkey", "c_custkey", cust_pred),
+            ("s", "supplier", "lo_suppkey", "s_suppkey", supp_pred),
+            ("d", "date", "lo_orderdate", "d_datekey", date_pred),
+        ],
+        post=post,
+    )
+
+
+def q3_1() -> QuerySpec:
+    """Q3.1: ASIA customers & suppliers, 1992–1997, by nations/year."""
+    return _flight3(
+        "ssb_q3_1",
+        col("c.c_region").eq(lit("ASIA")),
+        col("s.s_region").eq(lit("ASIA")),
+        col("d.d_year").between(lit(1992), lit(1997)),
+        (("c_nation", "c.c_nation"), ("s_nation", "s.s_nation"),
+         ("d_year", "d.d_year")),
+    )
+
+
+def q3_2() -> QuerySpec:
+    """Q3.2: UNITED STATES, by cities/year."""
+    return _flight3(
+        "ssb_q3_2",
+        col("c.c_nation").eq(lit("UNITED STATES")),
+        col("s.s_nation").eq(lit("UNITED STATES")),
+        col("d.d_year").between(lit(1992), lit(1997)),
+        (("c_city", "c.c_city"), ("s_city", "s.s_city"), ("d_year", "d.d_year")),
+    )
+
+
+def _uk_cities(alias: str, column: str):
+    return col(f"{alias}.{column}").isin(("UNITED KI1", "UNITED KI5"))
+
+
+def q3_3() -> QuerySpec:
+    """Q3.3: two UK cities on both sides, 1992–1997."""
+    return _flight3(
+        "ssb_q3_3",
+        _uk_cities("c", "c_city"),
+        _uk_cities("s", "s_city"),
+        col("d.d_year").between(lit(1992), lit(1997)),
+        (("c_city", "c.c_city"), ("s_city", "s.s_city"), ("d_year", "d.d_year")),
+    )
+
+
+def q3_4() -> QuerySpec:
+    """Q3.4: the two UK cities in December 1997."""
+    return _flight3(
+        "ssb_q3_4",
+        _uk_cities("c", "c_city"),
+        _uk_cities("s", "s_city"),
+        col("d.d_yearmonth").eq(lit("Dec1997")),
+        (("c_city", "c.c_city"), ("s_city", "s.s_city"), ("d_year", "d.d_year")),
+    )
+
+
+def _flight4(name, dims, group_cols):
+    keys = tuple(GroupKey(out, col(src)) for out, src in group_cols)
+    post = [
+        Aggregate(keys=keys, aggs=(AggSpec("sum", _PROFIT, "profit"),)),
+        Sort(tuple((out, "asc") for out, _ in group_cols)),
+    ]
+    return _star(name, dims=dims, post=post)
+
+
+def q4_1() -> QuerySpec:
+    """Q4.1: AMERICA both sides, mfgr 1 or 2, profit by year/nation."""
+    return _flight4(
+        "ssb_q4_1",
+        [
+            ("d", "date", "lo_orderdate", "d_datekey", None),
+            ("c", "customer", "lo_custkey", "c_custkey",
+             col("c.c_region").eq(lit("AMERICA"))),
+            ("s", "supplier", "lo_suppkey", "s_suppkey",
+             col("s.s_region").eq(lit("AMERICA"))),
+            ("p", "part", "lo_partkey", "p_partkey",
+             col("p.p_mfgr").isin(("MFGR#1", "MFGR#2"))),
+        ],
+        (("d_year", "d.d_year"), ("c_nation", "c.c_nation")),
+    )
+
+
+def q4_2() -> QuerySpec:
+    """Q4.2: 1997–1998 slice of Q4.1, by supplier nation/category."""
+    return _flight4(
+        "ssb_q4_2",
+        [
+            ("d", "date", "lo_orderdate", "d_datekey",
+             col("d.d_year").isin((1997, 1998))),
+            ("c", "customer", "lo_custkey", "c_custkey",
+             col("c.c_region").eq(lit("AMERICA"))),
+            ("s", "supplier", "lo_suppkey", "s_suppkey",
+             col("s.s_region").eq(lit("AMERICA"))),
+            ("p", "part", "lo_partkey", "p_partkey",
+             col("p.p_mfgr").isin(("MFGR#1", "MFGR#2"))),
+        ],
+        (("d_year", "d.d_year"), ("s_nation", "s.s_nation"),
+         ("p_category", "p.p_category")),
+    )
+
+
+def q4_3() -> QuerySpec:
+    """Q4.3: US suppliers, category MFGR#14, by year/city/brand."""
+    return _flight4(
+        "ssb_q4_3",
+        [
+            ("d", "date", "lo_orderdate", "d_datekey",
+             col("d.d_year").isin((1997, 1998))),
+            ("c", "customer", "lo_custkey", "c_custkey",
+             col("c.c_region").eq(lit("AMERICA"))),
+            ("s", "supplier", "lo_suppkey", "s_suppkey",
+             col("s.s_nation").eq(lit("UNITED STATES"))),
+            ("p", "part", "lo_partkey", "p_partkey",
+             col("p.p_category").eq(lit("MFGR#14"))),
+        ],
+        (("d_year", "d.d_year"), ("s_city", "s.s_city"),
+         ("p_brand1", "p.p_brand1")),
+    )
+
+
+_BUILDERS = {
+    "1.1": q1_1, "1.2": q1_2, "1.3": q1_3,
+    "2.1": q2_1, "2.2": q2_2, "2.3": q2_3,
+    "3.1": q3_1, "3.2": q3_2, "3.3": q3_3, "3.4": q3_4,
+    "4.1": q4_1, "4.2": q4_2, "4.3": q4_3,
+}
+
+ALL_SSB_QUERY_IDS: tuple[str, ...] = tuple(_BUILDERS)
+
+
+def get_ssb_query(number: str) -> QuerySpec:
+    """Build SSB query ``number`` ("1.1" .. "4.3")."""
+    try:
+        return _BUILDERS[number]()
+    except KeyError:
+        raise ValueError(
+            f"no SSB query {number!r}; valid: {sorted(_BUILDERS)}"
+        ) from None

@@ -1,0 +1,31 @@
+"""Columnar in-memory storage substrate.
+
+This package provides the storage layer the paper's testbed (FPDB on
+Apache Arrow) supplied: dictionary-encoded columnar tables, a catalog,
+and epoch-day date handling.
+"""
+
+from .catalog import Catalog
+from .column import Column, DType
+from .dates import (
+    add_days,
+    add_months,
+    date_range_days,
+    date_to_days,
+    days_to_date,
+    years_of,
+)
+from .table import Table
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "DType",
+    "Table",
+    "add_days",
+    "add_months",
+    "date_range_days",
+    "date_to_days",
+    "days_to_date",
+    "years_of",
+]

@@ -1,0 +1,57 @@
+"""Catalog of named tables.
+
+The catalog is the unit a query runs against: base tables are registered
+once (e.g. the eight TPC-H tables), and query pre-stages register derived
+tables under their output names.  A catalog can be *scoped* — a cheap
+copy-on-write child used by a single query so derived tables never leak
+into the shared base catalog.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..errors import SchemaError
+from .table import Table
+
+
+class Catalog:
+    """A mutable name → :class:`Table` mapping with copy-on-write scoping."""
+
+    def __init__(self, tables: dict[str, Table] | None = None) -> None:
+        self._tables: dict[str, Table] = dict(tables or {})
+
+    def register(self, table: Table, name: str | None = None) -> None:
+        """Register (or replace) a table under ``name`` (default: its own)."""
+        self._tables[name or table.name] = table
+
+    def get(self, name: str) -> Table:
+        """Look up a table, raising :class:`SchemaError` when absent."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(
+                f"no table {name!r} in catalog; available: {sorted(self._tables)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._tables)
+
+    def names(self) -> list[str]:
+        """Sorted table names."""
+        return sorted(self._tables)
+
+    def scoped(self) -> "Catalog":
+        """A child catalog sharing all current tables.
+
+        Registrations on the child do not affect this catalog; the table
+        objects themselves are immutable so sharing is safe.
+        """
+        return Catalog(self._tables)
+
+    def total_rows(self) -> int:
+        """Sum of row counts over all registered tables."""
+        return sum(t.num_rows for t in self._tables.values())

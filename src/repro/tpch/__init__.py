@@ -1,0 +1,16 @@
+"""TPC-H substrate: schema, data generator, and the 22 benchmark queries."""
+
+from .datagen import TPCHGenerator, generate_tpch
+from .queries import ALL_QUERY_IDS, BENCH_QUERY_IDS, Q5_JOIN_ORDERS, get_query
+from .schema import ALL_TABLES, FOREIGN_KEYS
+
+__all__ = [
+    "ALL_QUERY_IDS",
+    "ALL_TABLES",
+    "BENCH_QUERY_IDS",
+    "FOREIGN_KEYS",
+    "Q5_JOIN_ORDERS",
+    "TPCHGenerator",
+    "generate_tpch",
+    "get_query",
+]

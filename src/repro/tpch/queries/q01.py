@@ -1,0 +1,42 @@
+"""TPC-H Q1 — pricing summary report (single table, no joins).
+
+Excluded from the paper's Figure 4 (no joins) but implemented for
+workload completeness.
+"""
+
+from __future__ import annotations
+
+from ...engine.aggregate import AggSpec, GroupKey
+from ...expr.nodes import col, date, lit
+from ...plan.query import Aggregate, QuerySpec, Relation, Sort
+
+
+def build(sf: float = 1.0) -> QuerySpec:
+    """Build the Q1 specification."""
+    disc_price = col("l.l_extendedprice") * (lit(1.0) - col("l.l_discount"))
+    charge = disc_price * (lit(1.0) + col("l.l_tax"))
+    return QuerySpec(
+        name="q1",
+        relations=[
+            Relation("l", "lineitem", col("l.l_shipdate").le(date("1998-09-02")))
+        ],
+        post=[
+            Aggregate(
+                keys=(
+                    GroupKey("l_returnflag", col("l.l_returnflag")),
+                    GroupKey("l_linestatus", col("l.l_linestatus")),
+                ),
+                aggs=(
+                    AggSpec("sum", col("l.l_quantity"), "sum_qty"),
+                    AggSpec("sum", col("l.l_extendedprice"), "sum_base_price"),
+                    AggSpec("sum", disc_price, "sum_disc_price"),
+                    AggSpec("sum", charge, "sum_charge"),
+                    AggSpec("avg", col("l.l_quantity"), "avg_qty"),
+                    AggSpec("avg", col("l.l_extendedprice"), "avg_price"),
+                    AggSpec("avg", col("l.l_discount"), "avg_disc"),
+                    AggSpec("count_star", None, "count_order"),
+                ),
+            ),
+            Sort((("l_returnflag", "asc"), ("l_linestatus", "asc"))),
+        ],
+    )

@@ -1,0 +1,105 @@
+"""TPC-H Q2 — minimum cost supplier.
+
+The paper's best case (47–63× over the baselines): nine relation
+occurrences once the correlated min-supplycost subquery is decorrelated.
+The subquery becomes a pre-stage whose own join graph includes ``part``
+(the correlation column's owner) so the Part/Region predicates reach the
+subquery's tables during its transfer phase — this is exactly the
+"broadcast to every table in the join graph" effect §4.2 credits for
+Q2's speedup.
+"""
+
+from __future__ import annotations
+
+from ...engine.aggregate import AggSpec, GroupKey
+from ...expr.nodes import col, lit
+from ...plan.query import (
+    Aggregate,
+    Limit,
+    Project,
+    QuerySpec,
+    Relation,
+    Sort,
+    Stage,
+    edge,
+)
+
+_PART_PRED = col("p.p_size").eq(lit(15)) & col("p.p_type").like("%BRASS")
+
+
+def _mincost_stage() -> Stage:
+    spec = QuerySpec(
+        name="q2_mincost",
+        relations=[
+            Relation(
+                "p", "part", col("p.p_size").eq(lit(15)) & col("p.p_type").like("%BRASS")
+            ),
+            Relation("ps", "partsupp"),
+            Relation("s", "supplier"),
+            Relation("n", "nation"),
+            Relation("r", "region", col("r.r_name").eq(lit("EUROPE"))),
+        ],
+        edges=[
+            edge("p", "ps", ("p_partkey", "ps_partkey")),
+            edge("ps", "s", ("ps_suppkey", "s_suppkey")),
+            edge("s", "n", ("s_nationkey", "n_nationkey")),
+            edge("n", "r", ("n_regionkey", "r_regionkey")),
+        ],
+        post=[
+            Aggregate(
+                keys=(GroupKey("partkey", col("ps.ps_partkey")),),
+                aggs=(AggSpec("min", col("ps.ps_supplycost"), "min_cost"),),
+            )
+        ],
+    )
+    return Stage(spec, "q2_mincost")
+
+
+def build(sf: float = 1.0) -> QuerySpec:
+    """Build the Q2 specification (main block + min-cost pre-stage)."""
+    return QuerySpec(
+        name="q2",
+        pre_stages=[_mincost_stage()],
+        relations=[
+            Relation("p", "part", _PART_PRED),
+            Relation("ps", "partsupp"),
+            Relation("s", "supplier"),
+            Relation("n", "nation"),
+            Relation("r", "region", col("r.r_name").eq(lit("EUROPE"))),
+            Relation("mc", "q2_mincost"),
+        ],
+        edges=[
+            edge("p", "ps", ("p_partkey", "ps_partkey")),
+            edge("ps", "s", ("ps_suppkey", "s_suppkey")),
+            edge("s", "n", ("s_nationkey", "n_nationkey")),
+            edge("n", "r", ("n_regionkey", "r_regionkey")),
+            edge(
+                "ps",
+                "mc",
+                [("ps_partkey", "partkey"), ("ps_supplycost", "min_cost")],
+            ),
+        ],
+        post=[
+            Project(
+                (
+                    ("s_acctbal", col("s.s_acctbal")),
+                    ("s_name", col("s.s_name")),
+                    ("n_name", col("n.n_name")),
+                    ("p_partkey", col("p.p_partkey")),
+                    ("p_mfgr", col("p.p_mfgr")),
+                    ("s_address", col("s.s_address")),
+                    ("s_phone", col("s.s_phone")),
+                    ("s_comment", col("s.s_comment")),
+                )
+            ),
+            Sort(
+                (
+                    ("s_acctbal", "desc"),
+                    ("n_name", "asc"),
+                    ("s_name", "asc"),
+                    ("p_partkey", "asc"),
+                )
+            ),
+            Limit(100),
+        ],
+    )

@@ -1,0 +1,40 @@
+"""TPC-H Q3 — shipping priority.
+
+Three large tables with local filters on all three; the paper reports a
+>9× speedup because only full transfer gets every filter to every table.
+"""
+
+from __future__ import annotations
+
+from ...engine.aggregate import AggSpec, GroupKey
+from ...expr.nodes import col, date, lit
+from ...plan.query import Aggregate, Limit, QuerySpec, Relation, Sort, edge
+
+
+def build(sf: float = 1.0) -> QuerySpec:
+    """Build the Q3 specification."""
+    revenue = col("l.l_extendedprice") * (lit(1.0) - col("l.l_discount"))
+    return QuerySpec(
+        name="q3",
+        relations=[
+            Relation("c", "customer", col("c.c_mktsegment").eq(lit("BUILDING"))),
+            Relation("o", "orders", col("o.o_orderdate").lt(date("1995-03-15"))),
+            Relation("l", "lineitem", col("l.l_shipdate").gt(date("1995-03-15"))),
+        ],
+        edges=[
+            edge("c", "o", ("c_custkey", "o_custkey")),
+            edge("o", "l", ("o_orderkey", "l_orderkey")),
+        ],
+        post=[
+            Aggregate(
+                keys=(
+                    GroupKey("l_orderkey", col("l.l_orderkey")),
+                    GroupKey("o_orderdate", col("o.o_orderdate")),
+                    GroupKey("o_shippriority", col("o.o_shippriority")),
+                ),
+                aggs=(AggSpec("sum", revenue, "revenue"),),
+            ),
+            Sort((("revenue", "desc"), ("o_orderdate", "asc"))),
+            Limit(10),
+        ],
+    )

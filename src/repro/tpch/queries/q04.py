@@ -1,0 +1,35 @@
+"""TPC-H Q4 — order priority checking (EXISTS → semi join)."""
+
+from __future__ import annotations
+
+from ...engine.aggregate import AggSpec, GroupKey
+from ...expr.nodes import col, date
+from ...plan.query import Aggregate, QuerySpec, Relation, Sort, edge
+
+
+def build(sf: float = 1.0) -> QuerySpec:
+    """Build the Q4 specification."""
+    return QuerySpec(
+        name="q4",
+        relations=[
+            Relation(
+                "o",
+                "orders",
+                col("o.o_orderdate").ge(date("1993-07-01"))
+                & col("o.o_orderdate").lt(date("1993-10-01")),
+            ),
+            Relation(
+                "l",
+                "lineitem",
+                col("l.l_commitdate").lt(col("l.l_receiptdate")),
+            ),
+        ],
+        edges=[edge("o", "l", ("o_orderkey", "l_orderkey"), how="semi")],
+        post=[
+            Aggregate(
+                keys=(GroupKey("o_orderpriority", col("o.o_orderpriority")),),
+                aggs=(AggSpec("count_star", None, "order_count"),),
+            ),
+            Sort((("o_orderpriority", "asc"),)),
+        ],
+    )

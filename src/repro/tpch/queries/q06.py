@@ -1,0 +1,34 @@
+"""TPC-H Q6 — revenue forecast (single table, no joins; excluded from
+the paper's Figure 4 but implemented for completeness)."""
+
+from __future__ import annotations
+
+from ...engine.aggregate import AggSpec
+from ...expr.nodes import col, date, lit
+from ...plan.query import Aggregate, QuerySpec, Relation
+
+
+def build(sf: float = 1.0) -> QuerySpec:
+    """Build the Q6 specification."""
+    predicate = (
+        col("l.l_shipdate").ge(date("1994-01-01"))
+        & col("l.l_shipdate").lt(date("1995-01-01"))
+        & col("l.l_discount").between(lit(0.05), lit(0.07))
+        & col("l.l_quantity").lt(lit(24.0))
+    )
+    return QuerySpec(
+        name="q6",
+        relations=[Relation("l", "lineitem", predicate)],
+        post=[
+            Aggregate(
+                keys=(),
+                aggs=(
+                    AggSpec(
+                        "sum",
+                        col("l.l_extendedprice") * col("l.l_discount"),
+                        "revenue",
+                    ),
+                ),
+            )
+        ],
+    )

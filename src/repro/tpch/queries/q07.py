@@ -1,0 +1,62 @@
+"""TPC-H Q7 — volume shipping.
+
+Two nation occurrences with a cross-pair disjunction.  The individual
+``n_name IN (FRANCE, GERMANY)`` filters are pushed locally (and hence
+transferred); the pair condition stays as a post-join residual.
+"""
+
+from __future__ import annotations
+
+from ...engine.aggregate import AggSpec, GroupKey
+from ...expr.nodes import col, date, lit, year
+from ...plan.query import Aggregate, QuerySpec, Relation, Sort, edge
+
+_NATIONS = ("FRANCE", "GERMANY")
+
+
+def build(sf: float = 1.0) -> QuerySpec:
+    """Build the Q7 specification."""
+    volume = col("l.l_extendedprice") * (lit(1.0) - col("l.l_discount"))
+    pair = (
+        col("n1.n_name").eq(lit("FRANCE")) & col("n2.n_name").eq(lit("GERMANY"))
+    ) | (col("n1.n_name").eq(lit("GERMANY")) & col("n2.n_name").eq(lit("FRANCE")))
+    return QuerySpec(
+        name="q7",
+        relations=[
+            Relation("s", "supplier"),
+            Relation(
+                "l",
+                "lineitem",
+                col("l.l_shipdate").between(date("1995-01-01"), date("1996-12-31")),
+            ),
+            Relation("o", "orders"),
+            Relation("c", "customer"),
+            Relation("n1", "nation", col("n1.n_name").isin(_NATIONS)),
+            Relation("n2", "nation", col("n2.n_name").isin(_NATIONS)),
+        ],
+        edges=[
+            edge("s", "l", ("s_suppkey", "l_suppkey")),
+            edge("o", "l", ("o_orderkey", "l_orderkey")),
+            edge("c", "o", ("c_custkey", "o_custkey")),
+            edge("s", "n1", ("s_nationkey", "n_nationkey")),
+            edge("c", "n2", ("c_nationkey", "n_nationkey")),
+        ],
+        residuals=[pair],
+        post=[
+            Aggregate(
+                keys=(
+                    GroupKey("supp_nation", col("n1.n_name")),
+                    GroupKey("cust_nation", col("n2.n_name")),
+                    GroupKey("l_year", year(col("l.l_shipdate"))),
+                ),
+                aggs=(AggSpec("sum", volume, "revenue"),),
+            ),
+            Sort(
+                (
+                    ("supp_nation", "asc"),
+                    ("cust_nation", "asc"),
+                    ("l_year", "asc"),
+                )
+            ),
+        ],
+    )

@@ -1,0 +1,57 @@
+"""TPC-H Q8 — national market share (eight relation occurrences)."""
+
+from __future__ import annotations
+
+from ...engine.aggregate import AggSpec, GroupKey
+from ...expr.nodes import case, col, date, lit, year
+from ...plan.query import Aggregate, Project, QuerySpec, Relation, Sort, edge
+
+
+def build(sf: float = 1.0) -> QuerySpec:
+    """Build the Q8 specification."""
+    volume = col("l.l_extendedprice") * (lit(1.0) - col("l.l_discount"))
+    brazil_volume = case(
+        [(col("n2.n_name").eq(lit("BRAZIL")), volume)], lit(0.0)
+    )
+    return QuerySpec(
+        name="q8",
+        relations=[
+            Relation("p", "part", col("p.p_type").eq(lit("ECONOMY ANODIZED STEEL"))),
+            Relation("s", "supplier"),
+            Relation("l", "lineitem"),
+            Relation(
+                "o",
+                "orders",
+                col("o.o_orderdate").between(date("1995-01-01"), date("1996-12-31")),
+            ),
+            Relation("c", "customer"),
+            Relation("n1", "nation"),
+            Relation("n2", "nation"),
+            Relation("r", "region", col("r.r_name").eq(lit("AMERICA"))),
+        ],
+        edges=[
+            edge("p", "l", ("p_partkey", "l_partkey")),
+            edge("s", "l", ("s_suppkey", "l_suppkey")),
+            edge("l", "o", ("l_orderkey", "o_orderkey")),
+            edge("o", "c", ("o_custkey", "c_custkey")),
+            edge("c", "n1", ("c_nationkey", "n_nationkey")),
+            edge("n1", "r", ("n_regionkey", "r_regionkey")),
+            edge("s", "n2", ("s_nationkey", "n_nationkey")),
+        ],
+        post=[
+            Aggregate(
+                keys=(GroupKey("o_year", year(col("o.o_orderdate"))),),
+                aggs=(
+                    AggSpec("sum", brazil_volume, "brazil_volume"),
+                    AggSpec("sum", volume, "total_volume"),
+                ),
+            ),
+            Project(
+                (
+                    ("o_year", col("o_year")),
+                    ("mkt_share", col("brazil_volume") / col("total_volume")),
+                )
+            ),
+            Sort((("o_year", "asc"),)),
+        ],
+    )

@@ -1,0 +1,54 @@
+"""TPC-H Q9 — product type profit measure.
+
+Cyclic join graph: lineitem joins part, supplier and partsupp, and the
+transitive part–partsupp / supplier–partsupp equalities are included as
+edges (as a deduction-capable optimizer would), giving predicate
+transfer extra paths a spanning-tree method cannot use.
+"""
+
+from __future__ import annotations
+
+from ...engine.aggregate import AggSpec, GroupKey
+from ...expr.nodes import col, lit, year
+from ...plan.query import Aggregate, QuerySpec, Relation, Sort, edge
+
+
+def build(sf: float = 1.0) -> QuerySpec:
+    """Build the Q9 specification."""
+    amount = col("l.l_extendedprice") * (lit(1.0) - col("l.l_discount")) - col(
+        "ps.ps_supplycost"
+    ) * col("l.l_quantity")
+    return QuerySpec(
+        name="q9",
+        relations=[
+            Relation("p", "part", col("p.p_name").like("%green%")),
+            Relation("s", "supplier"),
+            Relation("l", "lineitem"),
+            Relation("ps", "partsupp"),
+            Relation("o", "orders"),
+            Relation("n", "nation"),
+        ],
+        edges=[
+            edge("s", "l", ("s_suppkey", "l_suppkey")),
+            edge(
+                "ps",
+                "l",
+                [("ps_partkey", "l_partkey"), ("ps_suppkey", "l_suppkey")],
+            ),
+            edge("p", "l", ("p_partkey", "l_partkey")),
+            edge("o", "l", ("o_orderkey", "l_orderkey")),
+            edge("s", "n", ("s_nationkey", "n_nationkey")),
+            edge("p", "ps", ("p_partkey", "ps_partkey")),
+            edge("s", "ps", ("s_suppkey", "ps_suppkey")),
+        ],
+        post=[
+            Aggregate(
+                keys=(
+                    GroupKey("nation", col("n.n_name")),
+                    GroupKey("o_year", year(col("o.o_orderdate"))),
+                ),
+                aggs=(AggSpec("sum", amount, "sum_profit"),),
+            ),
+            Sort((("nation", "asc"), ("o_year", "desc"))),
+        ],
+    )

@@ -1,0 +1,47 @@
+"""TPC-H Q10 — returned item reporting."""
+
+from __future__ import annotations
+
+from ...engine.aggregate import AggSpec, GroupKey
+from ...expr.nodes import col, date, lit
+from ...plan.query import Aggregate, Limit, QuerySpec, Relation, Sort, edge
+
+
+def build(sf: float = 1.0) -> QuerySpec:
+    """Build the Q10 specification."""
+    revenue = col("l.l_extendedprice") * (lit(1.0) - col("l.l_discount"))
+    return QuerySpec(
+        name="q10",
+        relations=[
+            Relation("c", "customer"),
+            Relation(
+                "o",
+                "orders",
+                col("o.o_orderdate").ge(date("1993-10-01"))
+                & col("o.o_orderdate").lt(date("1994-01-01")),
+            ),
+            Relation("l", "lineitem", col("l.l_returnflag").eq(lit("R"))),
+            Relation("n", "nation"),
+        ],
+        edges=[
+            edge("c", "o", ("c_custkey", "o_custkey")),
+            edge("l", "o", ("l_orderkey", "o_orderkey")),
+            edge("c", "n", ("c_nationkey", "n_nationkey")),
+        ],
+        post=[
+            Aggregate(
+                keys=(
+                    GroupKey("c_custkey", col("c.c_custkey")),
+                    GroupKey("c_name", col("c.c_name")),
+                    GroupKey("c_acctbal", col("c.c_acctbal")),
+                    GroupKey("c_phone", col("c.c_phone")),
+                    GroupKey("n_name", col("n.n_name")),
+                    GroupKey("c_address", col("c.c_address")),
+                    GroupKey("c_comment", col("c.c_comment")),
+                ),
+                aggs=(AggSpec("sum", revenue, "revenue"),),
+            ),
+            Sort((("revenue", "desc"), ("c_custkey", "asc"))),
+            Limit(20),
+        ],
+    )

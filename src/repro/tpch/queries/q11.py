@@ -1,0 +1,63 @@
+"""TPC-H Q11 — important stock identification.
+
+The HAVING threshold compares against a scalar subquery over the same
+three-table join; it becomes a pre-stage producing a one-row table that
+the main block's HAVING references through a :class:`ScalarRef`.
+
+The spec scales the threshold fraction as ``0.0001 / SF``, reproduced
+here (this is why the paper's Yannakakis baseline struggles on Q11: the
+semi-join phase builds a large partsupp hash table for little filtering
+gain).
+"""
+
+from __future__ import annotations
+
+from ...engine.aggregate import AggSpec, GroupKey
+from ...expr.nodes import ScalarRef, col, lit
+from ...plan.query import Aggregate, Filter, QuerySpec, Relation, Sort, Stage, edge
+
+_VALUE = col("ps.ps_supplycost") * col("ps.ps_availqty")
+
+
+def _total_stage() -> Stage:
+    spec = QuerySpec(
+        name="q11_total",
+        relations=[
+            Relation("ps", "partsupp"),
+            Relation("s", "supplier"),
+            Relation("n", "nation", col("n.n_name").eq(lit("GERMANY"))),
+        ],
+        edges=[
+            edge("ps", "s", ("ps_suppkey", "s_suppkey")),
+            edge("s", "n", ("s_nationkey", "n_nationkey")),
+        ],
+        post=[Aggregate(keys=(), aggs=(AggSpec("sum", _VALUE, "total"),))],
+    )
+    return Stage(spec, "q11_total")
+
+
+def build(sf: float = 1.0) -> QuerySpec:
+    """Build the Q11 specification (threshold fraction scales with SF)."""
+    fraction = 0.0001 / sf
+    threshold = ScalarRef("q11_total", "total") * lit(fraction)
+    return QuerySpec(
+        name="q11",
+        pre_stages=[_total_stage()],
+        relations=[
+            Relation("ps", "partsupp"),
+            Relation("s", "supplier"),
+            Relation("n", "nation", col("n.n_name").eq(lit("GERMANY"))),
+        ],
+        edges=[
+            edge("ps", "s", ("ps_suppkey", "s_suppkey")),
+            edge("s", "n", ("s_nationkey", "n_nationkey")),
+        ],
+        post=[
+            Aggregate(
+                keys=(GroupKey("ps_partkey", col("ps.ps_partkey")),),
+                aggs=(AggSpec("sum", _VALUE, "value"),),
+            ),
+            Filter(col("value").gt(threshold)),
+            Sort((("value", "desc"), ("ps_partkey", "asc"))),
+        ],
+    )

@@ -1,0 +1,40 @@
+"""TPC-H Q12 — shipping modes and order priority."""
+
+from __future__ import annotations
+
+from ...engine.aggregate import AggSpec, GroupKey
+from ...expr.nodes import case, col, date, lit
+from ...plan.query import Aggregate, QuerySpec, Relation, Sort, edge
+
+_HIGH = ("1-URGENT", "2-HIGH")
+
+
+def build(sf: float = 1.0) -> QuerySpec:
+    """Build the Q12 specification."""
+    lineitem_pred = (
+        col("l.l_shipmode").isin(("MAIL", "SHIP"))
+        & col("l.l_commitdate").lt(col("l.l_receiptdate"))
+        & col("l.l_shipdate").lt(col("l.l_commitdate"))
+        & col("l.l_receiptdate").ge(date("1994-01-01"))
+        & col("l.l_receiptdate").lt(date("1995-01-01"))
+    )
+    high = case([(col("o.o_orderpriority").isin(_HIGH), lit(1))], lit(0))
+    low = case([(col("o.o_orderpriority").isin(_HIGH), lit(0))], lit(1))
+    return QuerySpec(
+        name="q12",
+        relations=[
+            Relation("o", "orders"),
+            Relation("l", "lineitem", lineitem_pred),
+        ],
+        edges=[edge("o", "l", ("o_orderkey", "l_orderkey"))],
+        post=[
+            Aggregate(
+                keys=(GroupKey("l_shipmode", col("l.l_shipmode")),),
+                aggs=(
+                    AggSpec("sum", high, "high_line_count"),
+                    AggSpec("sum", low, "low_line_count"),
+                ),
+            ),
+            Sort((("l_shipmode", "asc"),)),
+        ],
+    )

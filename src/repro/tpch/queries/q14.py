@@ -1,0 +1,46 @@
+"""TPC-H Q14 — promotion effect (two tables; limited transfer headroom,
+as the paper notes for low-join-count queries)."""
+
+from __future__ import annotations
+
+from ...engine.aggregate import AggSpec
+from ...expr.nodes import case, col, date, lit
+from ...plan.query import Aggregate, Project, QuerySpec, Relation, edge
+
+
+def build(sf: float = 1.0) -> QuerySpec:
+    """Build the Q14 specification."""
+    revenue = col("l.l_extendedprice") * (lit(1.0) - col("l.l_discount"))
+    promo = case([(col("p.p_type").like("PROMO%"), revenue)], lit(0.0))
+    return QuerySpec(
+        name="q14",
+        relations=[
+            Relation(
+                "l",
+                "lineitem",
+                col("l.l_shipdate").ge(date("1995-09-01"))
+                & col("l.l_shipdate").lt(date("1995-10-01")),
+            ),
+            Relation("p", "part"),
+        ],
+        edges=[edge("l", "p", ("l_partkey", "p_partkey"))],
+        post=[
+            Aggregate(
+                keys=(),
+                aggs=(
+                    AggSpec("sum", promo, "promo_revenue_raw"),
+                    AggSpec("sum", revenue, "total_revenue"),
+                ),
+            ),
+            Project(
+                (
+                    (
+                        "promo_revenue",
+                        lit(100.0)
+                        * col("promo_revenue_raw")
+                        / col("total_revenue"),
+                    ),
+                )
+            ),
+        ],
+    )

@@ -1,0 +1,83 @@
+"""TPC-H Q15 — top supplier.
+
+The revenue view is a single-table aggregation pre-stage (the paper's
+§3.4 heuristic executes such plans before the transfer phase); the
+``= max(total_revenue)`` comparison is a scalar pre-stage over the view.
+The scalar aggregation blocks transfer through itself, which the paper
+lists as the reason Q15's speedup is limited.
+"""
+
+from __future__ import annotations
+
+from ...engine.aggregate import AggSpec, GroupKey
+from ...expr.nodes import ScalarRef, col, date, lit
+from ...plan.query import Aggregate, Project, QuerySpec, Relation, Sort, Stage, edge
+
+
+def _revenue_stage() -> Stage:
+    spec = QuerySpec(
+        name="q15_revenue",
+        relations=[
+            Relation(
+                "l",
+                "lineitem",
+                col("l.l_shipdate").ge(date("1996-01-01"))
+                & col("l.l_shipdate").lt(date("1996-04-01")),
+            )
+        ],
+        post=[
+            Aggregate(
+                keys=(GroupKey("supplier_no", col("l.l_suppkey")),),
+                aggs=(
+                    AggSpec(
+                        "sum",
+                        col("l.l_extendedprice") * (lit(1.0) - col("l.l_discount")),
+                        "total_revenue",
+                    ),
+                ),
+            )
+        ],
+    )
+    return Stage(spec, "q15_revenue")
+
+
+def _max_stage() -> Stage:
+    spec = QuerySpec(
+        name="q15_max",
+        relations=[Relation("r", "q15_revenue")],
+        post=[
+            Aggregate(
+                keys=(), aggs=(AggSpec("max", col("r.total_revenue"), "max_rev"),)
+            )
+        ],
+    )
+    return Stage(spec, "q15_max")
+
+
+def build(sf: float = 1.0) -> QuerySpec:
+    """Build the Q15 specification."""
+    return QuerySpec(
+        name="q15",
+        pre_stages=[_revenue_stage(), _max_stage()],
+        relations=[
+            Relation("s", "supplier"),
+            Relation(
+                "rev",
+                "q15_revenue",
+                col("rev.total_revenue").eq(ScalarRef("q15_max", "max_rev")),
+            ),
+        ],
+        edges=[edge("s", "rev", ("s_suppkey", "supplier_no"))],
+        post=[
+            Project(
+                (
+                    ("s_suppkey", col("s.s_suppkey")),
+                    ("s_name", col("s.s_name")),
+                    ("s_address", col("s.s_address")),
+                    ("s_phone", col("s.s_phone")),
+                    ("total_revenue", col("rev.total_revenue")),
+                )
+            ),
+            Sort((("s_suppkey", "asc"),)),
+        ],
+    )

@@ -1,0 +1,59 @@
+"""TPC-H Q16 — parts/supplier relationship (NOT IN → anti join).
+
+The anti edge blocks supplier→partsupp transfer (filtering partsupp by
+the complaining suppliers would delete exactly the rows the anti join
+must keep); the paper lists Q16 among the blocked-transfer queries.
+"""
+
+from __future__ import annotations
+
+from ...engine.aggregate import AggSpec, GroupKey
+from ...expr.nodes import col, lit
+from ...plan.query import Aggregate, QuerySpec, Relation, Sort, edge
+
+_SIZES = (49, 14, 23, 45, 19, 3, 36, 9)
+
+
+def build(sf: float = 1.0) -> QuerySpec:
+    """Build the Q16 specification."""
+    part_pred = (
+        col("p.p_brand").ne(lit("Brand#45"))
+        & col("p.p_type").not_like("MEDIUM POLISHED%")
+        & col("p.p_size").isin(_SIZES)
+    )
+    return QuerySpec(
+        name="q16",
+        relations=[
+            Relation("ps", "partsupp"),
+            Relation("p", "part", part_pred),
+            Relation(
+                "sc",
+                "supplier",
+                col("sc.s_comment").like("%Customer%Complaints%"),
+            ),
+        ],
+        edges=[
+            edge("p", "ps", ("p_partkey", "ps_partkey")),
+            edge("ps", "sc", ("ps_suppkey", "s_suppkey"), how="anti"),
+        ],
+        post=[
+            Aggregate(
+                keys=(
+                    GroupKey("p_brand", col("p.p_brand")),
+                    GroupKey("p_type", col("p.p_type")),
+                    GroupKey("p_size", col("p.p_size")),
+                ),
+                aggs=(
+                    AggSpec("count_distinct", col("ps.ps_suppkey"), "supplier_cnt"),
+                ),
+            ),
+            Sort(
+                (
+                    ("supplier_cnt", "desc"),
+                    ("p_brand", "asc"),
+                    ("p_type", "asc"),
+                    ("p_size", "asc"),
+                )
+            ),
+        ],
+    )

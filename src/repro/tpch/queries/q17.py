@@ -1,0 +1,58 @@
+"""TPC-H Q17 — small-quantity-order revenue.
+
+The correlated avg-quantity subquery becomes a single-table aggregation
+pre-stage (the paper explicitly notes Q17 "joins base tables with
+aggregation results [and] by executing the aggregation beforehand,
+predicate transfer achieves a higher selectivity").  The quantity
+threshold is a post-join residual.
+"""
+
+from __future__ import annotations
+
+from ...engine.aggregate import AggSpec, GroupKey
+from ...expr.nodes import col, lit
+from ...plan.query import Aggregate, Project, QuerySpec, Relation, Stage, edge
+
+
+def _avg_stage() -> Stage:
+    spec = QuerySpec(
+        name="q17_avgqty",
+        relations=[Relation("l", "lineitem")],
+        post=[
+            Aggregate(
+                keys=(GroupKey("partkey", col("l.l_partkey")),),
+                aggs=(AggSpec("avg", col("l.l_quantity"), "avg_qty"),),
+            )
+        ],
+    )
+    return Stage(spec, "q17_avgqty")
+
+
+def build(sf: float = 1.0) -> QuerySpec:
+    """Build the Q17 specification."""
+    return QuerySpec(
+        name="q17",
+        pre_stages=[_avg_stage()],
+        relations=[
+            Relation("l", "lineitem"),
+            Relation(
+                "p",
+                "part",
+                col("p.p_brand").eq(lit("Brand#23"))
+                & col("p.p_container").eq(lit("MED BOX")),
+            ),
+            Relation("a", "q17_avgqty"),
+        ],
+        edges=[
+            edge("l", "p", ("l_partkey", "p_partkey")),
+            edge("l", "a", ("l_partkey", "partkey")),
+        ],
+        residuals=[col("l.l_quantity").lt(lit(0.2) * col("a.avg_qty"))],
+        post=[
+            Aggregate(
+                keys=(),
+                aggs=(AggSpec("sum", col("l.l_extendedprice"), "total_price"),),
+            ),
+            Project((("avg_yearly", col("total_price") / lit(7.0)),)),
+        ],
+    )

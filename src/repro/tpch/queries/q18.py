@@ -1,0 +1,70 @@
+"""TPC-H Q18 — large volume customer.
+
+The ``IN (... HAVING sum(l_quantity) > 300)`` subquery becomes a
+pre-stage producing the qualifying order keys; joining it back means the
+big-order filter reaches lineitem in the main block during transfer,
+the paper's explanation for Q18's 7×+ speedup.
+"""
+
+from __future__ import annotations
+
+from ...engine.aggregate import AggSpec, GroupKey
+from ...expr.nodes import col, lit
+from ...plan.query import (
+    Aggregate,
+    Filter,
+    Limit,
+    QuerySpec,
+    Relation,
+    Sort,
+    Stage,
+    edge,
+)
+
+
+def _big_orders_stage() -> Stage:
+    spec = QuerySpec(
+        name="q18_big",
+        relations=[Relation("l", "lineitem")],
+        post=[
+            Aggregate(
+                keys=(GroupKey("orderkey", col("l.l_orderkey")),),
+                aggs=(AggSpec("sum", col("l.l_quantity"), "sum_qty"),),
+            ),
+            Filter(col("sum_qty").gt(lit(300.0))),
+        ],
+    )
+    return Stage(spec, "q18_big")
+
+
+def build(sf: float = 1.0) -> QuerySpec:
+    """Build the Q18 specification."""
+    return QuerySpec(
+        name="q18",
+        pre_stages=[_big_orders_stage()],
+        relations=[
+            Relation("c", "customer"),
+            Relation("o", "orders"),
+            Relation("l", "lineitem"),
+            Relation("b", "q18_big"),
+        ],
+        edges=[
+            edge("c", "o", ("c_custkey", "o_custkey")),
+            edge("o", "l", ("o_orderkey", "l_orderkey")),
+            edge("o", "b", ("o_orderkey", "orderkey")),
+        ],
+        post=[
+            Aggregate(
+                keys=(
+                    GroupKey("c_name", col("c.c_name")),
+                    GroupKey("c_custkey", col("c.c_custkey")),
+                    GroupKey("o_orderkey", col("o.o_orderkey")),
+                    GroupKey("o_orderdate", col("o.o_orderdate")),
+                    GroupKey("o_totalprice", col("o.o_totalprice")),
+                ),
+                aggs=(AggSpec("sum", col("l.l_quantity"), "sum_qty"),),
+            ),
+            Sort((("o_totalprice", "desc"), ("o_orderdate", "asc"))),
+            Limit(100),
+        ],
+    )

@@ -1,0 +1,64 @@
+"""TPC-H Q19 — discounted revenue (disjunctive join predicate).
+
+The three OR branches share the partkey equi-join; the weakest common
+implications of the disjunction are pushed as local predicates (so they
+transfer), and the full disjunction remains as a post-join residual.
+"""
+
+from __future__ import annotations
+
+from ...engine.aggregate import AggSpec
+from ...expr.nodes import Expr, any_of, col, lit
+from ...plan.query import Aggregate, QuerySpec, Relation, edge
+
+_BRANCHES = (
+    ("Brand#12", ("SM CASE", "SM BOX", "SM PACK", "SM PKG"), 1.0, 11.0, 1, 5),
+    ("Brand#23", ("MED BAG", "MED BOX", "MED PKG", "MED PACK"), 10.0, 20.0, 1, 10),
+    ("Brand#34", ("LG CASE", "LG BOX", "LG PACK", "LG PKG"), 20.0, 30.0, 1, 15),
+)
+
+
+def _branch(brand: str, containers, qlo, qhi, slo, shi) -> Expr:
+    return (
+        col("p.p_brand").eq(lit(brand))
+        & col("p.p_container").isin(containers)
+        & col("l.l_quantity").between(lit(qlo), lit(qhi))
+        & col("p.p_size").between(lit(slo), lit(shi))
+    )
+
+
+def build(sf: float = 1.0) -> QuerySpec:
+    """Build the Q19 specification."""
+    lineitem_pred = (
+        col("l.l_shipmode").isin(("AIR", "AIR REG"))
+        & col("l.l_shipinstruct").eq(lit("DELIVER IN PERSON"))
+        & col("l.l_quantity").between(lit(1.0), lit(30.0))
+    )
+    all_containers = tuple(c for b in _BRANCHES for c in b[1])
+    part_pred = (
+        col("p.p_brand").isin(tuple(b[0] for b in _BRANCHES))
+        & col("p.p_container").isin(all_containers)
+        & col("p.p_size").between(lit(1), lit(15))
+    )
+    disjunction = any_of(*(_branch(*b) for b in _BRANCHES))
+    return QuerySpec(
+        name="q19",
+        relations=[
+            Relation("l", "lineitem", lineitem_pred),
+            Relation("p", "part", part_pred),
+        ],
+        edges=[edge("l", "p", ("l_partkey", "p_partkey"))],
+        residuals=[disjunction],
+        post=[
+            Aggregate(
+                keys=(),
+                aggs=(
+                    AggSpec(
+                        "sum",
+                        col("l.l_extendedprice") * (lit(1.0) - col("l.l_discount")),
+                        "revenue",
+                    ),
+                ),
+            )
+        ],
+    )

@@ -1,0 +1,97 @@
+"""TPC-H Q21 — suppliers who kept orders waiting.
+
+The EXISTS / NOT EXISTS pair over lineitem self-joins decorrelates into
+two per-order aggregates:
+
+* ``nsupp``  — distinct suppliers among all lineitems of the order;
+  EXISTS(other supplier) ⇔ ``nsupp ≥ 2``;
+* ``nlate``  — distinct suppliers among the order's *late* lineitems
+  (receipt > commit); since the outer l1 row is itself late,
+  NOT EXISTS(other late supplier) ⇔ ``nlate = 1``.
+
+The paper flags Q21 as the query where Bloom false positives accumulate
+most (many joins); it is a good ablation target for the fpp knob.
+"""
+
+from __future__ import annotations
+
+from ...engine.aggregate import AggSpec, GroupKey
+from ...expr.nodes import col, lit
+from ...plan.query import (
+    Aggregate,
+    Limit,
+    QuerySpec,
+    Relation,
+    Sort,
+    Stage,
+    edge,
+)
+
+
+def _nsupp_stage() -> Stage:
+    spec = QuerySpec(
+        name="q21_nsupp",
+        relations=[Relation("l", "lineitem")],
+        post=[
+            Aggregate(
+                keys=(GroupKey("orderkey", col("l.l_orderkey")),),
+                aggs=(AggSpec("count_distinct", col("l.l_suppkey"), "nsupp"),),
+            )
+        ],
+    )
+    return Stage(spec, "q21_nsupp")
+
+
+def _nlate_stage() -> Stage:
+    spec = QuerySpec(
+        name="q21_nlate",
+        relations=[
+            Relation(
+                "l",
+                "lineitem",
+                col("l.l_receiptdate").gt(col("l.l_commitdate")),
+            )
+        ],
+        post=[
+            Aggregate(
+                keys=(GroupKey("orderkey", col("l.l_orderkey")),),
+                aggs=(AggSpec("count_distinct", col("l.l_suppkey"), "nlate"),),
+            )
+        ],
+    )
+    return Stage(spec, "q21_nlate")
+
+
+def build(sf: float = 1.0) -> QuerySpec:
+    """Build the Q21 specification."""
+    return QuerySpec(
+        name="q21",
+        pre_stages=[_nsupp_stage(), _nlate_stage()],
+        relations=[
+            Relation("s", "supplier"),
+            Relation(
+                "l1",
+                "lineitem",
+                col("l1.l_receiptdate").gt(col("l1.l_commitdate")),
+            ),
+            Relation("o", "orders", col("o.o_orderstatus").eq(lit("F"))),
+            Relation("n", "nation", col("n.n_name").eq(lit("SAUDI ARABIA"))),
+            Relation("a", "q21_nsupp", col("a.nsupp").ge(lit(2))),
+            Relation("b", "q21_nlate", col("b.nlate").eq(lit(1))),
+        ],
+        edges=[
+            edge("s", "l1", ("s_suppkey", "l_suppkey")),
+            edge("l1", "o", ("l_orderkey", "o_orderkey")),
+            edge("s", "n", ("s_nationkey", "n_nationkey")),
+            edge("l1", "a", ("l_orderkey", "orderkey")),
+            edge("l1", "b", ("l_orderkey", "orderkey")),
+        ],
+        post=[
+            Aggregate(
+                keys=(GroupKey("s_name", col("s.s_name")),),
+                aggs=(AggSpec("count_star", None, "numwait"),),
+            ),
+            Sort((("numwait", "desc"), ("s_name", "asc"))),
+            Limit(100),
+        ],
+    )

@@ -1,0 +1,63 @@
+"""TPC-H Q22 — global sales opportunity.
+
+Contains both blocking-operator kinds the paper mentions for Q22: a
+scalar aggregation (the average positive account balance, a pre-stage
+referenced via :class:`ScalarRef`) and an anti join (customers with no
+orders).
+"""
+
+from __future__ import annotations
+
+from ...engine.aggregate import AggSpec, GroupKey
+from ...expr.nodes import ScalarRef, col, lit, substr
+from ...plan.query import Aggregate, QuerySpec, Relation, Sort, Stage, edge
+
+_CODES = ("13", "31", "23", "29", "30", "18", "17")
+
+
+def _avg_stage() -> Stage:
+    spec = QuerySpec(
+        name="q22_avg",
+        relations=[
+            Relation(
+                "c",
+                "customer",
+                col("c.c_acctbal").gt(lit(0.0))
+                & substr(col("c.c_phone"), 1, 2).isin(_CODES),
+            )
+        ],
+        post=[
+            Aggregate(
+                keys=(), aggs=(AggSpec("avg", col("c.c_acctbal"), "avg_bal"),)
+            )
+        ],
+    )
+    return Stage(spec, "q22_avg")
+
+
+def build(sf: float = 1.0) -> QuerySpec:
+    """Build the Q22 specification."""
+    return QuerySpec(
+        name="q22",
+        pre_stages=[_avg_stage()],
+        relations=[
+            Relation(
+                "c",
+                "customer",
+                substr(col("c.c_phone"), 1, 2).isin(_CODES)
+                & col("c.c_acctbal").gt(ScalarRef("q22_avg", "avg_bal")),
+            ),
+            Relation("o", "orders"),
+        ],
+        edges=[edge("c", "o", ("c_custkey", "o_custkey"), how="anti")],
+        post=[
+            Aggregate(
+                keys=(GroupKey("cntrycode", substr(col("c.c_phone"), 1, 2)),),
+                aggs=(
+                    AggSpec("count_star", None, "numcust"),
+                    AggSpec("sum", col("c.c_acctbal"), "totacctbal"),
+                ),
+            ),
+            Sort((("cntrycode", "asc"),)),
+        ],
+    )

@@ -1,0 +1,181 @@
+"""TPC-H schema declaration.
+
+One :class:`TableSchema` per TPC-H table, with the spec's column list
+and scaling rule.  Used by the generator (as its contract), by tests
+(referential-integrity checks read the key relationships declared here)
+and by documentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..storage.column import DType
+
+
+@dataclass(frozen=True)
+class ColumnSchema:
+    """One column: name and logical type."""
+
+    name: str
+    dtype: DType
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """One TPC-H table: columns, primary key, cardinality rule."""
+
+    name: str
+    columns: tuple[ColumnSchema, ...]
+    primary_key: tuple[str, ...]
+    rows_per_sf: int | None  # None for fixed-size tables
+
+    def column_names(self) -> list[str]:
+        """Declared column names in order."""
+        return [c.name for c in self.columns]
+
+
+def _cols(*pairs: tuple[str, DType]) -> tuple[ColumnSchema, ...]:
+    return tuple(ColumnSchema(n, t) for n, t in pairs)
+
+
+REGION = TableSchema(
+    "region",
+    _cols(
+        ("r_regionkey", DType.INT64),
+        ("r_name", DType.STRING),
+        ("r_comment", DType.STRING),
+    ),
+    ("r_regionkey",),
+    None,
+)
+
+NATION = TableSchema(
+    "nation",
+    _cols(
+        ("n_nationkey", DType.INT64),
+        ("n_name", DType.STRING),
+        ("n_regionkey", DType.INT64),
+        ("n_comment", DType.STRING),
+    ),
+    ("n_nationkey",),
+    None,
+)
+
+SUPPLIER = TableSchema(
+    "supplier",
+    _cols(
+        ("s_suppkey", DType.INT64),
+        ("s_name", DType.STRING),
+        ("s_address", DType.STRING),
+        ("s_nationkey", DType.INT64),
+        ("s_phone", DType.STRING),
+        ("s_acctbal", DType.FLOAT64),
+        ("s_comment", DType.STRING),
+    ),
+    ("s_suppkey",),
+    10_000,
+)
+
+PART = TableSchema(
+    "part",
+    _cols(
+        ("p_partkey", DType.INT64),
+        ("p_name", DType.STRING),
+        ("p_mfgr", DType.STRING),
+        ("p_brand", DType.STRING),
+        ("p_type", DType.STRING),
+        ("p_size", DType.INT64),
+        ("p_container", DType.STRING),
+        ("p_retailprice", DType.FLOAT64),
+        ("p_comment", DType.STRING),
+    ),
+    ("p_partkey",),
+    200_000,
+)
+
+PARTSUPP = TableSchema(
+    "partsupp",
+    _cols(
+        ("ps_partkey", DType.INT64),
+        ("ps_suppkey", DType.INT64),
+        ("ps_availqty", DType.INT64),
+        ("ps_supplycost", DType.FLOAT64),
+        ("ps_comment", DType.STRING),
+    ),
+    ("ps_partkey", "ps_suppkey"),
+    800_000,
+)
+
+CUSTOMER = TableSchema(
+    "customer",
+    _cols(
+        ("c_custkey", DType.INT64),
+        ("c_name", DType.STRING),
+        ("c_address", DType.STRING),
+        ("c_nationkey", DType.INT64),
+        ("c_phone", DType.STRING),
+        ("c_acctbal", DType.FLOAT64),
+        ("c_mktsegment", DType.STRING),
+        ("c_comment", DType.STRING),
+    ),
+    ("c_custkey",),
+    150_000,
+)
+
+ORDERS = TableSchema(
+    "orders",
+    _cols(
+        ("o_orderkey", DType.INT64),
+        ("o_custkey", DType.INT64),
+        ("o_orderstatus", DType.STRING),
+        ("o_totalprice", DType.FLOAT64),
+        ("o_orderdate", DType.DATE),
+        ("o_orderpriority", DType.STRING),
+        ("o_clerk", DType.STRING),
+        ("o_shippriority", DType.INT64),
+        ("o_comment", DType.STRING),
+    ),
+    ("o_orderkey",),
+    1_500_000,
+)
+
+LINEITEM = TableSchema(
+    "lineitem",
+    _cols(
+        ("l_orderkey", DType.INT64),
+        ("l_partkey", DType.INT64),
+        ("l_suppkey", DType.INT64),
+        ("l_linenumber", DType.INT64),
+        ("l_quantity", DType.FLOAT64),
+        ("l_extendedprice", DType.FLOAT64),
+        ("l_discount", DType.FLOAT64),
+        ("l_tax", DType.FLOAT64),
+        ("l_returnflag", DType.STRING),
+        ("l_linestatus", DType.STRING),
+        ("l_shipdate", DType.DATE),
+        ("l_commitdate", DType.DATE),
+        ("l_receiptdate", DType.DATE),
+        ("l_shipinstruct", DType.STRING),
+        ("l_shipmode", DType.STRING),
+        ("l_comment", DType.STRING),
+    ),
+    ("l_orderkey", "l_linenumber"),
+    6_000_000,  # approximate: 4 lineitems per order on average
+)
+
+ALL_TABLES = (REGION, NATION, SUPPLIER, PART, PARTSUPP, CUSTOMER, ORDERS, LINEITEM)
+
+# Foreign-key relationships: (child table, child column, parent table,
+# parent column).  Used by referential-integrity tests.
+FOREIGN_KEYS = (
+    ("nation", "n_regionkey", "region", "r_regionkey"),
+    ("supplier", "s_nationkey", "nation", "n_nationkey"),
+    ("customer", "c_nationkey", "nation", "n_nationkey"),
+    ("partsupp", "ps_partkey", "part", "p_partkey"),
+    ("partsupp", "ps_suppkey", "supplier", "s_suppkey"),
+    ("orders", "o_custkey", "customer", "c_custkey"),
+    ("lineitem", "l_orderkey", "orders", "o_orderkey"),
+    ("lineitem", "l_partkey", "part", "p_partkey"),
+    ("lineitem", "l_suppkey", "supplier", "s_suppkey"),
+)

@@ -1,0 +1,22 @@
+"""Shared fixtures: small TPC-H catalogs (session-scoped, deterministic)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tpch import generate_tpch
+
+TINY_SF = 0.003
+SMALL_SF = 0.01
+
+
+@pytest.fixture(scope="session")
+def tiny_catalog():
+    """A very small TPC-H instance for per-query correctness tests."""
+    return generate_tpch(sf=TINY_SF, seed=42)
+
+
+@pytest.fixture(scope="session")
+def small_catalog():
+    """A small TPC-H instance for integration/equivalence tests."""
+    return generate_tpch(sf=SMALL_SF, seed=7)

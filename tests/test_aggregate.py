@@ -1,0 +1,180 @@
+"""Unit tests for grouped and scalar aggregation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.aggregate import AggSpec, GroupKey, distinct, group_aggregate
+from repro.engine.hashjoin import hash_join
+from repro.errors import ExecutionError
+from repro.expr.nodes import col, lit
+from repro.storage.table import Table
+
+
+@pytest.fixture
+def table():
+    return Table.from_pydict(
+        "t",
+        {
+            "g": ["a", "b", "a", "b", "a"],
+            "h": [1, 1, 2, 1, 1],
+            "v": [10.0, 20.0, 30.0, 40.0, 50.0],
+            "i": [1, 2, 3, 4, 5],
+        },
+    )
+
+
+def _rows(table):
+    return sorted(table.to_rows())
+
+
+def test_sum_by_group(table):
+    out = group_aggregate(
+        table, [GroupKey("g")], [AggSpec("sum", col("v"), "total")]
+    )
+    assert _rows(out) == [("a", 90.0), ("b", 60.0)]
+
+
+def test_count_star(table):
+    out = group_aggregate(
+        table, [GroupKey("g")], [AggSpec("count_star", None, "n")]
+    )
+    assert _rows(out) == [("a", 3), ("b", 2)]
+
+
+def test_min_max_avg(table):
+    out = group_aggregate(
+        table,
+        [GroupKey("g")],
+        [
+            AggSpec("min", col("v"), "lo"),
+            AggSpec("max", col("v"), "hi"),
+            AggSpec("avg", col("v"), "mean"),
+        ],
+    )
+    assert _rows(out) == [("a", 10.0, 50.0, 30.0), ("b", 20.0, 40.0, 30.0)]
+
+
+def test_count_distinct(table):
+    out = group_aggregate(
+        table, [GroupKey("g")], [AggSpec("count_distinct", col("h"), "nd")]
+    )
+    assert _rows(out) == [("a", 2), ("b", 1)]
+
+
+def test_multi_key_grouping(table):
+    out = group_aggregate(
+        table,
+        [GroupKey("g"), GroupKey("h")],
+        [AggSpec("count_star", None, "n")],
+    )
+    assert _rows(out) == [("a", 1, 2), ("a", 2, 1), ("b", 1, 2)]
+
+
+def test_expression_key(table):
+    out = group_aggregate(
+        table,
+        [GroupKey("par", col("i") * lit(0) + col("h"))],
+        [AggSpec("sum", col("v"), "s")],
+    )
+    assert _rows(out) == [(1, 120.0), (2, 30.0)]
+
+
+def test_expression_agg_input(table):
+    out = group_aggregate(
+        table, [], [AggSpec("sum", col("v") * lit(2.0), "s")]
+    )
+    assert out.to_rows() == [(300.0,)]
+
+
+def test_scalar_aggregate_single_row(table):
+    out = group_aggregate(
+        table, [], [AggSpec("count_star", None, "n"), AggSpec("sum", col("v"), "s")]
+    )
+    assert out.to_rows() == [(5, 150.0)]
+
+
+def test_scalar_aggregate_on_empty_input():
+    empty = Table.from_pydict("t", {"v": np.empty(0, dtype=np.float64)})
+    out = group_aggregate(
+        empty, [], [AggSpec("count_star", None, "n"), AggSpec("sum", col("v"), "s")]
+    )
+    assert out.to_rows() == [(0, 0.0)]
+
+
+def test_grouped_aggregate_on_empty_input():
+    empty = Table.from_pydict(
+        "t", {"g": np.empty(0, dtype=np.int64), "v": np.empty(0, dtype=np.float64)}
+    )
+    out = group_aggregate(
+        empty, [GroupKey("g")], [AggSpec("sum", col("v"), "s")]
+    )
+    assert out.num_rows == 0
+
+
+def test_nulls_excluded_from_aggregates():
+    # Build nulls via a left join, then aggregate the null-extended side.
+    probe = Table.from_pydict("p", {"k": [1, 2, 3]})
+    build = Table.from_pydict("b", {"k2": [1, 1], "v": [10.0, 20.0]})
+    joined, _ = hash_join(probe, build, ["k"], ["k2"], how="left")
+    out = group_aggregate(
+        joined,
+        [GroupKey("k")],
+        [
+            AggSpec("count", col("v"), "n"),
+            AggSpec("sum", col("v"), "s"),
+            AggSpec("count_star", None, "all_rows"),
+        ],
+    )
+    assert _rows(out) == [(1, 2, 30.0, 2), (2, 0, 0.0, 1), (3, 0, 0.0, 1)]
+
+
+def test_count_distinct_ignores_nulls():
+    probe = Table.from_pydict("p", {"k": [1, 2]})
+    build = Table.from_pydict("b", {"k2": [1], "v": [7]})
+    joined, _ = hash_join(probe, build, ["k"], ["k2"], how="left")
+    out = group_aggregate(
+        joined, [], [AggSpec("count_distinct", col("v"), "nd")]
+    )
+    assert out.to_rows() == [(1,)]
+
+
+def test_distinct(table):
+    out = distinct(table, ["g", "h"])
+    assert _rows(out) == [("a", 1), ("a", 2), ("b", 1)]
+
+
+def test_bad_agg_func_rejected():
+    with pytest.raises(ExecutionError):
+        AggSpec("median", col("v"), "m")
+
+
+def test_agg_requires_input():
+    with pytest.raises(ExecutionError):
+        AggSpec("sum", None, "s")
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=4),
+            st.integers(min_value=-100, max_value=100),
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_group_sum_matches_reference(pairs):
+    t = Table.from_pydict(
+        "t", {"g": [p[0] for p in pairs], "v": [float(p[1]) for p in pairs]}
+    )
+    out = group_aggregate(t, [GroupKey("g")], [AggSpec("sum", col("v"), "s")])
+    expected = {}
+    for g, v in pairs:
+        expected[g] = expected.get(g, 0.0) + v
+    got = {r[0]: r[1] for r in out.to_rows()}
+    assert got.keys() == expected.keys()
+    for key in expected:
+        assert got[key] == pytest.approx(expected[key])

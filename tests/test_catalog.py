@@ -1,0 +1,64 @@
+"""Unit tests for the table catalog."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+
+
+def _t(name, n=1):
+    return Table.from_pydict(name, {"a": list(range(n))})
+
+
+def test_register_and_get():
+    cat = Catalog()
+    cat.register(_t("x"))
+    assert cat.get("x").name == "x"
+
+
+def test_register_under_alias():
+    cat = Catalog()
+    cat.register(_t("x"), name="y")
+    assert "y" in cat and "x" not in cat
+
+
+def test_missing_table_raises():
+    with pytest.raises(SchemaError, match="no table 'nope'"):
+        Catalog().get("nope")
+
+
+def test_names_sorted():
+    cat = Catalog()
+    cat.register(_t("b"))
+    cat.register(_t("a"))
+    assert cat.names() == ["a", "b"]
+
+
+def test_scoped_does_not_leak():
+    base = Catalog()
+    base.register(_t("x"))
+    child = base.scoped()
+    child.register(_t("derived"))
+    assert "derived" in child
+    assert "derived" not in base
+    assert "x" in child
+
+
+def test_scoped_sees_preexisting_tables():
+    base = Catalog()
+    base.register(_t("x", 3))
+    assert base.scoped().get("x").num_rows == 3
+
+
+def test_total_rows():
+    cat = Catalog()
+    cat.register(_t("x", 3))
+    cat.register(_t("y", 4))
+    assert cat.total_rows() == 7
+
+
+def test_iteration():
+    cat = Catalog()
+    cat.register(_t("x"))
+    assert list(cat) == ["x"]

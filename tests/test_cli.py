@@ -1,0 +1,53 @@
+"""Tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+def test_parser_subcommands():
+    parser = build_parser()
+    args = parser.parse_args(["tpch", "--sf", "0.004", "--query", "5"])
+    assert args.command == "tpch" and args.query == 5 and args.sf == 0.004
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_tpch_single_query(capsys):
+    code = main(
+        [
+            "tpch", "--sf", "0.003", "--query", "5",
+            "--strategy", "predtrans", "--repeats", "1",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "q5" in out and "predtrans" in out and "prefiltered" in out
+
+
+def test_ssb_single_query(capsys):
+    code = main(
+        [
+            "ssb", "--sf", "0.003", "--query", "1.1",
+            "--strategy", "predtrans", "--repeats", "1",
+        ]
+    )
+    assert code == 0
+    assert "Q1.1" in capsys.readouterr().out
+
+
+def test_fig4_smoke(capsys):
+    code = main(["fig4", "--sf", "0.002", "--repeats", "1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "geomean" in out and "Figure 4" in out
+
+
+def test_q5_case_study_smoke(capsys):
+    code = main(["q5", "--sf", "0.002", "--repeats", "1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Q5 join sizes" in out and "max/min" in out

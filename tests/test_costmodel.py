@@ -1,0 +1,124 @@
+"""Unit tests for the §3.5 cost model."""
+
+import pytest
+
+from repro.core.costmodel import (
+    CostParams,
+    blowup_factor,
+    cost_from_stats,
+    epsilon_prime,
+    nopredtrans_cost,
+    predicted_ranking,
+    predtrans_cost,
+    yannakakis_cost,
+)
+from repro.engine.stats import JoinStat, QueryStats, TransferStats
+from repro.errors import ReproError
+
+
+def test_cost_params_validated():
+    with pytest.raises(ReproError):
+        CostParams(beta=0.0)
+    with pytest.raises(ReproError):
+        CostParams(epsilon=1.0)
+
+
+def test_blowup_factor_no_filtering_is_one():
+    before = {"a": 100, "b": 50}
+    assert blowup_factor(before, dict(before), epsilon=0.01) == pytest.approx(1.0)
+
+
+def test_blowup_factor_matches_formula():
+    before = {"a": 100}
+    after = {"a": 10}
+    # 1 + (90/10)*0.01 = 1.09
+    assert blowup_factor(before, after, 0.01) == pytest.approx(1.09)
+
+
+def test_blowup_factor_multiplies_over_tables():
+    before = {"a": 100, "b": 100}
+    after = {"a": 10, "b": 50}
+    expected = (1 + 9 * 0.01) * (1 + 1 * 0.01)
+    assert blowup_factor(before, after, 0.01) == pytest.approx(expected)
+
+
+def test_blowup_ignores_empty_tables():
+    assert blowup_factor({"a": 100}, {"a": 0}, 0.01) == pytest.approx(1.0)
+
+
+def test_epsilon_prime_uses_worst_selectivity():
+    before = {"a": 100, "b": 100}
+    after = {"a": 50, "b": 10}  # worst survival = 0.1
+    assert epsilon_prime(before, after, 0.01) == pytest.approx((10 - 1) * 0.01)
+
+
+def test_epsilon_prime_zero_when_unfiltered():
+    assert epsilon_prime({"a": 5}, {"a": 5}, 0.01) == 0.0
+
+
+def test_strategy_cost_formulas_order_as_paper():
+    """With selective filtering, β ≪ 1 must rank:
+    predtrans < yannakakis < nopredtrans."""
+    n, t, out = 1_000_000, 6, 1_000
+    params = CostParams(beta=0.05, epsilon=0.01)
+    eps_p = epsilon_prime({"x": 100}, {"x": 10}, params.epsilon)
+    pred = predtrans_cost(n, t, out, params, eps_p)
+    yann = yannakakis_cost(n, t, out)
+    base = nopredtrans_cost(join_input_rows=5 * n)
+    assert pred < yann < base
+
+
+def test_cost_from_stats_charges_beta_for_bloom():
+    stats = QueryStats(strategy="predtrans", query="q")
+    stats.transfer = TransferStats(bloom_inserts=100, bloom_probes=900)
+    stats.joins.append(JoinStat("Join 1", ht_rows=10, pr_rows=90, out_rows=5))
+    cost = cost_from_stats(stats, CostParams(beta=0.1))
+    assert cost == pytest.approx(0.1 * 1000 + 100)
+
+
+def test_cost_from_stats_charges_unit_for_hash():
+    stats = QueryStats(strategy="yannakakis", query="q")
+    stats.transfer = TransferStats(hash_inserts=100, hash_probes=900)
+    stats.joins.append(JoinStat("Join 1", ht_rows=10, pr_rows=90, out_rows=5))
+    assert cost_from_stats(stats) == pytest.approx(1000 + 100)
+
+
+def test_cost_from_stats_recurses_into_stages():
+    inner = QueryStats(strategy="predtrans", query="stage")
+    inner.joins.append(JoinStat("Join 1", ht_rows=5, pr_rows=5, out_rows=1))
+    outer = QueryStats(strategy="predtrans", query="main")
+    outer.stage_stats.append(inner)
+    assert cost_from_stats(outer) == pytest.approx(10)
+
+
+def test_cost_from_stats_counts_each_join_once():
+    inner = QueryStats(strategy="predtrans", query="stage")
+    inner.joins.append(JoinStat("J", ht_rows=3, pr_rows=4, out_rows=1))
+    outer = QueryStats(strategy="predtrans", query="main")
+    outer.joins.append(JoinStat("J", ht_rows=10, pr_rows=20, out_rows=1))
+    outer.stage_stats.append(inner)
+    # outer join input (30) + stage join input (7), each exactly once.
+    assert cost_from_stats(outer) == pytest.approx(30 + 7)
+
+
+def test_predicted_ranking_on_measured_stats(small_catalog):
+    """On Q5 the op-count model must rank predtrans ahead of
+    nopredtrans and bloomjoin (the paper's measured ordering)."""
+    from repro.core.runner import run_query
+    from repro.tpch.queries import get_query
+
+    from .conftest import SMALL_SF
+
+    spec = get_query(5, sf=SMALL_SF)
+    stats = {
+        s: run_query(spec, small_catalog, strategy=s).stats
+        for s in ("nopredtrans", "bloomjoin", "yannakakis", "predtrans")
+    }
+    ranking = predicted_ranking(stats)
+    assert ranking[0] == "predtrans"
+    assert ranking.index("predtrans") < ranking.index("nopredtrans")
+    assert ranking.index("predtrans") < ranking.index("bloomjoin")
+    # Note: the unit-cost model prices Yannakakis' semi-join phase at
+    # ~2N hash ops, which puts it near NoPredTrans — matching the
+    # paper's Figure 4 geomean (Yannakakis ≈ baseline), even though a
+    # vectorized substrate executes it faster than the model charges.

@@ -1,0 +1,222 @@
+"""Unit/property tests for the vectorized equi-join."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.hashjoin import hash_join, join_indices
+from repro.errors import ExecutionError
+from repro.expr.nodes import col, lit
+from repro.storage.table import Table
+
+small_keys = st.lists(
+    st.integers(min_value=0, max_value=8), min_size=0, max_size=30
+)
+
+
+def _t(name, **cols):
+    return Table.from_pydict(name, cols)
+
+
+# ----------------------------------------------------------------------
+# join_indices kernel
+# ----------------------------------------------------------------------
+def test_join_indices_basic():
+    probe = np.array([1, 2, 3], dtype=np.int64)
+    build = np.array([2, 2, 4], dtype=np.int64)
+    pi, bi, counts = join_indices(probe, build)
+    assert counts.tolist() == [0, 2, 0]
+    assert pi.tolist() == [1, 1]
+    assert sorted(bi.tolist()) == [0, 1]
+
+
+def test_join_indices_empty_sides():
+    e = np.empty(0, dtype=np.int64)
+    k = np.array([1], dtype=np.int64)
+    for probe, build in ((e, k), (k, e), (e, e)):
+        pi, bi, counts = join_indices(probe, build)
+        assert len(pi) == 0 and len(bi) == 0
+        assert len(counts) == len(probe)
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_keys, small_keys)
+def test_join_indices_matches_nested_loop(probe_list, build_list):
+    probe = np.asarray(probe_list, dtype=np.int64)
+    build = np.asarray(build_list, dtype=np.int64)
+    pi, bi, counts = join_indices(probe, build)
+    got = sorted(zip(pi.tolist(), bi.tolist()))
+    expected = sorted(
+        (i, j)
+        for i, p in enumerate(probe_list)
+        for j, b in enumerate(build_list)
+        if p == b
+    )
+    assert got == expected
+    for i, p in enumerate(probe_list):
+        assert counts[i] == build_list.count(p)
+
+
+# ----------------------------------------------------------------------
+# hash_join operator
+# ----------------------------------------------------------------------
+def test_inner_join_merges_columns():
+    probe = _t("p", k=[1, 2, 2], a=[10, 20, 21])
+    build = _t("b", k2=[2, 3], c=[200, 300])
+    out, stat = hash_join(probe, build, ["k"], ["k2"])
+    assert sorted(out.to_rows()) == [(2, 20, 2, 200), (2, 21, 2, 200)]
+    assert stat.ht_rows == 2 and stat.pr_rows == 3 and stat.out_rows == 2
+
+
+def test_inner_join_duplicates_both_sides():
+    probe = _t("p", k=[1, 1])
+    build = _t("b", k2=[1, 1, 1])
+    out, _ = hash_join(probe, build, ["k"], ["k2"])
+    assert out.num_rows == 6
+
+
+def test_left_join_null_extends():
+    probe = _t("p", k=[1, 2], a=[10, 20])
+    build = _t("b", k2=[2], c=[200])
+    out, _ = hash_join(probe, build, ["k"], ["k2"], how="left")
+    rows = sorted(out.to_rows(), key=lambda r: r[0])
+    assert rows == [(1, 10, None, None), (2, 20, 2, 200)]
+
+
+def test_semi_join_keeps_probe_columns_once():
+    probe = _t("p", k=[1, 2, 3], a=[10, 20, 30])
+    build = _t("b", k2=[2, 2, 3])
+    out, _ = hash_join(probe, build, ["k"], ["k2"], how="semi")
+    assert sorted(out.to_rows()) == [(2, 20), (3, 30)]
+    assert out.column_names == ["k", "a"]
+
+
+def test_anti_join():
+    probe = _t("p", k=[1, 2, 3])
+    build = _t("b", k2=[2])
+    out, _ = hash_join(probe, build, ["k"], ["k2"], how="anti")
+    assert sorted(r[0] for r in out.to_rows()) == [1, 3]
+
+
+def test_anti_join_empty_build_keeps_all():
+    probe = _t("p", k=[1, 2])
+    build = _t("b", k2=np.empty(0, dtype=np.int64))
+    out, _ = hash_join(probe, build, ["k"], ["k2"], how="anti")
+    assert out.num_rows == 2
+
+
+def test_multi_key_join():
+    probe = _t("p", k1=[1, 1, 2], k2=[5, 6, 5])
+    build = _t("b", j1=[1, 2], j2=[6, 5], v=[100, 200])
+    out, _ = hash_join(probe, build, ["k1", "k2"], ["j1", "j2"])
+    assert sorted((r[0], r[1], r[4]) for r in out.to_rows()) == [
+        (1, 6, 100),
+        (2, 5, 200),
+    ]
+
+
+def test_residual_inner():
+    probe = _t("p", k=[1, 1], a=[5, 15])
+    build = _t("b", k2=[1], c=[10])
+    out, _ = hash_join(
+        probe, build, ["k"], ["k2"], residual=col("a").gt(col("c"))
+    )
+    assert out.to_rows() == [(1, 15, 1, 10)]
+
+
+def test_residual_semi_semantics():
+    # A probe row whose only matches fail the residual is NOT a match.
+    probe = _t("p", k=[1, 2], a=[5, 50])
+    build = _t("b", k2=[1, 2], c=[10, 10])
+    out, _ = hash_join(
+        probe, build, ["k"], ["k2"], how="semi", residual=col("a").gt(col("c"))
+    )
+    assert out.to_rows() == [(2, 50)]
+
+
+def test_residual_anti_semantics():
+    probe = _t("p", k=[1, 2], a=[5, 50])
+    build = _t("b", k2=[1, 2], c=[10, 10])
+    out, _ = hash_join(
+        probe, build, ["k"], ["k2"], how="anti", residual=col("a").gt(col("c"))
+    )
+    assert out.to_rows() == [(1, 5)]
+
+
+def test_residual_left_semantics():
+    # Failing the ON-clause residual null-extends rather than dropping.
+    probe = _t("p", k=[1], a=[5])
+    build = _t("b", k2=[1], c=[10])
+    out, _ = hash_join(
+        probe, build, ["k"], ["k2"], how="left", residual=col("a").gt(col("c"))
+    )
+    assert out.to_rows() == [(1, 5, None, None)]
+
+
+def test_probe_rows_restriction():
+    probe = _t("p", k=[1, 2, 3], a=[10, 20, 30])
+    build = _t("b", k2=[1, 2, 3])
+    out, stat = hash_join(
+        probe, build, ["k"], ["k2"], probe_rows=np.array([0, 2])
+    )
+    assert sorted(r[0] for r in out.to_rows()) == [1, 3]
+    assert stat.pr_rows == 2  # PR counts only surviving probe rows
+
+
+def test_probe_rows_with_semi():
+    probe = _t("p", k=[1, 2, 3])
+    build = _t("b", k2=[1, 2, 3])
+    out, _ = hash_join(
+        probe, build, ["k"], ["k2"], how="semi", probe_rows=np.array([1])
+    )
+    assert out.to_rows() == [(2,)]
+
+
+def test_probe_rows_rejected_for_left():
+    probe = _t("p", k=[1])
+    build = _t("b", k2=[1])
+    with pytest.raises(ExecutionError):
+        hash_join(
+            probe, build, ["k"], ["k2"], how="left", probe_rows=np.array([0])
+        )
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ExecutionError):
+        hash_join(_t("p", k=[1]), _t("b", k2=[1]), ["k"], ["k2"], how="cross")
+
+
+def test_duplicate_column_names_rejected():
+    with pytest.raises(ExecutionError):
+        hash_join(_t("p", k=[1]), _t("b", k=[1]), ["k"], ["k"])
+
+
+def test_join_string_keys():
+    probe = _t("p", k=["x", "y"])
+    build = _t("b", k2=["y", "z"], v=[1, 2])
+    out, _ = hash_join(probe, build, ["k"], ["k2"])
+    assert out.to_rows() == [("y", "y", 1)]
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_keys, small_keys)
+def test_join_kinds_match_reference(probe_list, build_list):
+    probe = _t("p", k=np.asarray(probe_list, dtype=np.int64))
+    build = _t("b", k2=np.asarray(build_list, dtype=np.int64))
+    build_set = set(build_list)
+    inner, _ = hash_join(probe, build, ["k"], ["k2"])
+    expected_inner = sum(build_list.count(p) for p in probe_list)
+    assert inner.num_rows == expected_inner
+    semi, _ = hash_join(probe, build, ["k"], ["k2"], how="semi")
+    assert sorted(r[0] for r in semi.to_rows()) == sorted(
+        p for p in probe_list if p in build_set
+    )
+    anti, _ = hash_join(probe, build, ["k"], ["k2"], how="anti")
+    assert sorted(r[0] for r in anti.to_rows()) == sorted(
+        p for p in probe_list if p not in build_set
+    )
+    left, _ = hash_join(probe, build, ["k"], ["k2"], how="left")
+    assert left.num_rows == sum(
+        max(1, build_list.count(p)) for p in probe_list
+    )

@@ -1,0 +1,109 @@
+"""Unit/property tests for exact join-key normalization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.keys import normalize_join_keys, single_key_i64
+from repro.errors import ExecutionError
+from repro.storage.column import Column
+
+
+def test_single_int_key_identity_like():
+    left = Column.from_ints([1, 2, 3])
+    right = Column.from_ints([3, 4])
+    lk, rk = normalize_join_keys([left], [right])
+    assert (lk[2] == rk[0]) and (lk[0] != rk[0])
+
+
+def test_single_key_negative_ints():
+    left = Column.from_ints([-1, 0])
+    right = Column.from_ints([0, -1])
+    lk, rk = normalize_join_keys([left], [right])
+    assert lk[0] == rk[1] and lk[1] == rk[0]
+
+
+def test_float_keys_exact():
+    left = Column.from_floats([1.5, 2.5])
+    right = Column.from_floats([2.5])
+    lk, rk = normalize_join_keys([left], [right])
+    assert lk[1] == rk[0] and lk[0] != rk[0]
+
+
+def test_string_keys_cross_dictionary():
+    left = Column.from_strings(["a", "b", "c"])
+    right = Column.from_strings(["c", "a"])
+    lk, rk = normalize_join_keys([left], [right])
+    assert lk[0] == rk[1]
+    assert lk[2] == rk[0]
+    assert lk[1] not in (rk[0], rk[1])
+
+
+def test_arity_mismatch_rejected():
+    c = Column.from_ints([1])
+    with pytest.raises(ExecutionError):
+        normalize_join_keys([c, c], [c])
+
+
+def test_zero_keys_rejected():
+    with pytest.raises(ExecutionError):
+        normalize_join_keys([], [])
+
+
+def test_multi_key_packing_exact():
+    left = Column.from_ints([1, 1, 2]), Column.from_ints([10, 20, 10])
+    right = Column.from_ints([1, 2]), Column.from_ints([20, 10])
+    lk, rk = normalize_join_keys(list(left), list(right))
+    # (1,20) matches; (1,10) and (2,10) match only their exact pairs.
+    assert lk[1] == rk[0]
+    assert lk[2] == rk[1]
+    assert lk[0] != rk[0] and lk[0] != rk[1]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=-1000, max_value=1000),
+            st.integers(min_value=-1000, max_value=1000),
+        ),
+        min_size=1,
+        max_size=50,
+    ),
+    st.lists(
+        st.tuples(
+            st.integers(min_value=-1000, max_value=1000),
+            st.integers(min_value=-1000, max_value=1000),
+        ),
+        min_size=1,
+        max_size=50,
+    ),
+)
+def test_multi_key_equivalence_property(left_pairs, right_pairs):
+    """Packed keys are equal exactly when the logical tuples are equal."""
+    la = Column.from_ints([p[0] for p in left_pairs])
+    lb = Column.from_ints([p[1] for p in left_pairs])
+    ra = Column.from_ints([p[0] for p in right_pairs])
+    rb = Column.from_ints([p[1] for p in right_pairs])
+    lk, rk = normalize_join_keys([la, lb], [ra, rb])
+    for i, lp in enumerate(left_pairs):
+        for j, rp in enumerate(right_pairs):
+            assert (lk[i] == rk[j]) == (lp == rp)
+
+
+def test_huge_cardinality_falls_back_to_hashing():
+    # Two columns whose cardinality product exceeds 2^62 triggers the
+    # hash-combine fallback; matching pairs must still collide.
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, 2**62, size=100)
+    b = rng.integers(0, 2**62, size=100)
+    la, lb = Column.from_ints(a), Column.from_ints(b)
+    lk, rk = normalize_join_keys([la, lb], [la, lb])
+    assert np.array_equal(lk, rk)
+
+
+def test_single_key_i64_strings():
+    col = Column.from_strings(["x", "x", "y"])
+    keys = single_key_i64(col)
+    assert keys[0] == keys[1] != keys[2]

@@ -1,0 +1,84 @@
+"""Unit tests for query specifications and validation."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.expr.nodes import col, lit
+from repro.plan.query import JoinEdge, QuerySpec, Relation, edge
+
+
+def test_relation_alias_cannot_contain_dot():
+    with pytest.raises(PlanError):
+        Relation("a.b", "t")
+
+
+def test_edge_builder_single_pair():
+    e = edge("r", "s", ("a", "b"))
+    assert e.left_keys == ("a",) and e.right_keys == ("b",)
+    assert e.qualified_left() == ["r.a"]
+    assert e.qualified_right() == ["s.b"]
+
+
+def test_edge_builder_multi_pair():
+    e = edge("r", "s", [("a", "b"), ("c", "d")])
+    assert e.left_keys == ("a", "c")
+    assert e.right_keys == ("b", "d")
+
+
+def test_edge_kind_validated():
+    with pytest.raises(PlanError):
+        JoinEdge("r", "s", ("a",), ("b",), how="cross")
+
+
+def test_edge_keys_must_align():
+    with pytest.raises(PlanError):
+        JoinEdge("r", "s", ("a", "c"), ("b",))
+    with pytest.raises(PlanError):
+        JoinEdge("r", "s", (), ())
+
+
+def test_duplicate_aliases_rejected():
+    with pytest.raises(PlanError):
+        QuerySpec(
+            "q",
+            relations=[Relation("r", "t1"), Relation("r", "t2")],
+        )
+
+
+def test_edge_unknown_alias_rejected():
+    with pytest.raises(PlanError):
+        QuerySpec(
+            "q",
+            relations=[Relation("r", "t1")],
+            edges=[edge("r", "ghost", ("a", "b"))],
+        )
+
+
+def test_join_order_validation():
+    spec = QuerySpec(
+        "q",
+        relations=[Relation("r", "t1"), Relation("s", "t2")],
+        edges=[edge("r", "s", ("a", "b"))],
+    )
+    spec.validate_join_order(["s", "r"])
+    with pytest.raises(PlanError):
+        spec.validate_join_order(["r"])
+    with pytest.raises(PlanError):
+        spec.validate_join_order(["r", "s", "x"])
+
+
+def test_bad_stored_join_order_rejected_at_build():
+    with pytest.raises(PlanError):
+        QuerySpec(
+            "q",
+            relations=[Relation("r", "t1")],
+            join_order=["r", "ghost"],
+        )
+
+
+def test_relation_lookup():
+    spec = QuerySpec("q", relations=[Relation("r", "t1", col("r.a").gt(lit(0)))])
+    assert spec.relation("r").table == "t1"
+    with pytest.raises(PlanError):
+        spec.relation("nope")
+    assert set(spec.alias_map()) == {"r"}

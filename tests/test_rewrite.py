@@ -1,0 +1,83 @@
+"""Unit tests for scalar-subquery resolution."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.expr.nodes import (
+    Literal,
+    ScalarRef,
+    case,
+    col,
+    lit,
+    substr,
+    year,
+)
+from repro.plan.rewrite import has_scalar_refs, resolve_scalars
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    cat.register(Table.from_pydict("one", {"v": [42.5], "n": [7]}))
+    cat.register(Table.from_pydict("many", {"v": [1.0, 2.0]}))
+    return cat
+
+
+def test_resolves_to_literal(catalog):
+    expr = col("a").gt(ScalarRef("one", "v"))
+    resolved = resolve_scalars(expr, catalog)
+    assert resolved.right == Literal(42.5)
+    assert not has_scalar_refs(resolved)
+
+
+def test_resolves_inside_arithmetic(catalog):
+    expr = col("a").gt(ScalarRef("one", "v") * lit(2.0))
+    resolved = resolve_scalars(expr, catalog)
+    assert not has_scalar_refs(resolved)
+
+
+def test_resolves_inside_case_between_like(catalog):
+    expr = case(
+        [(col("s").like("x%"), ScalarRef("one", "v"))],
+        col("a").between(lit(0), ScalarRef("one", "n")),
+    )
+    resolved = resolve_scalars(expr, catalog)
+    assert not has_scalar_refs(resolved)
+
+
+def test_resolves_inside_substr_year_not(catalog):
+    expr = ~(substr(col("s"), 1, 2).eq(lit("ab"))) | year(col("d")).eq(
+        ScalarRef("one", "n")
+    )
+    resolved = resolve_scalars(expr, catalog)
+    assert not has_scalar_refs(resolved)
+
+
+def test_none_passthrough(catalog):
+    assert resolve_scalars(None, catalog) is None
+
+
+def test_multi_row_scalar_rejected(catalog):
+    with pytest.raises(PlanError, match="2 rows"):
+        resolve_scalars(col("a").gt(ScalarRef("many", "v")), catalog)
+
+
+def test_missing_table_rejected(catalog):
+    from repro.errors import SchemaError
+
+    with pytest.raises(SchemaError):
+        resolve_scalars(col("a").gt(ScalarRef("ghost", "v")), catalog)
+
+
+def test_has_scalar_refs(catalog):
+    assert has_scalar_refs(col("a").gt(ScalarRef("one", "v")))
+    assert not has_scalar_refs(col("a").gt(lit(1)))
+    assert not has_scalar_refs(None)
+
+
+def test_untouched_expression_identity(catalog):
+    expr = col("a").isin((1, 2)) & col("b").is_null()
+    resolved = resolve_scalars(expr, catalog)
+    assert resolved == expr

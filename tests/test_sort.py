@@ -1,0 +1,87 @@
+"""Unit tests for sort / top-k / limit."""
+
+import numpy as np
+
+from repro.engine.hashjoin import hash_join
+from repro.engine.sort import limit, sort_table, top_k
+from repro.storage.column import Column
+from repro.storage.table import Table
+
+
+def _t(**cols):
+    return Table.from_pydict("t", cols)
+
+
+def test_single_key_asc():
+    t = _t(a=[3, 1, 2])
+    assert [r[0] for r in sort_table(t, [("a", "asc")]).to_rows()] == [1, 2, 3]
+
+
+def test_single_key_desc():
+    t = _t(a=[3, 1, 2])
+    assert [r[0] for r in sort_table(t, [("a", "desc")]).to_rows()] == [3, 2, 1]
+
+
+def test_multi_key_priority():
+    t = _t(a=[1, 1, 2], b=[2.0, 1.0, 0.0])
+    rows = sort_table(t, [("a", "asc"), ("b", "desc")]).to_rows()
+    assert rows == [(1, 2.0), (1, 1.0), (2, 0.0)]
+
+
+def test_sort_is_stable():
+    t = _t(a=[1, 1, 1], tag=[10, 20, 30])
+    rows = sort_table(t, [("a", "asc")]).to_rows()
+    assert [r[1] for r in rows] == [10, 20, 30]
+
+
+def test_sort_strings_lexicographic():
+    t = _t(s=["pear", "apple", "fig"])
+    rows = sort_table(t, [("s", "asc")]).to_rows()
+    assert [r[0] for r in rows] == ["apple", "fig", "pear"]
+
+
+def test_sort_strings_after_code_surgery():
+    # A dictionary whose codes are NOT in lexicographic order.
+    col = Column.from_codes(
+        np.array([0, 1, 2], dtype=np.int32),
+        np.array(["zebra", "apple", "mango"], dtype=object),
+    )
+    t = Table("t", {"s": col})
+    rows = sort_table(t, [("s", "asc")]).to_rows()
+    assert [r[0] for r in rows] == ["apple", "mango", "zebra"]
+
+
+def test_sort_dates():
+    t = _t(d=Column.from_dates(["1995-01-01", "1993-06-01", "1994-01-01"]))
+    rows = sort_table(t, [("d", "asc")]).to_rows()
+    assert [r[0] for r in rows] == ["1993-06-01", "1994-01-01", "1995-01-01"]
+
+
+def test_nulls_sort_last_both_directions():
+    probe = _t(k=[1, 2])
+    build = Table.from_pydict("b", {"k2": [1], "v": [5]})
+    joined, _ = hash_join(probe, build, ["k"], ["k2"], how="left")
+    for direction in ("asc", "desc"):
+        rows = sort_table(joined, [("v", direction)]).to_rows()
+        assert rows[-1][2] is None
+
+
+def test_top_k():
+    t = _t(a=[5, 3, 9, 1])
+    assert [r[0] for r in top_k(t, [("a", "desc")], 2).to_rows()] == [9, 5]
+
+
+def test_limit():
+    t = _t(a=[5, 3, 9])
+    assert limit(t, 2).num_rows == 2
+    assert limit(t, 10).num_rows == 3
+
+
+def test_sort_empty_table():
+    t = _t(a=np.empty(0, dtype=np.int64))
+    assert sort_table(t, [("a", "asc")]).num_rows == 0
+
+
+def test_sort_no_keys_is_identity():
+    t = _t(a=[2, 1])
+    assert sort_table(t, []).to_rows() == [(2,), (1,)]

@@ -1,0 +1,125 @@
+"""Tests for the SSB substrate: generator integrity and cross-strategy
+equivalence on all 13 queries."""
+
+import numpy as np
+import pytest
+
+from repro.core.runner import STRATEGIES, run_query
+from repro.ssb import ALL_SSB_QUERY_IDS, SSBGenerator, generate_ssb, get_ssb_query
+
+
+@pytest.fixture(scope="module")
+def ssb_catalog():
+    return generate_ssb(sf=0.01, seed=3)
+
+
+def test_tables_and_cardinalities(ssb_catalog):
+    assert ssb_catalog.names() == [
+        "customer", "date", "lineorder", "part", "supplier",
+    ]
+    assert ssb_catalog.get("date").num_rows == 7 * 365
+    assert ssb_catalog.get("customer").num_rows == 300
+    assert ssb_catalog.get("supplier").num_rows == 20
+    assert ssb_catalog.get("lineorder").num_rows == 60_000
+
+
+def test_date_dimension_structure(ssb_catalog):
+    date = ssb_catalog.get("date")
+    keys = date.column("d_datekey").data
+    years = date.column("d_year").data
+    assert keys.min() == 19920101 and keys.max() == 19981231
+    assert np.array_equal(np.unique(years), np.arange(1992, 1999))
+    monthnums = date.column("d_yearmonthnum").data
+    assert ((monthnums // 100) == years).all()
+
+
+def test_fact_foreign_keys(ssb_catalog):
+    lo = ssb_catalog.get("lineorder")
+    for fk, dim, pk in (
+        ("lo_custkey", "customer", "c_custkey"),
+        ("lo_suppkey", "supplier", "s_suppkey"),
+        ("lo_partkey", "part", "p_partkey"),
+        ("lo_orderdate", "date", "d_datekey"),
+    ):
+        child = lo.column(fk).data
+        parent = ssb_catalog.get(dim).column(pk).data
+        assert np.isin(child, parent).all(), fk
+
+
+def test_brand_hierarchy(ssb_catalog):
+    part = ssb_catalog.get("part")
+    mfgr = part.column("p_mfgr").to_values()
+    category = part.column("p_category").to_values()
+    brand = part.column("p_brand1").to_values()
+    for i in (0, 50, 500):
+        assert str(category[i]).startswith(str(mfgr[i]))
+        assert str(brand[i]).startswith(str(category[i]))
+
+
+def test_city_nation_region_consistent(ssb_catalog):
+    cust = ssb_catalog.get("customer")
+    cities = cust.column("c_city").to_values()
+    nations = cust.column("c_nation").to_values()
+    for i in (0, 9, 99):
+        assert str(cities[i])[:9].strip() == str(nations[i])[:9].strip()
+
+
+def test_revenue_formula(ssb_catalog):
+    lo = ssb_catalog.get("lineorder")
+    expected = (
+        lo.column("lo_extendedprice").data
+        * (100 - lo.column("lo_discount").data)
+        / 100.0
+    )
+    assert np.allclose(lo.column("lo_revenue").data, expected)
+
+
+def test_determinism():
+    a = generate_ssb(sf=0.005, seed=11)
+    b = generate_ssb(sf=0.005, seed=11)
+    assert a.get("lineorder").column("lo_partkey").equals(
+        b.get("lineorder").column("lo_partkey")
+    )
+
+
+def test_generator_scaling():
+    gen = SSBGenerator(sf=0.1)
+    assert gen.num_suppliers == 200
+    assert gen.num_lineorders == 600_000
+
+
+def test_unknown_query_rejected():
+    with pytest.raises(ValueError):
+        get_ssb_query("9.9")
+
+
+@pytest.mark.parametrize("qid", ALL_SSB_QUERY_IDS)
+def test_strategies_agree_on_ssb(ssb_catalog, qid):
+    spec = get_ssb_query(qid)
+    reference = None
+    for strategy in STRATEGIES:
+        result = run_query(spec, ssb_catalog, strategy=strategy)
+        rows = sorted(
+            map(
+                repr,
+                (
+                    tuple(
+                        round(v, 6) if isinstance(v, float) else v for v in row
+                    )
+                    for row in result.table.to_rows()
+                ),
+            )
+        )
+        if reference is None:
+            reference = rows
+        else:
+            assert rows == reference, (qid, strategy)
+
+
+def test_star_transfer_reaches_fact_table(ssb_catalog):
+    """On a star, every dimension filter must reach the fact table in
+    the forward pass — lineorder survivors shrink accordingly."""
+    spec = get_ssb_query("3.3")  # very selective city predicates
+    result = run_query(spec, ssb_catalog, strategy="predtrans")
+    transfer = result.stats.transfer
+    assert transfer.rows_after["lo"] < transfer.rows_before["lo"] * 0.2

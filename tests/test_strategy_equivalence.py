@@ -1,0 +1,132 @@
+"""Integration tests: every TPC-H query must return the same result
+under all four strategies (and all transfer-config variants).
+
+This is the strongest end-to-end correctness check in the suite: the
+four strategies share no pre-filtering code, so identical results mean
+the Bloom transfer kept every contributing row (no false negatives) and
+the join phase removed every false positive.
+"""
+
+import pytest
+
+from repro.core.runner import STRATEGIES, RunConfig, run_query
+from repro.core.transfer import TransferConfig
+from repro.tpch.queries import ALL_QUERY_IDS, get_query
+
+from .conftest import SMALL_SF
+
+
+def _canonical(table):
+    """Order-insensitive rows with float rounding (sum order varies)."""
+    rows = []
+    for row in table.to_rows():
+        rows.append(
+            tuple(
+                round(v, 6) if isinstance(v, float) else v for v in row
+            )
+        )
+    return sorted(map(repr, rows))
+
+
+def _sorted_prefix(table, k=10):
+    """The first k rows (for ORDER BY ... LIMIT queries the prefix set
+    must agree after rounding)."""
+    return _canonical(table.head(k))
+
+
+@pytest.mark.parametrize("qid", ALL_QUERY_IDS)
+def test_all_strategies_agree(small_catalog, qid):
+    spec = get_query(qid, sf=SMALL_SF)
+    reference = None
+    for strategy in STRATEGIES:
+        result = run_query(spec, small_catalog, strategy=strategy)
+        canon = _canonical(result.table)
+        if reference is None:
+            reference = canon
+        else:
+            assert canon == reference, f"q{qid}: {strategy} diverged"
+
+
+@pytest.mark.parametrize("qid", [2, 5, 9, 13, 16, 21, 22])
+def test_exact_filter_transfer_agrees(small_catalog, qid):
+    spec = get_query(qid, sf=SMALL_SF)
+    bloom = run_query(spec, small_catalog, strategy="predtrans")
+    exact = run_query(
+        spec,
+        small_catalog,
+        config=RunConfig(
+            strategy="predtrans", transfer=TransferConfig(filter_type="exact")
+        ),
+    )
+    assert _canonical(exact.table) == _canonical(bloom.table)
+
+
+@pytest.mark.parametrize("qid", [3, 5, 10, 18])
+def test_replan_agrees(small_catalog, qid):
+    spec = get_query(qid, sf=SMALL_SF)
+    plain = run_query(spec, small_catalog, strategy="predtrans")
+    replanned = run_query(
+        spec,
+        small_catalog,
+        config=RunConfig(strategy="predtrans", replan=True),
+    )
+    assert _canonical(replanned.table) == _canonical(plain.table)
+
+
+@pytest.mark.parametrize("qid", [5, 9])
+def test_pruning_preserves_results(small_catalog, qid):
+    spec = get_query(qid, sf=SMALL_SF)
+    plain = run_query(spec, small_catalog, strategy="predtrans")
+    pruned = run_query(
+        spec,
+        small_catalog,
+        config=RunConfig(
+            strategy="predtrans",
+            transfer=TransferConfig(prune_selectivity=0.5),
+        ),
+    )
+    assert _canonical(pruned.table) == _canonical(plain.table)
+
+
+def test_q5_all_join_orders_agree(small_catalog):
+    from repro.tpch.queries import Q5_JOIN_ORDERS
+
+    spec = get_query(5, sf=SMALL_SF)
+    reference = None
+    for name, order in Q5_JOIN_ORDERS.items():
+        for strategy in STRATEGIES:
+            result = run_query(
+                spec, small_catalog, strategy=strategy, join_order=list(order)
+            )
+            canon = _canonical(result.table)
+            if reference is None:
+                reference = canon
+            else:
+                assert canon == reference, (name, strategy)
+
+
+def test_yannakakis_root_invariance(small_catalog):
+    spec = get_query(5, sf=SMALL_SF)
+    reference = None
+    for root in ("l", "r", "c"):
+        result = run_query(
+            spec,
+            small_catalog,
+            config=RunConfig(strategy="yannakakis", yannakakis_root=root),
+        )
+        canon = _canonical(result.table)
+        reference = reference or canon
+        assert canon == reference
+
+
+@pytest.mark.parametrize("qid", ALL_QUERY_IDS)
+def test_predtrans_never_increases_join_inputs(small_catalog, qid):
+    """Predicate transfer must never feed MORE rows to the join phase
+    than no pre-filtering at all."""
+    spec = get_query(qid, sf=SMALL_SF)
+    baseline = run_query(spec, small_catalog, strategy="nopredtrans")
+    predtrans = run_query(spec, small_catalog, strategy="predtrans")
+    assert (
+        predtrans.stats.total_join_input_rows()
+        <= baseline.stats.total_join_input_rows()
+    )

@@ -1,0 +1,222 @@
+"""Tests for the TPC-H data generator: sizes, referential integrity,
+spec formulas, distributions and determinism."""
+
+import numpy as np
+import pytest
+
+from repro.storage.dates import date_to_days
+from repro.tpch import FOREIGN_KEYS, TPCHGenerator, generate_tpch
+from repro.tpch.schema import ALL_TABLES
+
+
+SF = 0.01
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return generate_tpch(sf=SF, seed=123)
+
+
+def test_all_tables_present(catalog):
+    assert catalog.names() == sorted(t.name for t in ALL_TABLES)
+
+
+def test_schema_columns_match_declaration(catalog):
+    for schema in ALL_TABLES:
+        table = catalog.get(schema.name)
+        assert table.column_names == schema.column_names()
+        for col_schema in schema.columns:
+            assert table.column(col_schema.name).dtype is col_schema.dtype
+
+
+def test_scaled_cardinalities(catalog):
+    assert catalog.get("region").num_rows == 5
+    assert catalog.get("nation").num_rows == 25
+    assert catalog.get("supplier").num_rows == 100
+    assert catalog.get("part").num_rows == 2000
+    assert catalog.get("partsupp").num_rows == 8000
+    assert catalog.get("customer").num_rows == 1500
+    assert catalog.get("orders").num_rows == 15000
+    # lineitem: 1-7 items per order, expectation 4.
+    n_li = catalog.get("lineitem").num_rows
+    assert 3.5 * 15000 < n_li < 4.5 * 15000
+
+
+def test_referential_integrity(catalog):
+    for child, ckey, parent, pkey in FOREIGN_KEYS:
+        child_keys = catalog.get(child).column(ckey).data
+        parent_keys = catalog.get(parent).column(pkey).data
+        missing = ~np.isin(child_keys, parent_keys)
+        assert not missing.any(), f"{child}.{ckey} dangling against {parent}.{pkey}"
+
+
+def test_lineitem_partsupp_pair_integrity(catalog):
+    """(l_partkey, l_suppkey) must exist in partsupp — Q9 joins on it."""
+    li = catalog.get("lineitem")
+    ps = catalog.get("partsupp")
+    n_s = 10**6
+    li_pairs = li.column("l_partkey").data.astype(np.int64) * n_s + li.column(
+        "l_suppkey"
+    ).data
+    ps_pairs = ps.column("ps_partkey").data.astype(np.int64) * n_s + ps.column(
+        "ps_suppkey"
+    ).data
+    assert np.isin(li_pairs, ps_pairs).all()
+
+
+def test_primary_keys_unique(catalog):
+    for schema in ALL_TABLES:
+        table = catalog.get(schema.name)
+        if len(schema.primary_key) == 1:
+            keys = table.column(schema.primary_key[0]).data
+            assert len(np.unique(keys)) == table.num_rows, schema.name
+
+
+def test_partsupp_four_rows_per_part(catalog):
+    ps = catalog.get("partsupp")
+    counts = np.bincount(ps.column("ps_partkey").data)
+    assert (counts[1:] == 4).all()
+
+
+def test_part_retailprice_formula(catalog):
+    part = catalog.get("part")
+    keys = part.column("p_partkey").data
+    expected = (90_000 + (keys // 10) % 20_001 + 100 * (keys % 1_000)) / 100.0
+    assert np.allclose(part.column("p_retailprice").data, expected)
+
+
+def test_extendedprice_is_qty_times_retail(catalog):
+    li = catalog.get("lineitem")
+    part = catalog.get("part")
+    retail = part.column("p_retailprice").data
+    expected = li.column("l_quantity").data * retail[li.column("l_partkey").data - 1]
+    assert np.allclose(li.column("l_extendedprice").data, expected)
+
+
+def test_orderdate_range(catalog):
+    dates = catalog.get("orders").column("o_orderdate").data
+    assert dates.min() >= date_to_days("1992-01-01")
+    assert dates.max() <= date_to_days("1998-08-02") - 151
+
+
+def test_lineitem_date_anchoring(catalog):
+    li = catalog.get("lineitem")
+    orders = catalog.get("orders")
+    odate = orders.column("o_orderdate").data[li.column("l_orderkey").data - 1]
+    ship = li.column("l_shipdate").data
+    commit = li.column("l_commitdate").data
+    receipt = li.column("l_receiptdate").data
+    assert ((ship - odate >= 1) & (ship - odate <= 121)).all()
+    assert ((commit - odate >= 30) & (commit - odate <= 90)).all()
+    assert ((receipt - ship >= 1) & (receipt - ship <= 30)).all()
+
+
+def test_orderstatus_derived_from_linestatus(catalog):
+    li = catalog.get("lineitem")
+    orders = catalog.get("orders")
+    is_open = li.column("l_linestatus").to_values() == "O"
+    per_order_open = np.zeros(orders.num_rows + 1, dtype=np.int64)
+    per_order_total = np.zeros(orders.num_rows + 1, dtype=np.int64)
+    np.add.at(per_order_open, li.column("l_orderkey").data, is_open)
+    np.add.at(per_order_total, li.column("l_orderkey").data, 1)
+    status = orders.column("o_orderstatus").to_values()
+    for ok in (1, 2, 3, 50, 100):
+        expected = (
+            "O"
+            if per_order_open[ok] == per_order_total[ok]
+            else ("F" if per_order_open[ok] == 0 else "P")
+        )
+        assert status[ok - 1] == expected
+
+
+def test_two_thirds_of_customers_have_orders(catalog):
+    custkeys = catalog.get("orders").column("o_custkey").data
+    assert not (custkeys % 3 == 0).any()
+
+
+def test_customer_phone_country_codes(catalog):
+    cust = catalog.get("customer")
+    nationkeys = cust.column("c_nationkey").data
+    phones = cust.column("c_phone").to_values()
+    for i in (0, 10, 99):
+        assert int(str(phones[i]).split("-")[0]) == 10 + nationkeys[i]
+
+
+def test_special_comment_rates(catalog):
+    orders = catalog.get("orders")
+    comments = orders.column("o_comment")
+    import re
+
+    pattern = re.compile(r"special.*requests", re.DOTALL)
+    dict_hits = np.array(
+        [bool(pattern.search(s)) for s in comments.dictionary]
+    )
+    frac = dict_hits[comments.data].mean()
+    assert 0.005 < frac < 0.02  # spec target ~1%
+
+    supp = catalog.get("supplier").column("s_comment")
+    complaint = re.compile(r"Customer.*Complaints", re.DOTALL)
+    hits = np.array([bool(complaint.search(s)) for s in supp.dictionary])
+    assert hits[supp.data].sum() >= 1
+
+
+def test_part_names_contain_queried_colors(catalog):
+    names = catalog.get("part").column("p_name")
+    green = sum("green" in s for s in names.dictionary)
+    assert green > 0
+    # Q20 needs 'forest%' prefixed names at plausible rate (1/92 parts).
+    forest = np.array([s.startswith("forest") for s in names.dictionary])
+    assert forest[names.data].sum() > 0
+
+
+def test_mktsegment_and_shipmode_domains(catalog):
+    seg = set(catalog.get("customer").column("c_mktsegment").dictionary)
+    assert seg <= {
+        "AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD",
+    }
+    modes = set(catalog.get("lineitem").column("l_shipmode").dictionary)
+    assert "AIR" in modes and "MAIL" in modes and len(modes) <= 7
+
+
+def test_returnflag_consistent_with_receiptdate(catalog):
+    li = catalog.get("lineitem")
+    flags = li.column("l_returnflag").to_values()
+    receipt = li.column("l_receiptdate").data
+    cutoff = date_to_days("1995-06-17")
+    late = receipt > cutoff
+    assert (flags[late] == "N").all()
+    assert set(np.unique(flags[~late])) <= {"R", "A"}
+
+
+def test_brand_structure(catalog):
+    part = catalog.get("part")
+    mfgr = part.column("p_mfgr").to_values()
+    brand = part.column("p_brand").to_values()
+    for i in (0, 5, 100):
+        assert str(brand[i]).startswith("Brand#" + str(mfgr[i])[-1])
+
+
+def test_determinism():
+    a = generate_tpch(sf=0.002, seed=9)
+    b = generate_tpch(sf=0.002, seed=9)
+    for name in a.names():
+        ta, tb = a.get(name), b.get(name)
+        assert ta.num_rows == tb.num_rows
+        for cname in ta.column_names:
+            assert ta.column(cname).equals(tb.column(cname)), (name, cname)
+
+
+def test_different_seeds_differ():
+    a = generate_tpch(sf=0.002, seed=1)
+    b = generate_tpch(sf=0.002, seed=2)
+    assert not a.get("orders").column("o_custkey").equals(
+        b.get("orders").column("o_custkey")
+    )
+
+
+def test_generator_class_interface():
+    gen = TPCHGenerator(sf=0.002, seed=5)
+    assert gen.num_suppliers == 20
+    region = gen.region()
+    assert region.num_rows == 5
+    assert sorted(region.column("r_name").to_pylist())[0] == "AFRICA"

@@ -1,0 +1,137 @@
+"""Unit tests for the Yannakakis semi-join baseline."""
+
+import numpy as np
+
+from repro.core.yannakakis import build_join_tree, run_semi_join_phase
+from repro.engine.hashjoin import hash_join
+from repro.plan.joingraph import build_join_graph
+from repro.plan.query import QuerySpec, Relation, edge
+from repro.storage.table import Table
+
+
+def _setup(tables, edges):
+    spec = QuerySpec(
+        "q", relations=[Relation(a, a) for a in tables], edges=edges
+    )
+    jg = build_join_graph(spec)
+    scanned = {a: t.prefixed(a) for a, t in tables.items()}
+    masks = {a: np.ones(t.num_rows, dtype=np.bool_) for a, t in tables.items()}
+    return jg, scanned, masks
+
+
+def _chain():
+    r = Table.from_pydict("r", {"b": [1, 2, 3]})
+    s = Table.from_pydict("s", {"b": [1, 4, 2, 5, 3], "c": [100, 200, 300, 400, 500]})
+    t = Table.from_pydict("t", {"c": [100, 300, 600, 700]})
+    return _setup(
+        {"r": r, "s": s, "t": t},
+        [edge("r", "s", ("b", "b")), edge("s", "t", ("c", "c"))],
+    )
+
+
+def test_join_tree_bfs_and_dropped_edges():
+    jg, _, _ = _chain()
+    jtree = build_join_tree(jg, root="s")
+    assert jtree.root == "s"
+    assert set(jtree.tree.edges) == {("s", "r"), ("s", "t")}
+    assert jtree.dropped_edges == []
+
+
+def test_join_tree_drops_cycle_edges():
+    a = Table.from_pydict("a", {"k": [1]})
+    jg, _, _ = _setup(
+        {"a": a, "b": a, "c": a},
+        [
+            edge("a", "b", ("k", "k")),
+            edge("b", "c", ("k", "k")),
+            edge("c", "a", ("k", "k")),
+        ],
+    )
+    jtree = build_join_tree(jg, root="a")
+    assert len(jtree.dropped_edges) == 1
+
+
+def test_semi_join_phase_exact_on_acyclic_query():
+    """On an acyclic query, every surviving row must participate in the
+    full join result, and every participating row must survive — the
+    Yannakakis guarantee."""
+    jg, scanned, masks = _chain()
+    reduced, stats = run_semi_join_phase(jg, scanned, masks)
+    assert reduced["r"].tolist() == [True, True, False]
+    assert reduced["s"].tolist() == [True, False, True, False, False]
+    assert reduced["t"].tolist() == [True, True, False, False]
+    assert stats.hash_inserts > 0 and stats.hash_probes > 0
+
+
+def test_semi_join_phase_respects_root_choice():
+    jg, scanned, masks = _chain()
+    for root in ("r", "s", "t"):
+        reduced, _ = run_semi_join_phase(
+            jg, scanned, {a: m.copy() for a, m in masks.items()}, root=root
+        )
+        # The reduction itself is root-independent on acyclic queries.
+        assert reduced["s"].tolist() == [True, False, True, False, False]
+
+
+def test_left_join_direction_blocked():
+    c = Table.from_pydict("c", {"k": [1, 2, 3]})
+    o = Table.from_pydict("o", {"k": [1, 1]})
+    jg, scanned, masks = _setup(
+        {"c": c, "o": o}, [edge("c", "o", ("k", "k"), how="left")]
+    )
+    reduced, _ = run_semi_join_phase(jg, scanned, masks)
+    # customers (preserved side) must never be reduced
+    assert reduced["c"].all()
+    # orders may be reduced by the allowed c->o direction
+    assert reduced["o"].all()  # all orders match a customer here
+
+
+def test_anti_edge_never_filters_left_side():
+    ps = Table.from_pydict("ps", {"k": [1, 2, 3]})
+    sc = Table.from_pydict("sc", {"k": [2]})
+    jg, scanned, masks = _setup(
+        {"ps": ps, "sc": sc}, [edge("ps", "sc", ("k", "k"), how="anti")]
+    )
+    reduced, _ = run_semi_join_phase(jg, scanned, masks)
+    assert reduced["ps"].all()  # anti-join left side untouched
+
+
+def test_disconnected_components_handled():
+    a = Table.from_pydict("a", {"k": [1, 2]})
+    b = Table.from_pydict("b", {"k": [2, 3]})
+    c = Table.from_pydict("c", {"x": [9]})
+    jg, scanned, masks = _setup(
+        {"a": a, "b": b, "c": c}, [edge("a", "b", ("k", "k"))]
+    )
+    reduced, _ = run_semi_join_phase(jg, scanned, masks)
+    assert reduced["a"].tolist() == [False, True]
+    assert reduced["c"].all()
+
+
+def test_yannakakis_result_equals_full_join_participation():
+    """Cross-check against a brute-force join on random data."""
+    rng = np.random.default_rng(3)
+    r = Table.from_pydict("r", {"b": rng.integers(0, 10, 40)})
+    s = Table.from_pydict(
+        "s", {"b": rng.integers(0, 10, 40), "c": rng.integers(0, 10, 40)}
+    )
+    t = Table.from_pydict("t", {"c": rng.integers(0, 10, 40)})
+    jg, scanned, masks = _setup(
+        {"r": r, "s": s, "t": t},
+        [edge("r", "s", ("b", "b")), edge("s", "t", ("c", "c"))],
+    )
+    reduced, _ = run_semi_join_phase(jg, scanned, masks)
+    # Brute force: which s rows appear in r ⋈ s ⋈ t?
+    rs, _ = hash_join(
+        scanned["s"].filter(np.ones(40, bool)), scanned["r"], ["s.b"], ["r.b"]
+    )
+    rst, _ = hash_join(rs, scanned["t"], ["s.c"], ["t.c"])
+    surviving_s_b_c = {
+        (row[0], row[1])
+        for row in zip(
+            rst.column("s.b").to_pylist(), rst.column("s.c").to_pylist()
+        )
+    }
+    for i in range(40):
+        key = (int(s.column("b").data[i]), int(s.column("c").data[i]))
+        assert reduced["s"][i] == (key in surviving_s_b_c)
