@@ -1,0 +1,7 @@
+"""Benchmark test package (paper figure/table regeneration).
+
+A real package for the same reason as ``tests/``: the benchmark
+modules share scale-factor constants via ``from .conftest import``.
+Run explicitly with ``pytest benchmarks`` — the default ``pytest``
+invocation collects only the fast tier-1 suite (see pyproject.toml).
+"""

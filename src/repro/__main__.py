@@ -6,12 +6,16 @@ Commands
 ``ssb``    Run SSB queries likewise.
 ``fig4``   Regenerate the paper's Figure 4 table at a chosen SF.
 ``q5``     Regenerate the Q5 case study (Tables 1–2, Figures 5–6).
+``bench``  Measure wall-clock/transfer-phase/filter-memory per query
+           and strategy; ``--json`` writes the machine-readable record
+           (the repo's ``BENCH_*.json`` perf-trajectory artifacts).
 
 Examples::
 
     python -m repro tpch --sf 0.02 --query 5 --strategy predtrans
     python -m repro fig4 --sf 0.05
     python -m repro q5 --sf 0.1
+    python -m repro bench --sf 0.02 --queries 5 --json BENCH.json
 """
 
 from __future__ import annotations
@@ -29,8 +33,11 @@ from .bench.harness import (
     join_size_table,
     run_suite,
     speedup_summary,
+    suite_to_json,
     time_query,
+    write_bench_json,
 )
+from .bench.report import format_table
 from .core.runner import STRATEGIES
 from .ssb import ALL_SSB_QUERY_IDS, generate_ssb, get_ssb_query
 from .tpch import generate_tpch
@@ -95,6 +102,62 @@ def _cmd_q5(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_query_ids(text: str) -> tuple[int, ...]:
+    """argparse type for ``--queries``: comma-separated TPC-H ids."""
+    try:
+        ids = tuple(int(q) for q in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated query numbers, got {text!r}"
+        ) from None
+    bad = [q for q in ids if q not in range(1, 23)]
+    if bad:
+        raise argparse.ArgumentTypeError(f"no TPC-H query {bad[0]}; valid: 1..22")
+    return ids
+
+
+def _parse_strategies(text: str) -> tuple[str, ...]:
+    """argparse type for ``--strategies``: comma-separated strategy names."""
+    names = tuple(text.split(","))
+    bad = [s for s in names if s not in STRATEGIES]
+    if bad:
+        raise argparse.ArgumentTypeError(
+            f"unknown strategy {bad[0]!r}; choose from {STRATEGIES}"
+        )
+    return names
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    catalog = generate_tpch(sf=args.sf, seed=args.seed)
+    query_ids = args.queries if args.queries else BENCH_QUERY_IDS
+    strategies = args.strategies if args.strategies else STRATEGIES
+    suite = run_suite(
+        catalog,
+        sf=args.sf,
+        query_ids=query_ids,
+        strategies=strategies,
+        repeats=args.repeats,
+    )
+    headers = ["query", "strategy", "seconds", "transfer_s", "filter_KiB", "rows"]
+    rows = []
+    for m in suite.measurements:
+        rows.append(
+            [
+                m.query,
+                m.strategy,
+                f"{m.seconds:.4f}",
+                f"{m.stats.transfer_seconds:.4f}",
+                f"{m.stats.transfer.filter_bytes / 1024:.1f}",
+                m.output_rows,
+            ]
+        )
+    print(format_table(headers, rows, title=f"bench (SF={args.sf})"))
+    if args.json:
+        write_bench_json(args.json, suite_to_json(suite, args.repeats, args.seed))
+        print(f"\nwrote {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -125,6 +188,24 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(q5)
     q5.add_argument("--repeats", type=int, default=2)
     q5.set_defaults(func=_cmd_q5)
+
+    bench = sub.add_parser(
+        "bench", help="measure per-query/strategy timings and filter memory"
+    )
+    _add_common(bench)
+    bench.add_argument(
+        "--queries",
+        type=_parse_query_ids,
+        help='comma-separated query ids, e.g. "3,5"',
+    )
+    bench.add_argument(
+        "--strategies",
+        type=_parse_strategies,
+        help='comma-separated strategies, e.g. "predtrans,bloomjoin"',
+    )
+    bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument("--json", help="write machine-readable results here")
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 

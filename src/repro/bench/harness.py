@@ -9,7 +9,11 @@ The entry points mirror the paper's figures and tables:
 * :func:`breakdown` + :func:`format_breakdown` — Figure 5 (pre-filter
   versus join-phase time);
 * :func:`join_order_runtimes` + :func:`format_join_orders` — Figure 6
-  (robustness across join orders).
+  (robustness across join orders);
+* :func:`suite_to_json` + :func:`write_bench_json` — machine-readable
+  per-query/per-strategy records (wall clock, transfer-phase time,
+  filter memory) backing the repo's committed ``BENCH_*.json``
+  perf-trajectory artifacts and the CI smoke bench.
 
 Timing protocol: as in the paper, tables are in memory and each query
 is run ``repeats`` times with the minimum kept (the paper runs twice
@@ -18,9 +22,13 @@ and keeps the warm second run).
 
 from __future__ import annotations
 
+import json
 import math
+import platform
 import time
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from ..core.runner import STRATEGIES, RunConfig, run_query
 from ..engine.stats import QueryStats
@@ -107,6 +115,56 @@ def run_suite(
                 time_query(spec, catalog, strategy, repeats=repeats)
             )
     return suite
+
+
+# ----------------------------------------------------------------------
+# Machine-readable bench records (BENCH_*.json artifacts)
+# ----------------------------------------------------------------------
+def measurement_to_json(m: Measurement) -> dict:
+    """One measurement as a flat JSON-ready record."""
+    t = m.stats.transfer
+    return {
+        "query": m.query,
+        "strategy": m.strategy,
+        "seconds": m.seconds,
+        "transfer_seconds": m.stats.transfer_seconds,
+        "join_seconds": m.stats.join_seconds,
+        "post_seconds": m.stats.post_seconds,
+        "output_rows": m.output_rows,
+        "prefilter_reduction": t.reduction(),
+        "filters_built": t.filters_built,
+        "filter_bytes": t.filter_bytes,
+        "bloom_inserts": t.bloom_inserts,
+        "bloom_probes": t.bloom_probes,
+        "hash_inserts": t.hash_inserts,
+        "hash_probes": t.hash_probes,
+        "join_input_rows": m.stats.total_join_input_rows(),
+    }
+
+
+def suite_to_json(suite: SuiteResult, repeats: int, seed: int = 0) -> dict:
+    """The whole sweep as a JSON document with environment metadata."""
+    return {
+        "schema": "repro-bench/v1",
+        "meta": {
+            "sf": suite.sf,
+            "seed": seed,
+            "repeats": repeats,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "timestamp_unix": int(time.time()),
+        },
+        "measurements": [measurement_to_json(m) for m in suite.measurements],
+    }
+
+
+def write_bench_json(path: str, payload: dict) -> None:
+    """Write a bench document; ``payload`` comes from suite_to_json
+    (or extends it with comparison blocks)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=False)
+        fh.write("\n")
 
 
 # ----------------------------------------------------------------------

@@ -22,13 +22,14 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from ..engine.aggregate import AggSpec, GroupKey, group_aggregate
-from ..engine.hashjoin import hash_join
+from ..engine.hashjoin import BuildSortCache, hash_join
 from ..engine.sort import limit, sort_table
 from ..engine.stats import QueryStats
 from ..errors import PlanError
 from ..expr.eval import evaluate, evaluate_mask
 from ..expr.nodes import And, Expr
 from ..filters.bloom import BloomFilter
+from ..filters.hashcache import KeyHashCache
 from ..filters.hashing import bloom_keys
 from ..optimizer.cardinality import NdvCache
 from ..optimizer.joinorder import greedy_join_order
@@ -103,14 +104,20 @@ def run_query(
     t0 = time.perf_counter()
     scanned, masks = _scan(resolved, scoped)
     local_sizes = {a: int(m.sum()) for a, m in masks.items()}
+    # Query-wide caches: key hashing (shared by transfer / semi-join /
+    # BloomJoin prefilters) and build-side sorts (shared by all joins).
+    hashes = KeyHashCache()
+    build_cache = BuildSortCache()
 
     if config.strategy == "yannakakis":
         masks, stats.transfer = run_semi_join_phase(
-            graph, scanned, masks, config.yannakakis_root
+            graph, scanned, masks, config.yannakakis_root, hashes=hashes
         )
     elif config.strategy == "predtrans":
         ptgraph = build_pt_graph(graph, local_sizes)
-        masks, stats.transfer = run_transfer(ptgraph, scanned, masks, config.transfer)
+        masks, stats.transfer = run_transfer(
+            ptgraph, scanned, masks, config.transfer, hashes=hashes
+        )
     else:
         stats.transfer.rows_before = dict(local_sizes)
         stats.transfer.rows_after = dict(local_sizes)
@@ -122,7 +129,9 @@ def run_query(
     t1 = time.perf_counter()
     reduced = {alias: scanned[alias].filter(masks[alias]) for alias in masks}
     order = _choose_order(resolved, graph, reduced, local_sizes, config, join_order)
-    current = _execute_join_phase(resolved, graph, reduced, order, config, stats)
+    current = _execute_join_phase(
+        resolved, graph, reduced, order, config, stats, build_cache, hashes
+    )
     stats.join_seconds = time.perf_counter() - t1
 
     # ------------------------------------------------------------------
@@ -239,7 +248,15 @@ def _execute_join_phase(
     order: list[str],
     config: RunConfig,
     stats: QueryStats,
+    build_cache: BuildSortCache | None = None,
+    hashes: KeyHashCache | None = None,
 ) -> Table:
+    hashes = hashes or KeyHashCache()
+    # Only stable base tables go through the query-wide caches:
+    # intermediate join results are fresh objects that can never
+    # produce a cache hit, and caching them would pin their columns
+    # (plus full-size hash/sort arrays) until query end.
+    stable_ids = {id(t) for t in reduced.values()}
     current = reduced[order[0]]
     joined = {order[0]}
     pending = list(spec.residuals)
@@ -260,7 +277,8 @@ def _execute_join_phase(
         probe_rows = None
         if config.strategy == "bloomjoin" and how in ("inner", "semi"):
             probe_rows = _bloom_prefilter(
-                probe_table, build_table, probe_on, build_on, config, stats
+                probe_table, build_table, probe_on, build_on, config, stats,
+                hashes, stable_ids,
             )
 
         current, jstat = hash_join(
@@ -272,6 +290,7 @@ def _execute_join_phase(
             residual=residual,
             label=f"Join {i}",
             probe_rows=probe_rows,
+            build_cache=build_cache if id(build_table) in stable_ids else None,
         )
         stats.joins.append(jstat)
         joined.add(alias)
@@ -326,19 +345,34 @@ def _bloom_prefilter(
     build_on: list[str],
     config: RunConfig,
     stats: QueryStats,
+    hashes: KeyHashCache,
+    stable_ids: set[int],
 ) -> np.ndarray:
     """BloomJoin's one-hop filter: build side filters probe side.
 
     Returns the surviving probe row indices, which the join consumes
     directly (no intermediate materialization — the Bloom test touches
     only the key columns, as a real engine's runtime filter would).
+    Hashing of stable base tables goes through the query-wide cache,
+    so a table serving as build side of several joins is hashed once;
+    intermediate join results are hashed directly (caching them could
+    never hit and would pin their columns until query end).
     """
-    build_keys = bloom_keys([build_table.column(c) for c in build_on])
-    bloom = BloomFilter.from_keys(build_keys, fpp=config.bloom_fpp)
-    keep = bloom.contains_keys(bloom_keys([probe_table.column(c) for c in probe_on]))
-    stats.transfer.bloom_inserts += len(build_keys)
+
+    def side_keys(table: Table, cols: list) -> np.ndarray:
+        if id(table) in stable_ids:
+            return hashes.bloom_keys(cols)
+        return bloom_keys(cols)
+
+    build_cols = [build_table.column(c) for c in build_on]
+    bloom = BloomFilter(capacity=build_table.num_rows, fpp=config.bloom_fpp)
+    bloom.add_hashes(side_keys(build_table, build_cols))
+    probe_cols = [probe_table.column(c) for c in probe_on]
+    keep = bloom.contains_hashes(side_keys(probe_table, probe_cols))
+    stats.transfer.bloom_inserts += build_table.num_rows
     stats.transfer.bloom_probes += len(keep)
     stats.transfer.filters_built += 1
+    stats.transfer.filter_bytes += bloom.size_bytes()
     return np.flatnonzero(keep)
 
 

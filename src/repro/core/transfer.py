@@ -21,6 +21,13 @@ vertex as the selectivity estimate; this is ablatable via
 
 Filter representation is pluggable: Bloom filters (the paper's choice)
 or exact key sets (which turns a transfer into a semi-join).
+
+Hot-path note: all hashing is memoized in a query-scoped
+:class:`~repro.filters.hashcache.KeyHashCache` — each ``(alias,
+key_columns)`` pair is normalized and splitmix64-hashed once, and every
+subsequent edge/pass/round serves row subsets by index gather.  Bloom
+filters consume the cached hash pair directly via their ``*_hashes``
+entry points, so no per-edge re-hashing happens at all.
 """
 
 from __future__ import annotations
@@ -33,7 +40,7 @@ from ..engine.stats import TransferStats
 from ..errors import FilterError
 from ..filters.bloom import BloomFilter
 from ..filters.exact import ExactFilter
-from ..filters.hashing import bloom_keys
+from ..filters.hashcache import KeyHashCache
 from ..storage.table import Table
 from .ptgraph import PTEdge, PTGraph
 
@@ -92,20 +99,38 @@ class _IncomingFilter:
 
 @dataclass
 class TransferState:
-    """Mutable per-query transfer state: one mask per alias."""
+    """Mutable per-query transfer state.
+
+    Survivors are tracked as **sorted row-index vectors** (not boolean
+    masks): every consumer of the transfer loop needs the index form
+    anyway (hash gathers, filter builds), and index vectors shrink with
+    the survivors while masks would keep costing O(base rows) to scan,
+    sum and rebuild on every touch.  Masks are materialized once, at
+    the end of the phase.
+    """
 
     tables: dict[str, Table]
-    masks: dict[str, np.ndarray]
+    rows: dict[str, np.ndarray]
     pending: dict[str, list[_IncomingFilter]] = field(default_factory=dict)
+    hashes: KeyHashCache = field(default_factory=KeyHashCache)
 
     def selected_count(self, alias: str) -> int:
         """Rows currently surviving at ``alias``."""
-        return int(self.masks[alias].sum())
+        return len(self.rows[alias])
 
     def selectivity(self, alias: str) -> float:
         """Fraction of base rows surviving at ``alias``."""
-        total = len(self.masks[alias])
-        return self.selected_count(alias) / total if total else 1.0
+        total = self.tables[alias].num_rows
+        return len(self.rows[alias]) / total if total else 1.0
+
+    def masks(self) -> dict[str, np.ndarray]:
+        """Materialize the surviving rows as boolean masks."""
+        out = {}
+        for alias, rows in self.rows.items():
+            mask = np.zeros(self.tables[alias].num_rows, dtype=np.bool_)
+            mask[rows] = True
+            out[alias] = mask
+        return out
 
 
 def run_transfer(
@@ -113,6 +138,7 @@ def run_transfer(
     tables: dict[str, Table],
     masks: dict[str, np.ndarray],
     config: TransferConfig | None = None,
+    hashes: KeyHashCache | None = None,
 ) -> tuple[dict[str, np.ndarray], TransferStats]:
     """Run the predicate transfer phase.
 
@@ -125,16 +151,27 @@ def run_transfer(
     masks:
         Alias → boolean survivor mask (local predicates pre-applied).
         Not mutated; a copy is returned.
+    hashes:
+        Optional query-scoped hash cache to share with other phases
+        (the runner passes one so BloomJoin/scan hashing is reused); a
+        private cache is created when omitted.
 
     Returns the reduced masks and phase statistics.
     """
     config = config or TransferConfig()
     state = TransferState(
-        tables=tables, masks={a: m.copy() for a, m in masks.items()}
+        tables=tables,
+        # arange for all-true masks (predicate-less scans) skips the
+        # flatnonzero scan over the largest tables.
+        rows={
+            a: np.arange(len(m)) if m.all() else np.flatnonzero(m)
+            for a, m in masks.items()
+        },
+        hashes=hashes or KeyHashCache(),
     )
     stats = TransferStats()
-    for alias, mask in masks.items():
-        stats.rows_before[alias] = int(mask.sum())
+    for alias in masks:
+        stats.rows_before[alias] = state.selected_count(alias)
 
     order = ptgraph.topological_order()
     for round_index in range(config.rounds):
@@ -153,7 +190,7 @@ def run_transfer(
 
     for alias in masks:
         stats.rows_after[alias] = state.selected_count(alias)
-    return state.masks, stats
+    return state.masks(), stats
 
 
 def _run_pass(
@@ -181,9 +218,9 @@ def _run_pass(
         ):
             stats.edges_pruned += len(emit)
             continue
-        rows = np.flatnonzero(state.masks[alias])
+        rows = state.rows[alias]
         for e in sorted(emit, key=lambda x: x.dst):
-            filt = _build_filter(state.tables[alias], rows, e.src_keys, config, stats)
+            filt = _build_filter(state, alias, rows, e.src_keys, config, stats)
             state.pending[e.dst].append(
                 _IncomingFilter(filt, e.dst_keys, selectivity)
             )
@@ -199,36 +236,49 @@ def _apply_incoming(
         return
     if config.lip_reorder:
         incoming = sorted(incoming, key=lambda f: f.producer_selectivity)
-    mask = state.masks[alias]
     table = state.tables[alias]
+    rows = state.rows[alias]
+    # All rows alive: serve the cached full-column hashes gather-free.
+    gather = rows if len(rows) < table.num_rows else None
     for inc in incoming:
-        rows = np.flatnonzero(mask)
         if len(rows) == 0:
             break
         columns = [table.column(c) for c in inc.key_columns]
-        keys = bloom_keys(columns, rows)
-        keep = inc.filt.contains_keys(keys)
+        keys = state.hashes.bloom_keys(columns, gather)
         if isinstance(inc.filt, BloomFilter):
+            keep = inc.filt.contains_hashes(keys)
             stats.bloom_probes += len(rows)
         else:
+            keep = inc.filt.contains_keys(keys)
             stats.hash_probes += len(rows)
-        mask[rows[~keep]] = False
+        if not keep.all():
+            if gather is None:
+                rows = np.flatnonzero(keep)
+            else:
+                rows = rows[keep]
+            gather = rows
+    state.rows[alias] = rows
     state.pending[alias] = []
 
 
 def _build_filter(
-    table: Table,
+    state: TransferState,
+    alias: str,
     rows: np.ndarray,
     key_columns: tuple[str, ...],
     config: TransferConfig,
     stats: TransferStats,
 ):
+    table = state.tables[alias]
     columns = [table.column(c) for c in key_columns]
-    keys = bloom_keys(columns, rows)
+    gather = rows if len(rows) < table.num_rows else None
+    keys = state.hashes.bloom_keys(columns, gather)
     if config.filter_type == "bloom":
-        filt = BloomFilter.from_keys(keys, fpp=config.fpp)
-        stats.bloom_inserts += len(keys)
+        filt = BloomFilter(capacity=len(rows), fpp=config.fpp)
+        filt.add_hashes(keys)
+        stats.bloom_inserts += len(rows)
     else:
         filt = ExactFilter.from_keys(keys)
-        stats.hash_inserts += len(keys)
+        stats.hash_inserts += len(rows)
+    stats.filter_bytes += filt.size_bytes()
     return filt

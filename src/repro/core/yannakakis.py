@@ -25,7 +25,7 @@ import numpy as np
 
 from ..engine.stats import TransferStats
 from ..filters.exact import ExactFilter
-from ..filters.hashing import bloom_keys
+from ..filters.hashcache import KeyHashCache
 from ..plan.joingraph import edge_keys_for
 from ..storage.table import Table
 from .ptgraph import allowed_directions
@@ -81,6 +81,7 @@ def _semi_join(
     src: str,
     dst: str,
     stats: TransferStats,
+    hashes: KeyHashCache,
 ) -> None:
     """Filter ``dst`` to rows whose key matches a surviving ``src`` row."""
     keys_src_dst = edge_keys_for(join_graph, src, dst)
@@ -90,9 +91,9 @@ def _semi_join(
     dst_rows = np.flatnonzero(masks[dst])
     if len(dst_rows) == 0:
         return
-    filt = ExactFilter.from_keys(bloom_keys(src_cols, src_rows))
+    filt = ExactFilter.from_keys(hashes.bloom_keys(src_cols, src_rows))
     stats.hash_inserts += len(src_rows)
-    keep = filt.contains_keys(bloom_keys(dst_cols, dst_rows))
+    keep = filt.contains_keys(hashes.bloom_keys(dst_cols, dst_rows))
     stats.hash_probes += len(dst_rows)
     masks[dst][dst_rows[~keep]] = False
     stats.edges_traversed += 1
@@ -103,14 +104,18 @@ def run_semi_join_phase(
     tables: dict[str, Table],
     masks: dict[str, np.ndarray],
     root: str | None = None,
+    hashes: KeyHashCache | None = None,
 ) -> tuple[dict[str, np.ndarray], TransferStats]:
     """Run the Yannakakis forward + backward semi-join passes.
 
     ``masks`` (local predicates pre-applied) is not mutated; reduced
-    copies are returned together with hash-op statistics.
+    copies are returned together with hash-op statistics.  ``hashes``
+    memoizes key hashing per column set, so each vertex's key columns
+    are normalized once across the forward and backward passes.
     """
     masks = {a: m.copy() for a, m in masks.items()}
     stats = TransferStats()
+    hashes = hashes or KeyHashCache()
     for alias, mask in masks.items():
         stats.rows_before[alias] = int(mask.sum())
 
@@ -124,12 +129,16 @@ def run_semi_join_phase(
         for parent in jtree.bottom_up():
             for child in jtree.tree.successors(parent):
                 if _direction_allowed(join_graph, child, parent):
-                    _semi_join(join_graph, tables, masks, child, parent, stats)
+                    _semi_join(
+                        join_graph, tables, masks, child, parent, stats, hashes
+                    )
         # Backward pass (top-down): each child is reduced by its parent.
         for parent in jtree.top_down():
             for child in jtree.tree.successors(parent):
                 if _direction_allowed(join_graph, parent, child):
-                    _semi_join(join_graph, tables, masks, parent, child, stats)
+                    _semi_join(
+                        join_graph, tables, masks, parent, child, stats, hashes
+                    )
 
     for alias in masks:
         stats.rows_after[alias] = int(masks[alias].sum())

@@ -32,6 +32,7 @@ class TransferStats:
     """What the pre-filter phase did."""
 
     filters_built: int = 0
+    filter_bytes: int = 0
     bloom_inserts: int = 0
     bloom_probes: int = 0
     hash_inserts: int = 0

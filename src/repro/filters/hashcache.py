@@ -1,0 +1,72 @@
+"""Query-scoped key-hash caching.
+
+The transfer phase probes and rebuilds filters over the *same* key
+columns for every edge of every pass of every round, and BloomJoin
+re-hashes its build sides likewise.  Before this cache, each of those
+touches re-ran ``column_to_u64`` (dictionary FNV, dtype reinterpret)
+plus one or two ``splitmix64`` passes over the full column.
+
+:class:`KeyHashCache` memoizes, per query, two derivations keyed by
+column identity (columns are immutable, so object identity is a sound
+cache key; the cache holds a strong reference to every column it has
+hashed, which pins identities for the cache's query-long lifetime):
+
+* ``column_u64`` — the u64 normalization of one column;
+* ``bloom_keys`` — the combined mixed key of a column set.  This
+  array is *already uniformly mixed*, so it doubles as the pre-mixed
+  hash the blocked Bloom filter's ``*_hashes`` entry points consume —
+  one cached array serves exact filters (as the key) and Bloom filters
+  (as the hash).
+
+Both are computed over the **full** column once and served to row
+subsets by index gather, so repeat visits cost one gather instead of a
+hash pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..storage.column import Column
+from .hashing import column_to_u64, hash_combine, mix64
+
+
+class KeyHashCache:
+    """Memo of per-column and per-column-set hash derivations."""
+
+    __slots__ = ("_u64", "_sets")
+
+    def __init__(self) -> None:
+        # id(column) -> (column, u64 normalization)
+        self._u64: dict[int, tuple[Column, np.ndarray]] = {}
+        # (id(c) per column) -> (columns, combined mixed key)
+        self._sets: dict[tuple[int, ...], tuple[list[Column], np.ndarray]] = {}
+
+    # ------------------------------------------------------------------
+    def column_u64(self, column: Column) -> np.ndarray:
+        """Cached ``column_to_u64`` of one column."""
+        entry = self._u64.get(id(column))
+        if entry is None:
+            entry = (column, column_to_u64(column))
+            self._u64[id(column)] = entry
+        return entry[1]
+
+    # ------------------------------------------------------------------
+    def bloom_keys(
+        self, columns: list[Column], rows: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Combined Bloom key of a column set, optionally row-gathered.
+
+        Same values as :func:`repro.filters.hashing.bloom_keys` — but
+        hashed once per column set and gathered thereafter.
+        """
+        key = tuple(id(c) for c in columns)
+        entry = self._sets.get(key)
+        if entry is None:
+            acc = mix64(self.column_u64(columns[0]))
+            for column in columns[1:]:
+                acc = hash_combine(acc, mix64(self.column_u64(column)))
+            entry = (list(columns), acc)
+            self._sets[key] = entry
+        keys = entry[1]
+        return keys if rows is None else keys[rows]

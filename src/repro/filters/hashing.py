@@ -30,15 +30,52 @@ _SM_M1 = _UINT64(0xBF58476D1CE4E5B9)
 _SM_M2 = _UINT64(0x94D049BB133111EB)
 _FNV_OFFSET = 0xCBF29CE484222325
 _FNV_PRIME = 0x100000001B3
+# Second independent mixer seed: splitmix64 of a xor-perturbed key.
+_ALT_SEED = _UINT64(0xA0761D6478BD642F)
 
 
 def splitmix64(keys: np.ndarray) -> np.ndarray:
-    """Vectorized splitmix64 finalizer over a ``uint64`` array."""
+    """Vectorized splitmix64 finalizer over a ``uint64`` array.
+
+    In-place after the initial copy: the mixer runs over full columns
+    on the hot path, where avoiding five temporaries is measurable.
+    """
     with np.errstate(over="ignore"):
-        z = keys + _SM_GAMMA
-        z = (z ^ (z >> _UINT64(30))) * _SM_M1
-        z = (z ^ (z >> _UINT64(27))) * _SM_M2
-        return z ^ (z >> _UINT64(31))
+        z = keys + _SM_GAMMA  # fresh array; everything below mutates z
+        z ^= z >> _UINT64(30)
+        z *= _SM_M1
+        z ^= z >> _UINT64(27)
+        z *= _SM_M2
+        z ^= z >> _UINT64(31)
+        return z
+
+
+def mix64(keys: np.ndarray) -> np.ndarray:
+    """Fast 64-bit finalizer: multiply / xorshift / multiply.
+
+    A cheaper mixer than :func:`splitmix64` (4 array passes instead of
+    9) for the Bloom-key hot path.  It is a **bijection** on ``uint64``
+    (odd multiplies and xorshift are both invertible), so single-column
+    keys stay collision-free — exact filters built on these keys remain
+    exact.  The golden-ratio multiply equidistributes the high bits
+    even for dense sequential keys (Fibonacci hashing), which is what
+    the blocked Bloom filter's block selection consumes.
+    """
+    with np.errstate(over="ignore"):
+        z = keys * _SM_GAMMA  # fresh array; everything below mutates z
+        z ^= z >> _UINT64(32)
+        z *= _SM_M1
+        return z
+
+
+def bloom_hash_pair(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """The two base hashes of the Kirsch–Mitzenmacher double-hashing
+    scheme, shared by every Bloom filter layout (so a query-scoped
+    cache can compute them once per key column set)."""
+    h1 = splitmix64(keys)
+    with np.errstate(over="ignore"):
+        h2 = splitmix64(keys ^ _ALT_SEED) | _UINT64(1)  # odd stride
+    return h1, h2
 
 
 def hash_combine(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -48,10 +85,59 @@ def hash_combine(a: np.ndarray, b: np.ndarray) -> np.ndarray:
 
 
 def fnv1a_text(text: str) -> int:
-    """64-bit FNV-1a hash of a string (scalar; used per dictionary entry)."""
+    """64-bit FNV-1a hash of a string (scalar reference; the vectorized
+    dictionary path is :func:`fnv1a_texts`)."""
     acc = _FNV_OFFSET
     for byte in text.encode("utf-8"):
         acc = ((acc ^ byte) * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+    return acc
+
+
+_FNV_PRIME_INV = pow(_FNV_PRIME, -1, 2**64)
+
+
+def fnv1a_texts(texts) -> np.ndarray:
+    """Vectorized 64-bit FNV-1a over a sequence of strings.
+
+    FNV-1a is sequential in the *bytes* of one string but independent
+    *across* strings, so the kernel packs all UTF-8 encodings into one
+    zero-padded (max_len, n) byte matrix and folds it row by row:
+    iteration count is the longest string, not the total byte count.
+
+    The fold runs unconditionally over the padding — a zero pad byte
+    contributes ``acc = (acc ^ 0) * prime``, a pure multiply — and the
+    surplus multiplies are then undone in one shot with precomputed
+    powers of the prime's modular inverse (odd, hence invertible mod
+    2^64).  That keeps the inner loop free of masking while staying
+    bit-exact with :func:`fnv1a_text`, embedded NUL bytes included.
+    """
+    n = len(texts)
+    if n == 0:
+        return np.empty(0, dtype=np.uint64)
+    encoded = [t.encode("utf-8") for t in texts]
+    lengths = np.fromiter(map(len, encoded), dtype=np.int64, count=n)
+    max_len = int(lengths.max())
+    acc = np.full(n, _FNV_OFFSET, dtype=np.uint64)
+    if max_len == 0:
+        return acc
+    flat = np.frombuffer(b"".join(encoded), dtype=np.uint8)
+    # uint8 keeps the padded matrix at one byte per cell (the fold
+    # upcasts row by row); a uint64 matrix would cost 8x the memory and
+    # a single long outlier string inflates every row to max_len.
+    matrix = np.zeros((max_len, n), dtype=np.uint8)
+    row_idx = np.repeat(np.arange(n), lengths)
+    offsets = np.cumsum(lengths) - lengths
+    byte_idx = np.arange(len(flat)) - np.repeat(offsets, lengths)
+    matrix[byte_idx, row_idx] = flat
+    prime = _UINT64(_FNV_PRIME)
+    with np.errstate(over="ignore"):
+        for j in range(max_len):
+            acc = (acc ^ matrix[j]) * prime
+        inv_pows = np.empty(max_len + 1, dtype=np.uint64)
+        inv_pows[0] = 1
+        inv_pows[1:] = _UINT64(_FNV_PRIME_INV)
+        np.multiply.accumulate(inv_pows, out=inv_pows)
+        acc *= inv_pows[max_len - lengths]
     return acc
 
 
@@ -63,23 +149,24 @@ def column_to_u64(column: Column) -> np.ndarray:
     each distinct dictionary entry gathered through the codes.
     """
     if column.dtype is DType.STRING:
-        dict_hashes = np.fromiter(
-            (fnv1a_text(s) for s in column.dictionary),
-            dtype=np.uint64,
-            count=len(column.dictionary),
-        )
+        dict_hashes = fnv1a_texts(column.dictionary)
         return dict_hashes[column.data]
     if column.dtype is DType.FLOAT64:
         return column.data.view(np.uint64)
+    if column.data.dtype == np.int64:
+        return column.data.view(np.uint64)  # zero-copy reinterpret
     return column.data.astype(np.int64).view(np.uint64)
 
 
 def bloom_keys(columns: list[Column], rows: np.ndarray | None = None) -> np.ndarray:
     """Build Bloom-ready hashed keys from one or more key columns.
 
-    Single integer columns are passed through splitmix64 directly;
-    multi-column keys are hash-combined left to right.  ``rows`` limits
-    the computation to a row subset (selection indices).
+    Single integer columns are passed through the :func:`mix64`
+    bijection directly (collision-free); multi-column keys are
+    hash-combined left to right.  ``rows`` limits the computation to a
+    row subset (selection indices).  Must stay consistent with
+    :meth:`repro.filters.hashcache.KeyHashCache.bloom_keys`, the cached
+    equivalent.
     """
     parts = []
     for column in columns:
@@ -87,7 +174,7 @@ def bloom_keys(columns: list[Column], rows: np.ndarray | None = None) -> np.ndar
         if rows is not None:
             u = u[rows]
         parts.append(u)
-    acc = splitmix64(parts[0])
+    acc = mix64(parts[0])
     for part in parts[1:]:
-        acc = hash_combine(acc, splitmix64(part))
+        acc = hash_combine(acc, mix64(part))
     return acc

@@ -1,0 +1,7 @@
+"""Test package.
+
+Being a real package lets test modules import shared constants with
+``from .conftest import ...`` under any pytest invocation (the seed's
+rootdir-relative modules broke collection with ``ImportError:
+attempted relative import with no known parent package``).
+"""

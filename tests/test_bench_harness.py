@@ -114,3 +114,32 @@ def test_format_bar_chart():
 def test_empty_suite_result():
     suite = SuiteResult(sf=1.0)
     assert suite.queries() == []
+
+
+def test_suite_to_json_roundtrip(suite):
+    import json
+
+    from repro.bench.harness import suite_to_json, write_bench_json
+
+    doc = suite_to_json(suite, repeats=1, seed=0)
+    assert doc["schema"] == "repro-bench/v1"
+    assert doc["meta"]["sf"] == TINY_SF
+    assert len(doc["measurements"]) == len(suite.measurements)
+    record = doc["measurements"][0]
+    for key in (
+        "query", "strategy", "seconds", "transfer_seconds", "join_seconds",
+        "filter_bytes", "prefilter_reduction", "join_input_rows",
+    ):
+        assert key in record
+    # Document is valid JSON end to end.
+    json.loads(json.dumps(doc))
+
+
+def test_write_bench_json(tmp_path, suite):
+    import json
+
+    from repro.bench.harness import suite_to_json, write_bench_json
+
+    path = tmp_path / "out.json"
+    write_bench_json(str(path), suite_to_json(suite, repeats=1))
+    assert json.loads(path.read_text())["schema"] == "repro-bench/v1"

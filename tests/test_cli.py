@@ -51,3 +51,29 @@ def test_q5_case_study_smoke(capsys):
     assert code == 0
     out = capsys.readouterr().out
     assert "Q5 join sizes" in out and "max/min" in out
+
+
+def test_bench_json_smoke(tmp_path, capsys):
+    out_path = tmp_path / "bench.json"
+    code = main(
+        [
+            "bench", "--sf", "0.003", "--queries", "5",
+            "--strategies", "predtrans,nopredtrans",
+            "--repeats", "1", "--json", str(out_path),
+        ]
+    )
+    assert code == 0
+    assert "q5" in capsys.readouterr().out
+
+    import json
+
+    doc = json.loads(out_path.read_text())
+    assert doc["schema"] == "repro-bench/v1"
+    assert doc["meta"]["sf"] == 0.003
+    strategies = {m["strategy"] for m in doc["measurements"]}
+    assert strategies == {"predtrans", "nopredtrans"}
+    for m in doc["measurements"]:
+        assert m["seconds"] > 0
+        assert m["transfer_seconds"] >= 0
+        if m["strategy"] == "predtrans":
+            assert m["filters_built"] > 0 and m["filter_bytes"] > 0

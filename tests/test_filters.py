@@ -13,11 +13,15 @@ from repro.filters.hashing import (
     bloom_keys,
     column_to_u64,
     fnv1a_text,
+    fnv1a_texts,
     hash_combine,
     splitmix64,
 )
 from repro.filters.hashset import VectorHashSet
+from repro.filters.reference import ReferenceBloomFilter
 from repro.storage.column import Column
+
+BLOOM_IMPLS = [BloomFilter, ReferenceBloomFilter]
 
 u64_arrays = st.lists(
     st.integers(min_value=0, max_value=2**63 - 1), min_size=0, max_size=200
@@ -47,6 +51,19 @@ def test_fnv1a_known_values():
     # FNV-1a 64-bit of the empty string is the offset basis.
     assert fnv1a_text("") == 0xCBF29CE484222325
     assert fnv1a_text("a") != fnv1a_text("b")
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.text(max_size=40), max_size=50))
+def test_fnv1a_vectorized_matches_scalar(texts):
+    got = fnv1a_texts(texts)
+    expected = [fnv1a_text(t) for t in texts]
+    assert [int(v) for v in got] == expected
+
+
+def test_fnv1a_vectorized_handles_nul_and_unicode():
+    texts = ["a\x00b", "\x00", "ünïcødé", "x" * 500, ""]
+    assert [int(v) for v in fnv1a_texts(texts)] == [fnv1a_text(t) for t in texts]
 
 
 def test_column_to_u64_int_injective():
@@ -81,66 +98,82 @@ def test_bloom_keys_row_subset():
 
 
 # ----------------------------------------------------------------------
-# Bloom filter
+# Bloom filters (packed blocked production layout + byte-per-bit
+# reference; both must satisfy the same contract)
 # ----------------------------------------------------------------------
-def test_bloom_validation():
+@pytest.mark.parametrize("impl", BLOOM_IMPLS)
+def test_bloom_validation(impl):
     with pytest.raises(FilterError):
-        BloomFilter(capacity=-1)
+        impl(capacity=-1)
     with pytest.raises(FilterError):
-        BloomFilter(capacity=10, fpp=1.5)
+        impl(capacity=10, fpp=1.5)
 
 
-def test_bloom_empty_filter_rejects_everything():
-    bloom = BloomFilter(capacity=100)
+@pytest.mark.parametrize("impl", BLOOM_IMPLS)
+def test_bloom_empty_filter_rejects_everything(impl):
+    bloom = impl(capacity=100)
     keys = np.arange(50, dtype=np.uint64)
     assert not bloom.contains_keys(keys).any()
 
 
-def test_bloom_empty_probe():
-    bloom = BloomFilter.from_keys(np.arange(10, dtype=np.uint64))
+@pytest.mark.parametrize("impl", BLOOM_IMPLS)
+def test_bloom_empty_probe(impl):
+    bloom = impl.from_keys(np.arange(10, dtype=np.uint64))
     assert bloom.contains_keys(np.empty(0, dtype=np.uint64)).shape == (0,)
 
 
 @settings(max_examples=50, deadline=None)
 @given(u64_arrays)
 def test_bloom_no_false_negatives(keys):
-    bloom = BloomFilter.from_keys(keys)
-    if len(keys):
-        assert bloom.contains_keys(keys).all()
+    for impl in BLOOM_IMPLS:
+        bloom = impl.from_keys(keys)
+        if len(keys):
+            assert bloom.contains_keys(keys).all()
 
 
-def test_bloom_fpp_within_reason():
+@pytest.mark.parametrize("impl", BLOOM_IMPLS)
+def test_bloom_fpp_within_reason(impl):
     rng = np.random.default_rng(0)
     members = rng.integers(0, 2**62, size=20_000).astype(np.uint64)
     others = (rng.integers(0, 2**62, size=100_000) | (1 << 62)).astype(np.uint64)
-    bloom = BloomFilter.from_keys(members, fpp=0.01)
+    bloom = impl.from_keys(members, fpp=0.01)
     observed = bloom.contains_keys(others).mean()
     assert observed < 0.03  # 3x headroom over target
 
 
-def test_bloom_lower_fpp_means_more_bits():
-    tight = BloomFilter(capacity=1000, fpp=0.001)
-    loose = BloomFilter(capacity=1000, fpp=0.1)
+@pytest.mark.parametrize("impl", BLOOM_IMPLS)
+def test_bloom_lower_fpp_means_more_bits(impl):
+    tight = impl(capacity=1000, fpp=0.001)
+    loose = impl(capacity=1000, fpp=0.1)
     assert tight.num_bits > loose.num_bits
 
 
-def test_bloom_saturation_and_estimate():
-    bloom = BloomFilter.from_keys(np.arange(1000, dtype=np.uint64), fpp=0.01)
+@pytest.mark.parametrize("impl", BLOOM_IMPLS)
+def test_bloom_saturation_and_estimate(impl):
+    bloom = impl.from_keys(np.arange(1000, dtype=np.uint64), fpp=0.01)
     assert 0.0 < bloom.saturation() < 0.6
     assert 0.0 <= bloom.estimated_fpp() < 0.05
-    assert bloom.size_bytes() == bloom.num_bits  # byte-per-bit layout
 
 
-def test_bloom_op_counters():
-    bloom = BloomFilter(capacity=10)
+def test_bloom_layout_size():
+    packed = BloomFilter.from_keys(np.arange(1000, dtype=np.uint64), fpp=0.01)
+    reference = ReferenceBloomFilter.from_keys(np.arange(1000, dtype=np.uint64))
+    assert packed.size_bytes() == packed.num_bits // 8  # packed bit array
+    assert reference.size_bytes() == reference.num_bits  # byte per bit
+
+
+@pytest.mark.parametrize("impl", BLOOM_IMPLS)
+def test_bloom_op_counters(impl):
+    bloom = impl(capacity=10)
     bloom.add_keys(np.arange(10, dtype=np.uint64))
     bloom.contains_keys(np.arange(5, dtype=np.uint64))
     assert bloom.ops.inserts == 10
     assert bloom.ops.probes == 5
 
 
-def test_bloom_not_exact():
-    assert BloomFilter(capacity=1).exact is False
+@pytest.mark.parametrize("impl", BLOOM_IMPLS)
+def test_bloom_not_exact(impl):
+    assert impl(capacity=1).exact is False
 
 
 # ----------------------------------------------------------------------

@@ -220,3 +220,57 @@ def test_join_kinds_match_reference(probe_list, build_list):
     assert left.num_rows == sum(
         max(1, build_list.count(p)) for p in probe_list
     )
+
+
+# ----------------------------------------------------------------------
+# Unique-build fast path and build-sort reuse
+# ----------------------------------------------------------------------
+def test_join_indices_unique_fast_path_matches_general():
+    rng = np.random.default_rng(3)
+    build = rng.permutation(1000).astype(np.int64)  # distinct keys
+    probe = rng.integers(-50, 1100, 5000).astype(np.int64)
+    from repro.engine.hashjoin import sort_build_keys
+
+    sort = sort_build_keys(build)
+    assert sort.unique
+    pi, bi, counts = join_indices(probe, build, sort)
+    # Oracle: force the general path with a non-unique flag.
+    general = sort._replace(unique=False)
+    gpi, gbi, gcounts = join_indices(probe, build, general)
+    assert np.array_equal(pi, gpi)
+    assert np.array_equal(bi, gbi)
+    assert np.array_equal(counts, gcounts)
+
+
+def test_join_indices_unique_probe_key_above_all_build_keys():
+    # searchsorted lands past the end; the fast path must clamp safely.
+    build = np.array([1, 2, 3], dtype=np.int64)
+    probe = np.array([99, 3, -7], dtype=np.int64)
+    pi, bi, counts = join_indices(probe, build)
+    assert pi.tolist() == [1] and bi.tolist() == [2]
+    assert counts.tolist() == [0, 1, 0]
+
+
+def test_build_sort_cache_reuses_sort_for_same_column():
+    from repro.engine.hashjoin import BuildSortCache
+
+    build = _t("b", bk=[3, 1, 2], v=[30, 10, 20])
+    probe = _t("p", pk=[2, 3], w=[200, 300])
+    cache = BuildSortCache()
+    r1, _ = hash_join(probe, build, ["pk"], ["bk"], build_cache=cache)
+    r2, _ = hash_join(probe, build, ["pk"], ["bk"], build_cache=cache)
+    assert cache.hits == 1
+    assert r1.column("v").to_pylist() == r2.column("v").to_pylist() == [20, 30]
+
+
+def test_build_sort_cache_not_used_for_multi_key():
+    from repro.engine.hashjoin import BuildSortCache
+
+    build = _t("b", bk1=[1, 1], bk2=[2, 3], v=[10, 20])
+    probe = _t("p", pk1=[1], pk2=[3], w=[99])
+    cache = BuildSortCache()
+    out, _ = hash_join(
+        probe, build, ["pk1", "pk2"], ["bk1", "bk2"], build_cache=cache
+    )
+    assert out.column("v").to_pylist() == [20]
+    assert cache.hits == 0 and not cache._entries
