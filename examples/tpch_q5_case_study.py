@@ -22,7 +22,7 @@ from repro.bench.harness import (
     total_join_input_reduction,
 )
 from repro.core.ptgraph import build_pt_graph
-from repro.core.runner import _scan  # noqa: SLF001 - example introspection
+from repro.core.runner import RunConfig, _scan  # noqa: SLF001 - example introspection
 from repro.plan.joingraph import build_join_graph
 from repro.tpch import generate_tpch
 from repro.tpch.queries import Q5_JOIN_ORDERS, get_query
@@ -36,8 +36,8 @@ def print_graphs(catalog, sf: float) -> None:
     for u, v, data in join_graph.edges(data=True):
         keys = ", ".join(f"{a}={b}" for a, b in data["keys"])
         print(f"  {u} -- {v}  on {keys}")
-    scanned, masks = _scan(spec, catalog)
-    sizes = {a: int(m.sum()) for a, m in masks.items()}
+    scanned, rows = _scan(spec, catalog, RunConfig())
+    sizes = {a: len(r) for a, r in rows.items()}
     pt = build_pt_graph(join_graph, sizes)
     print("\nPredicate transfer graph (Figure 1b; small table -> big table):")
     for src, dst in sorted(pt.digraph.edges):

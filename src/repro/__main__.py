@@ -10,12 +10,17 @@ Commands
            and strategy; ``--json`` writes the machine-readable record
            (the repo's ``BENCH_*.json`` perf-trajectory artifacts).
 
+Query arguments accept single ids or comma-separated lists everywhere
+(``--query 5``, ``--query 3,5,9``, ``--queries 3,5``).
+
 Examples::
 
-    python -m repro tpch --sf 0.02 --query 5 --strategy predtrans
+    python -m repro tpch --sf 0.02 --query 3,5 --strategy predtrans
+    python -m repro ssb --query 1.1,2.1
     python -m repro fig4 --sf 0.05
     python -m repro q5 --sf 0.1
-    python -m repro bench --sf 0.02 --queries 5 --json BENCH.json
+    python -m repro bench --sf 0.02 --queries 5 --json BENCH.json \
+        --compare BENCH_PR1.json
 """
 
 from __future__ import annotations
@@ -37,6 +42,7 @@ from .bench.harness import (
     time_query,
     write_bench_json,
 )
+from .bench.compare import compare_payloads, format_comparison, load_bench
 from .bench.report import format_table
 from .core.runner import STRATEGIES
 from .ssb import ALL_SSB_QUERY_IDS, generate_ssb, get_ssb_query
@@ -51,7 +57,7 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 
 def _cmd_tpch(args: argparse.Namespace) -> int:
     catalog = generate_tpch(sf=args.sf, seed=args.seed)
-    queries = [args.query] if args.query else list(BENCH_QUERY_IDS)
+    queries = list(args.query) if args.query else list(BENCH_QUERY_IDS)
     strategies = [args.strategy] if args.strategy else list(STRATEGIES)
     for qid in queries:
         spec = get_query(qid, sf=args.sf)
@@ -67,7 +73,7 @@ def _cmd_tpch(args: argparse.Namespace) -> int:
 
 def _cmd_ssb(args: argparse.Namespace) -> int:
     catalog = generate_ssb(sf=args.sf, seed=args.seed)
-    queries = [args.query] if args.query else list(ALL_SSB_QUERY_IDS)
+    queries = list(args.query) if args.query else list(ALL_SSB_QUERY_IDS)
     strategies = [args.strategy] if args.strategy else list(STRATEGIES)
     for qid in queries:
         spec = get_ssb_query(qid)
@@ -102,23 +108,43 @@ def _cmd_q5(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_list(text: str) -> list[str]:
+    """Split a comma-separated argument, dropping empty segments."""
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
 def _parse_query_ids(text: str) -> tuple[int, ...]:
-    """argparse type for ``--queries``: comma-separated TPC-H ids."""
+    """argparse type for TPC-H query lists: ``"5"`` or ``"3,5,9"``."""
     try:
-        ids = tuple(int(q) for q in text.split(","))
+        ids = tuple(int(q) for q in _parse_list(text))
     except ValueError:
         raise argparse.ArgumentTypeError(
             f"expected comma-separated query numbers, got {text!r}"
         ) from None
+    if not ids:
+        raise argparse.ArgumentTypeError("empty query list")
     bad = [q for q in ids if q not in range(1, 23)]
     if bad:
         raise argparse.ArgumentTypeError(f"no TPC-H query {bad[0]}; valid: 1..22")
     return ids
 
 
+def _parse_ssb_ids(text: str) -> tuple[str, ...]:
+    """argparse type for SSB query lists: ``"2.1"`` or ``"1.1,2.1,3.4"``."""
+    ids = tuple(_parse_list(text))
+    if not ids:
+        raise argparse.ArgumentTypeError("empty query list")
+    bad = [q for q in ids if q not in ALL_SSB_QUERY_IDS]
+    if bad:
+        raise argparse.ArgumentTypeError(
+            f"no SSB query {bad[0]!r}; valid: {', '.join(ALL_SSB_QUERY_IDS)}"
+        )
+    return ids
+
+
 def _parse_strategies(text: str) -> tuple[str, ...]:
     """argparse type for ``--strategies``: comma-separated strategy names."""
-    names = tuple(text.split(","))
+    names = tuple(_parse_list(text))
     bad = [s for s in names if s not in STRATEGIES]
     if bad:
         raise argparse.ArgumentTypeError(
@@ -152,8 +178,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             ]
         )
     print(format_table(headers, rows, title=f"bench (SF={args.sf})"))
+    payload = suite_to_json(suite, args.repeats, args.seed)
+    if args.compare:
+        try:
+            baseline = load_bench(args.compare)
+            payload["comparison"] = compare_payloads(baseline, payload)
+        except (ValueError, OSError, KeyError) as exc:
+            # Never lose a finished sweep to a bad baseline: skip the
+            # comparison but still write the record below.
+            print(f"\nbench compare skipped: {exc}")
+        else:
+            payload["comparison"]["baseline_file"] = args.compare
+            print()
+            print(format_comparison(payload["comparison"]))
     if args.json:
-        write_bench_json(args.json, suite_to_json(suite, args.repeats, args.seed))
+        write_bench_json(args.json, payload)
         print(f"\nwrote {args.json}")
     return 0
 
@@ -167,14 +206,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     tpch = sub.add_parser("tpch", help="run TPC-H queries")
     _add_common(tpch)
-    tpch.add_argument("--query", type=int, help="query number 1-22")
+    tpch.add_argument(
+        "--query",
+        type=_parse_query_ids,
+        help='query number(s) 1-22, e.g. "5" or "3,5,9"',
+    )
     tpch.add_argument("--strategy", choices=STRATEGIES)
     tpch.add_argument("--repeats", type=int, default=2)
     tpch.set_defaults(func=_cmd_tpch)
 
     ssb = sub.add_parser("ssb", help="run SSB queries")
     _add_common(ssb)
-    ssb.add_argument("--query", help='query id like "2.1"')
+    ssb.add_argument(
+        "--query",
+        type=_parse_ssb_ids,
+        help='query id(s) like "2.1" or "1.1,2.1,3.4"',
+    )
     ssb.add_argument("--strategy", choices=STRATEGIES)
     ssb.add_argument("--repeats", type=int, default=2)
     ssb.set_defaults(func=_cmd_ssb)
@@ -205,6 +252,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--repeats", type=int, default=3)
     bench.add_argument("--json", help="write machine-readable results here")
+    bench.add_argument(
+        "--compare",
+        help="baseline BENCH_*.json; embeds a before/after comparison "
+        "block into the output and prints the summary",
+    )
     bench.set_defaults(func=_cmd_bench)
     return parser
 

@@ -1,0 +1,152 @@
+"""Bench-record comparison: per-query regression/speedup diffing.
+
+Compares two ``BENCH_*.json`` documents (any mix of ``repro-bench/v1``
+and ``v2`` schemas) on per-(query, strategy) total wall clock.  Used in
+two places:
+
+* ``python -m repro bench --compare OLD.json`` embeds the comparison
+  block into the freshly written record, giving the repo's committed
+  artifacts a built-in before/after story;
+* ``python -m repro.bench.compare OLD.json NEW.json --github`` is the
+  CI bench-regression step: per-query slowdowns beyond the threshold
+  print GitHub ``::warning::`` annotations.  It is deliberately
+  **warn-only** (exit code 0 regardless) — shared CI runners are far
+  too noisy for a hard per-query gate.
+
+Records measured at different scale factors are refused: cross-SF
+ratios are meaningless.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_bench(path: str) -> dict:
+    """Load a BENCH_*.json document."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def compare_payloads(
+    old: dict, new: dict, threshold: float = 1.3
+) -> dict:
+    """Compare two bench documents on per-(query, strategy) seconds.
+
+    Returns a JSON-ready block: per-strategy totals and speedups over
+    the shared (query, strategy) pairs, plus every per-query slowdown
+    whose ``new/old`` ratio exceeds ``threshold``.
+    """
+    old_sf, new_sf = old["meta"].get("sf"), new["meta"].get("sf")
+    if old_sf != new_sf:
+        raise ValueError(
+            f"cannot compare bench records at different scale factors "
+            f"(old sf={old_sf}, new sf={new_sf})"
+        )
+    old_by_key = {(m["query"], m["strategy"]): m for m in old["measurements"]}
+    new_by_key = {(m["query"], m["strategy"]): m for m in new["measurements"]}
+    shared = sorted(set(old_by_key) & set(new_by_key))
+
+    totals: dict[str, dict[str, float]] = {}
+    regressions: list[dict] = []
+    for key in shared:
+        query, strategy = key
+        old_s = old_by_key[key]["seconds"]
+        new_s = new_by_key[key]["seconds"]
+        entry = totals.setdefault(strategy, {"old": 0.0, "new": 0.0})
+        entry["old"] += old_s
+        entry["new"] += new_s
+        ratio = new_s / old_s if old_s else float("inf")
+        if ratio > threshold:
+            regressions.append(
+                {
+                    "query": query,
+                    "strategy": strategy,
+                    "old_seconds": old_s,
+                    "new_seconds": new_s,
+                    "ratio": ratio,
+                }
+            )
+    speedup = {
+        s: (t["old"] / t["new"] if t["new"] else float("inf"))
+        for s, t in totals.items()
+    }
+    return {
+        "sf": new_sf,
+        "threshold": threshold,
+        "pairs_compared": len(shared),
+        "per_strategy_seconds": totals,
+        "speedup_over_baseline": speedup,
+        "regressions": regressions,
+    }
+
+
+def format_comparison(block: dict) -> str:
+    """Human-readable summary of a comparison block."""
+    lines = [
+        f"compared {block['pairs_compared']} (query, strategy) pairs "
+        f"at SF {block['sf']} (threshold {block['threshold']}x)"
+    ]
+    for strategy, t in sorted(block["per_strategy_seconds"].items()):
+        lines.append(
+            f"  {strategy:12s} old={t['old']:.4f}s new={t['new']:.4f}s "
+            f"speedup={block['speedup_over_baseline'][strategy]:.2f}x"
+        )
+    if block["regressions"]:
+        lines.append(f"  {len(block['regressions'])} per-query regression(s):")
+        for r in block["regressions"]:
+            lines.append(
+                f"    {r['query']}/{r['strategy']}: "
+                f"{r['old_seconds']:.4f}s -> {r['new_seconds']:.4f}s "
+                f"({r['ratio']:.2f}x)"
+            )
+    else:
+        lines.append("  no per-query regressions beyond threshold")
+    return "\n".join(lines)
+
+
+def github_annotations(block: dict) -> list[str]:
+    """One ``::warning::`` line per regression (GitHub Actions format)."""
+    return [
+        "::warning title=bench regression::"
+        f"{r['query']}/{r['strategy']} total wall clock "
+        f"{r['ratio']:.2f}x baseline "
+        f"({r['old_seconds']:.4f}s -> {r['new_seconds']:.4f}s)"
+        for r in block["regressions"]
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: diff two bench JSON records, warn-only."""
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.compare",
+        description="Diff two BENCH_*.json records (warn-only)",
+    )
+    parser.add_argument("old", help="baseline bench JSON")
+    parser.add_argument("new", help="fresh bench JSON")
+    parser.add_argument("--threshold", type=float, default=1.3)
+    parser.add_argument(
+        "--github",
+        action="store_true",
+        help="emit GitHub Actions ::warning:: annotations for regressions",
+    )
+    args = parser.parse_args(argv)
+    try:
+        block = compare_payloads(
+            load_bench(args.old), load_bench(args.new), args.threshold
+        )
+    except ValueError as exc:
+        # Cross-SF comparison: report and succeed (warn-only contract).
+        print(f"bench compare skipped: {exc}")
+        return 0
+    print(format_comparison(block))
+    if args.github:
+        for line in github_annotations(block):
+            print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -121,15 +121,23 @@ def run_suite(
 # Machine-readable bench records (BENCH_*.json artifacts)
 # ----------------------------------------------------------------------
 def measurement_to_json(m: Measurement) -> dict:
-    """One measurement as a flat JSON-ready record."""
+    """One measurement as a flat JSON-ready record.
+
+    Schema ``repro-bench/v2``: ``scan_seconds``, ``materialize_seconds``
+    and ``bytes_materialized`` (all including pre-stages) attribute the
+    time the v1 phase split left invisible.
+    """
     t = m.stats.transfer
     return {
         "query": m.query,
         "strategy": m.strategy,
         "seconds": m.seconds,
+        "scan_seconds": m.stats.scan_seconds_total,
         "transfer_seconds": m.stats.transfer_seconds,
         "join_seconds": m.stats.join_seconds,
         "post_seconds": m.stats.post_seconds,
+        "materialize_seconds": m.stats.materialize_seconds_total,
+        "bytes_materialized": m.stats.bytes_materialized_total,
         "output_rows": m.output_rows,
         "prefilter_reduction": t.reduction(),
         "filters_built": t.filters_built,
@@ -145,7 +153,7 @@ def measurement_to_json(m: Measurement) -> dict:
 def suite_to_json(suite: SuiteResult, repeats: int, seed: int = 0) -> dict:
     """The whole sweep as a JSON document with environment metadata."""
     return {
-        "schema": "repro-bench/v1",
+        "schema": "repro-bench/v2",
         "meta": {
             "sf": suite.sf,
             "seed": seed,

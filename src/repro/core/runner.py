@@ -12,6 +12,31 @@ All strategies share the scanner, the join phase (left-deep over a
 deterministic order) and the post-operator pipeline, so measured
 differences are attributable to pre-filtering alone — mirroring the
 paper's single-executor methodology.
+
+Materialization policy (``RunConfig.materialize``)
+--------------------------------------------------
+``"lazy"`` (default) runs the whole pipeline late-materialized:
+
+* scans wrap only the live columns (:func:`repro.plan.pruning
+  .live_columns`) of each base table in a zero-copy rename
+  :class:`~repro.storage.view.TableView`;
+* the pre-filter phase emits sorted row-index vectors that become the
+  views' selection vectors directly — no filtered table copy;
+* every join produces a composed view (index-vector arithmetic only);
+  the only data gathers before the post phase are the key columns a
+  join or Bloom probe actually touches, and the columns referenced by
+  residual predicates — each memoized on its view;
+* a gather is forced only by (a) the post pipeline reading a column
+  (aggregation inputs, sort keys, projections — one column at a time,
+  through the view) and (b) the final
+  :func:`~repro.storage.view.materialize` of the query result, which
+  performs exactly one gather per *output* column.
+
+``"eager"`` restores the classical executor — full ``prefixed()``
+tables, post-prefilter ``filter(mask)`` copies of every column, and
+gather-everything joins.  It exists as the equivalence oracle for the
+lazy path (see ``tests/test_late_materialization.py``) and as the
+attribution baseline for ``materialize_seconds``/``bytes_materialized``.
 """
 
 from __future__ import annotations
@@ -34,15 +59,19 @@ from ..filters.hashing import bloom_keys
 from ..optimizer.cardinality import NdvCache
 from ..optimizer.joinorder import greedy_join_order
 from ..plan.joingraph import build_join_graph, edge_keys_for
+from ..plan.pruning import live_columns
 from ..plan.query import Aggregate, Filter, Limit, Project, QuerySpec, Sort
 from ..plan.rewrite import resolve_scalars
 from ..storage.catalog import Catalog
 from ..storage.table import Table
+from ..storage.view import AnyTable, TableView, materialize
 from .ptgraph import build_pt_graph
-from .transfer import TransferConfig, run_transfer
-from .yannakakis import run_semi_join_phase
+from .transfer import TransferConfig, run_transfer_rows
+from .yannakakis import run_semi_join_rows
 
 STRATEGIES = ("nopredtrans", "bloomjoin", "yannakakis", "predtrans")
+
+MATERIALIZE_MODES = ("lazy", "eager")
 
 
 @dataclass
@@ -54,11 +83,17 @@ class RunConfig:
     bloom_fpp: float = 0.01
     replan: bool = False
     yannakakis_root: str | None = None
+    materialize: str = "lazy"
 
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGIES:
             raise PlanError(
                 f"unknown strategy {self.strategy!r}; choose from {STRATEGIES}"
+            )
+        if self.materialize not in MATERIALIZE_MODES:
+            raise PlanError(
+                f"unknown materialize mode {self.materialize!r}; "
+                f"choose from {MATERIALIZE_MODES}"
             )
 
 
@@ -98,50 +133,67 @@ def run_query(
     graph = build_join_graph(resolved)
 
     # ------------------------------------------------------------------
-    # Pre-filter phase: scan + local predicates + strategy-specific
-    # whole-graph filtering.
+    # Scan phase: wrap (pruned) base columns, apply local predicates.
     # ------------------------------------------------------------------
     t0 = time.perf_counter()
-    scanned, masks = _scan(resolved, scoped)
-    local_sizes = {a: int(m.sum()) for a, m in masks.items()}
+    scanned, rows = _scan(resolved, scoped, config)
+    local_sizes = {a: len(r) for a, r in rows.items()}
+    stats.scan_seconds = time.perf_counter() - t0
+
+    # ------------------------------------------------------------------
+    # Pre-filter phase: strategy-specific whole-graph filtering over
+    # sorted row-index vectors.
+    # ------------------------------------------------------------------
+    t1 = time.perf_counter()
     # Query-wide caches: key hashing (shared by transfer / semi-join /
     # BloomJoin prefilters) and build-side sorts (shared by all joins).
     hashes = KeyHashCache()
     build_cache = BuildSortCache()
 
     if config.strategy == "yannakakis":
-        masks, stats.transfer = run_semi_join_phase(
-            graph, scanned, masks, config.yannakakis_root, hashes=hashes
+        rows, stats.transfer = run_semi_join_rows(
+            graph, scanned, rows, config.yannakakis_root, hashes=hashes
         )
     elif config.strategy == "predtrans":
         ptgraph = build_pt_graph(graph, local_sizes)
-        masks, stats.transfer = run_transfer(
-            ptgraph, scanned, masks, config.transfer, hashes=hashes
+        rows, stats.transfer = run_transfer_rows(
+            ptgraph, scanned, rows, config.transfer, hashes=hashes
         )
     else:
         stats.transfer.rows_before = dict(local_sizes)
         stats.transfer.rows_after = dict(local_sizes)
-    stats.transfer_seconds = time.perf_counter() - t0
+    stats.transfer_seconds = time.perf_counter() - t1
 
     # ------------------------------------------------------------------
-    # Join phase.
+    # Join phase: selection vectors become the views' row selections
+    # (lazy) or full-width filtered copies (eager oracle).
     # ------------------------------------------------------------------
-    t1 = time.perf_counter()
-    reduced = {alias: scanned[alias].filter(masks[alias]) for alias in masks}
+    t2 = time.perf_counter()
+    reduced = _reduce(scanned, rows, config, stats)
     order = _choose_order(resolved, graph, reduced, local_sizes, config, join_order)
     current = _execute_join_phase(
         resolved, graph, reduced, order, config, stats, build_cache, hashes
     )
-    stats.join_seconds = time.perf_counter() - t1
+    stats.join_seconds = time.perf_counter() - t2
 
     # ------------------------------------------------------------------
     # Post-operator pipeline (aggregation, having, order by, ...).
     # ------------------------------------------------------------------
-    t2 = time.perf_counter()
+    t3 = time.perf_counter()
     result = _apply_post(resolved, current)
-    stats.post_seconds = time.perf_counter() - t2
-    stats.output_rows = result.num_rows
-    return QueryResult(result, stats)
+    stats.post_seconds = time.perf_counter() - t3
+
+    # ------------------------------------------------------------------
+    # Output materialization: one gather per output column (no-op when
+    # the post pipeline already produced a concrete table).
+    # ------------------------------------------------------------------
+    t4 = time.perf_counter()
+    table = materialize(result)
+    if table is not result:
+        stats.materialize_seconds += time.perf_counter() - t4
+        stats.bytes_materialized += _table_nbytes(table)
+    stats.output_rows = table.num_rows
+    return QueryResult(table, stats)
 
 
 # ----------------------------------------------------------------------
@@ -193,25 +245,98 @@ def _resolve_spec(spec: QuerySpec, catalog: Catalog) -> QuerySpec:
 
 
 def _scan(
-    spec: QuerySpec, catalog: Catalog
-) -> tuple[dict[str, Table], dict[str, np.ndarray]]:
-    """Scan every relation (qualified columns) and apply local predicates."""
-    scanned: dict[str, Table] = {}
-    masks: dict[str, np.ndarray] = {}
+    spec: QuerySpec, catalog: Catalog, config: RunConfig
+) -> tuple[dict[str, AnyTable], dict[str, np.ndarray]]:
+    """Scan every relation and apply local predicates.
+
+    Lazy mode wraps only each alias's live columns in a zero-copy
+    rename view; eager mode keeps the classical full-width
+    ``prefixed()`` table.  Either way the survivors come back as sorted
+    row-index vectors.
+    """
+    lazy = config.materialize == "lazy"
+    live = live_columns(spec) if lazy else None
+    scanned: dict[str, AnyTable] = {}
+    rows: dict[str, np.ndarray] = {}
     for relation in spec.relations:
-        table = catalog.get(relation.table).prefixed(relation.alias)
+        base = catalog.get(relation.table)
+        if lazy:
+            table = _scan_view(
+                base, relation.alias, None if live is None else live[relation.alias]
+            )
+        else:
+            table = base.prefixed(relation.alias)
         scanned[relation.alias] = table
         if relation.predicate is None:
-            masks[relation.alias] = np.ones(table.num_rows, dtype=np.bool_)
+            rows[relation.alias] = np.arange(table.num_rows)
         else:
-            masks[relation.alias] = evaluate_mask(relation.predicate, table)
-    return scanned, masks
+            rows[relation.alias] = np.flatnonzero(
+                evaluate_mask(relation.predicate, table)
+            )
+    return scanned, rows
+
+
+def _scan_view(base: Table, alias: str, live: set[str] | None) -> TableView:
+    """A pruned, ``alias.column``-qualified zero-copy view of ``base``.
+
+    Mirrors :meth:`Table.prefixed` naming (already-qualified names keep
+    only their trailing part) but wraps just the live columns — no
+    column buffer is touched either way.
+    """
+    mapping: dict[str, str] = {}
+    for name in base.columns:
+        short = name.split(".", 1)[1] if "." in name else name
+        if live is None or short in live:
+            mapping[f"{alias}.{short}"] = name
+    return TableView.over(base, name=alias, columns=mapping)
+
+
+def _reduce(
+    scanned: dict[str, AnyTable],
+    rows: dict[str, np.ndarray],
+    config: RunConfig,
+    stats: QueryStats,
+) -> dict[str, AnyTable]:
+    """Attach pre-filter survivors to the scanned relations.
+
+    Lazy: the index vectors become the views' selection vectors (no
+    data movement; an all-rows vector reuses the whole-table view so
+    unfiltered columns are served without any gather).  Eager: the
+    classical full-width ``filter()`` copy, timed and sized into the
+    materialization stats it exists to attribute.
+    """
+    if config.materialize == "lazy":
+        return {
+            alias: scanned[alias]
+            if len(r) == scanned[alias].num_rows
+            else scanned[alias].with_rows(r)
+            for alias, r in rows.items()
+        }
+    t0 = time.perf_counter()
+    reduced: dict[str, AnyTable] = {}
+    for alias, r in rows.items():
+        mask = np.zeros(scanned[alias].num_rows, dtype=np.bool_)
+        mask[r] = True
+        reduced[alias] = scanned[alias].filter(mask)
+        stats.bytes_materialized += _table_nbytes(reduced[alias])
+    stats.materialize_seconds += time.perf_counter() - t0
+    return reduced
+
+
+def _table_nbytes(table: Table) -> int:
+    """Bytes held by a table's physical column buffers."""
+    total = 0
+    for column in table.columns.values():
+        total += column.data.nbytes
+        if column.valid is not None:
+            total += column.valid.nbytes
+    return total
 
 
 def _choose_order(
     spec: QuerySpec,
     graph,
-    reduced: dict[str, Table],
+    reduced: dict[str, AnyTable],
     local_sizes: dict[str, int],
     config: RunConfig,
     override: list[str] | None,
@@ -244,13 +369,13 @@ def _and_fold(exprs: list[Expr]) -> Expr | None:
 def _execute_join_phase(
     spec: QuerySpec,
     graph,
-    reduced: dict[str, Table],
+    reduced: dict[str, AnyTable],
     order: list[str],
     config: RunConfig,
     stats: QueryStats,
     build_cache: BuildSortCache | None = None,
     hashes: KeyHashCache | None = None,
-) -> Table:
+) -> AnyTable:
     hashes = hashes or KeyHashCache()
     # Only stable base tables go through the query-wide caches:
     # intermediate join results are fresh objects that can never
@@ -303,14 +428,17 @@ def _execute_join_phase(
     return current
 
 
-def _apply_ready_residuals(current: Table, pending: list[Expr]) -> Table:
-    """Apply every pending residual whose columns are now all available."""
-    available = set(current.columns)
+def _apply_ready_residuals(current: AnyTable, pending: list[Expr]) -> AnyTable:
+    """Apply every pending residual whose columns are now all available.
+
+    On a view this gathers only the residual's own columns; the filter
+    itself is index-vector composition.
+    """
+    available = set(current.column_names)
     still_pending = []
     for expr in pending:
         if expr.columns() <= available:
             current = current.filter(evaluate_mask(expr, current))
-            available = set(current.columns)
         else:
             still_pending.append(expr)
     pending[:] = still_pending
@@ -339,8 +467,8 @@ def _gather_edges(graph, neighbors: list[str], alias: str):
 
 
 def _bloom_prefilter(
-    probe_table: Table,
-    build_table: Table,
+    probe_table: AnyTable,
+    build_table: AnyTable,
     probe_on: list[str],
     build_on: list[str],
     config: RunConfig,
@@ -379,7 +507,9 @@ def _bloom_prefilter(
 # ----------------------------------------------------------------------
 # Post-operator pipeline
 # ----------------------------------------------------------------------
-def _apply_post(spec: QuerySpec, table: Table) -> Table:
+def _apply_post(spec: QuerySpec, table: AnyTable) -> AnyTable:
+    """Run the post pipeline; each operator pulls only the columns it
+    reads through the (possibly lazy) input."""
     for op in spec.post:
         if isinstance(op, Aggregate):
             table = group_aggregate(table, list(op.keys), list(op.aggs))

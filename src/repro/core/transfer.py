@@ -88,6 +88,30 @@ class TransferConfig:
             raise FilterError("rounds must be >= 1")
 
 
+def masks_to_rows(masks: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+    """Boolean survivor masks -> sorted row-index vectors.
+
+    arange for all-true masks (predicate-less scans) skips the
+    flatnonzero scan over the largest tables.
+    """
+    return {
+        a: np.arange(len(m)) if m.all() else np.flatnonzero(m)
+        for a, m in masks.items()
+    }
+
+
+def rows_to_masks(
+    rows: dict[str, np.ndarray], lengths: dict[str, int]
+) -> dict[str, np.ndarray]:
+    """Sorted row-index vectors -> boolean masks of the given lengths."""
+    out = {}
+    for alias, selected in rows.items():
+        mask = np.zeros(lengths[alias], dtype=np.bool_)
+        mask[selected] = True
+        out[alias] = mask
+    return out
+
+
 @dataclass
 class _IncomingFilter:
     """A filter parked at a vertex, waiting to be applied."""
@@ -105,8 +129,9 @@ class TransferState:
     masks): every consumer of the transfer loop needs the index form
     anyway (hash gathers, filter builds), and index vectors shrink with
     the survivors while masks would keep costing O(base rows) to scan,
-    sum and rebuild on every touch.  Masks are materialized once, at
-    the end of the phase.
+    sum and rebuild on every touch.  The runner consumes the vectors
+    directly as join-phase selection vectors; masks exist only behind
+    the :func:`run_transfer` compatibility wrapper.
     """
 
     tables: dict[str, Table]
@@ -125,12 +150,70 @@ class TransferState:
 
     def masks(self) -> dict[str, np.ndarray]:
         """Materialize the surviving rows as boolean masks."""
-        out = {}
-        for alias, rows in self.rows.items():
-            mask = np.zeros(self.tables[alias].num_rows, dtype=np.bool_)
-            mask[rows] = True
-            out[alias] = mask
-        return out
+        return rows_to_masks(
+            self.rows, {a: t.num_rows for a, t in self.tables.items()}
+        )
+
+
+def run_transfer_rows(
+    ptgraph: PTGraph,
+    tables: dict[str, Table],
+    rows: dict[str, np.ndarray],
+    config: TransferConfig | None = None,
+    hashes: KeyHashCache | None = None,
+) -> tuple[dict[str, np.ndarray], TransferStats]:
+    """Run the predicate transfer phase on sorted row-index vectors.
+
+    This is the native entry point: survivors come in and go out as
+    sorted row-index vectors (the transfer loop's internal form), which
+    the late-materializing executor feeds straight into join-phase
+    selection vectors — no boolean mask is ever materialized.
+
+    Parameters
+    ----------
+    ptgraph:
+        The oriented transfer DAG.
+    tables:
+        Alias → scanned table (columns qualified ``alias.col``).  Any
+        object with ``column``/``num_rows`` works (tables or views).
+    rows:
+        Alias → sorted surviving row indices (local predicates
+        pre-applied).  Input vectors are never mutated.
+    hashes:
+        Optional query-scoped hash cache to share with other phases
+        (the runner passes one so BloomJoin/scan hashing is reused); a
+        private cache is created when omitted.
+
+    Returns the reduced row vectors and phase statistics.
+    """
+    config = config or TransferConfig()
+    state = TransferState(
+        tables=tables,
+        rows=dict(rows),
+        hashes=hashes or KeyHashCache(),
+    )
+    stats = TransferStats()
+    for alias in rows:
+        stats.rows_before[alias] = state.selected_count(alias)
+
+    order = ptgraph.topological_order()
+    for round_index in range(config.rounds):
+        survivors_before = sum(state.selected_count(a) for a in rows)
+        if config.forward:
+            _run_pass(state, order, ptgraph.forward_edges(), config, stats)
+        if config.backward:
+            _run_pass(
+                state, list(reversed(order)), ptgraph.backward_edges(), config, stats
+            )
+        # Extra rounds stop early once a fixpoint is reached.
+        if round_index and survivors_before == sum(
+            state.selected_count(a) for a in rows
+        ):
+            break
+
+    for alias in rows:
+        stats.rows_after[alias] = state.selected_count(alias)
+    return state.rows, stats
 
 
 def run_transfer(
@@ -140,57 +223,16 @@ def run_transfer(
     config: TransferConfig | None = None,
     hashes: KeyHashCache | None = None,
 ) -> tuple[dict[str, np.ndarray], TransferStats]:
-    """Run the predicate transfer phase.
+    """Boolean-mask wrapper around :func:`run_transfer_rows`.
 
-    Parameters
-    ----------
-    ptgraph:
-        The oriented transfer DAG.
-    tables:
-        Alias → scanned table (columns qualified ``alias.col``).
-    masks:
-        Alias → boolean survivor mask (local predicates pre-applied).
-        Not mutated; a copy is returned.
-    hashes:
-        Optional query-scoped hash cache to share with other phases
-        (the runner passes one so BloomJoin/scan hashing is reused); a
-        private cache is created when omitted.
-
-    Returns the reduced masks and phase statistics.
+    Kept for callers (and tests) that think in masks; the runner itself
+    uses the row-vector form.  ``masks`` is not mutated.
     """
-    config = config or TransferConfig()
-    state = TransferState(
-        tables=tables,
-        # arange for all-true masks (predicate-less scans) skips the
-        # flatnonzero scan over the largest tables.
-        rows={
-            a: np.arange(len(m)) if m.all() else np.flatnonzero(m)
-            for a, m in masks.items()
-        },
-        hashes=hashes or KeyHashCache(),
+    out_rows, stats = run_transfer_rows(
+        ptgraph, tables, masks_to_rows(masks), config, hashes
     )
-    stats = TransferStats()
-    for alias in masks:
-        stats.rows_before[alias] = state.selected_count(alias)
-
-    order = ptgraph.topological_order()
-    for round_index in range(config.rounds):
-        survivors_before = sum(state.selected_count(a) for a in masks)
-        if config.forward:
-            _run_pass(state, order, ptgraph.forward_edges(), config, stats)
-        if config.backward:
-            _run_pass(
-                state, list(reversed(order)), ptgraph.backward_edges(), config, stats
-            )
-        # Extra rounds stop early once a fixpoint is reached.
-        if round_index and survivors_before == sum(
-            state.selected_count(a) for a in masks
-        ):
-            break
-
-    for alias in masks:
-        stats.rows_after[alias] = state.selected_count(alias)
-    return state.masks(), stats
+    lengths = {a: len(m) for a, m in masks.items()}
+    return rows_to_masks(out_rows, lengths), stats
 
 
 def _run_pass(

@@ -29,6 +29,7 @@ from ..filters.hashcache import KeyHashCache
 from ..plan.joingraph import edge_keys_for
 from ..storage.table import Table
 from .ptgraph import allowed_directions
+from .transfer import masks_to_rows, rows_to_masks
 
 
 @dataclass
@@ -77,7 +78,7 @@ def _direction_allowed(join_graph: nx.Graph, src: str, dst: str) -> bool:
 def _semi_join(
     join_graph: nx.Graph,
     tables: dict[str, Table],
-    masks: dict[str, np.ndarray],
+    rows: dict[str, np.ndarray],
     src: str,
     dst: str,
     stats: TransferStats,
@@ -87,37 +88,40 @@ def _semi_join(
     keys_src_dst = edge_keys_for(join_graph, src, dst)
     src_cols = [tables[src].column(a) for a, _ in keys_src_dst]
     dst_cols = [tables[dst].column(b) for _, b in keys_src_dst]
-    src_rows = np.flatnonzero(masks[src])
-    dst_rows = np.flatnonzero(masks[dst])
+    src_rows = rows[src]
+    dst_rows = rows[dst]
     if len(dst_rows) == 0:
         return
     filt = ExactFilter.from_keys(hashes.bloom_keys(src_cols, src_rows))
     stats.hash_inserts += len(src_rows)
     keep = filt.contains_keys(hashes.bloom_keys(dst_cols, dst_rows))
     stats.hash_probes += len(dst_rows)
-    masks[dst][dst_rows[~keep]] = False
+    if not keep.all():
+        rows[dst] = dst_rows[keep]
     stats.edges_traversed += 1
 
 
-def run_semi_join_phase(
+def run_semi_join_rows(
     join_graph: nx.Graph,
     tables: dict[str, Table],
-    masks: dict[str, np.ndarray],
+    rows: dict[str, np.ndarray],
     root: str | None = None,
     hashes: KeyHashCache | None = None,
 ) -> tuple[dict[str, np.ndarray], TransferStats]:
-    """Run the Yannakakis forward + backward semi-join passes.
+    """Yannakakis semi-join passes over sorted row-index vectors.
 
-    ``masks`` (local predicates pre-applied) is not mutated; reduced
-    copies are returned together with hash-op statistics.  ``hashes``
-    memoizes key hashing per column set, so each vertex's key columns
-    are normalized once across the forward and backward passes.
+    Native entry point of the late-materializing executor: survivors
+    stay in index-vector form throughout (shrinking with each
+    semi-join), ready to serve as join-phase selection vectors.  Input
+    vectors are never mutated.  ``hashes`` memoizes key hashing per
+    column set, so each vertex's key columns are normalized once across
+    the forward and backward passes.
     """
-    masks = {a: m.copy() for a, m in masks.items()}
+    rows = dict(rows)
     stats = TransferStats()
     hashes = hashes or KeyHashCache()
-    for alias, mask in masks.items():
-        stats.rows_before[alias] = int(mask.sum())
+    for alias in rows:
+        stats.rows_before[alias] = len(rows[alias])
 
     for component in nx.connected_components(join_graph):
         if len(component) < 2:
@@ -130,16 +134,35 @@ def run_semi_join_phase(
             for child in jtree.tree.successors(parent):
                 if _direction_allowed(join_graph, child, parent):
                     _semi_join(
-                        join_graph, tables, masks, child, parent, stats, hashes
+                        join_graph, tables, rows, child, parent, stats, hashes
                     )
         # Backward pass (top-down): each child is reduced by its parent.
         for parent in jtree.top_down():
             for child in jtree.tree.successors(parent):
                 if _direction_allowed(join_graph, parent, child):
                     _semi_join(
-                        join_graph, tables, masks, parent, child, stats, hashes
+                        join_graph, tables, rows, parent, child, stats, hashes
                     )
 
-    for alias in masks:
-        stats.rows_after[alias] = int(masks[alias].sum())
-    return masks, stats
+    for alias in rows:
+        stats.rows_after[alias] = len(rows[alias])
+    return rows, stats
+
+
+def run_semi_join_phase(
+    join_graph: nx.Graph,
+    tables: dict[str, Table],
+    masks: dict[str, np.ndarray],
+    root: str | None = None,
+    hashes: KeyHashCache | None = None,
+) -> tuple[dict[str, np.ndarray], TransferStats]:
+    """Boolean-mask wrapper around :func:`run_semi_join_rows`.
+
+    ``masks`` (local predicates pre-applied) is not mutated; reduced
+    copies are returned together with hash-op statistics.
+    """
+    out_rows, stats = run_semi_join_rows(
+        join_graph, tables, masks_to_rows(masks), root, hashes
+    )
+    lengths = {a: len(m) for a, m in masks.items()}
+    return rows_to_masks(out_rows, lengths), stats

@@ -37,6 +37,7 @@ from ..expr.eval import evaluate_mask
 from ..expr.nodes import Expr
 from ..storage.column import Column
 from ..storage.table import Table
+from ..storage.view import AnyTable, TableView, join_views
 from .keys import normalize_join_keys
 from .stats import JoinStat
 
@@ -132,7 +133,7 @@ def _merge_columns(
     probe: Table, build: Table, probe_idx: np.ndarray, build_idx: np.ndarray,
     null_extend_build: bool,
 ) -> Table:
-    """Assemble the joined table from index vectors."""
+    """Assemble the joined table from index vectors (eager path)."""
     columns: dict[str, Column] = {}
     for name, column in probe.columns.items():
         columns[name] = column.take(probe_idx)
@@ -146,9 +147,25 @@ def _merge_columns(
     return Table(f"({probe.name}x{build.name})", columns)
 
 
+def _merge(
+    probe: AnyTable, build: AnyTable, probe_idx: np.ndarray,
+    build_idx: np.ndarray, null_extend_build: bool,
+) -> AnyTable:
+    """Combine the join sides: lazily (views) or eagerly (tables).
+
+    When either side is a :class:`TableView` the result is a composed
+    view — index vectors only, no data columns gathered.  Two concrete
+    tables keep the eager gather-everything behaviour (the
+    ``materialize="eager"`` oracle path).
+    """
+    if isinstance(probe, TableView) or isinstance(build, TableView):
+        return join_views(probe, build, probe_idx, build_idx, null_extend_build)
+    return _merge_columns(probe, build, probe_idx, build_idx, null_extend_build)
+
+
 def hash_join(
-    probe: Table,
-    build: Table,
+    probe: AnyTable,
+    build: AnyTable,
     probe_on: list[str],
     build_on: list[str],
     how: str = "inner",
@@ -156,13 +173,17 @@ def hash_join(
     label: str | None = None,
     probe_rows: np.ndarray | None = None,
     build_cache: BuildSortCache | None = None,
-) -> tuple[Table, JoinStat]:
+) -> tuple[AnyTable, JoinStat]:
     """Join ``probe`` against ``build`` on equality of the key columns.
 
     Parameters
     ----------
     probe, build:
-        Input tables; ``build`` is the hash-table side.
+        Input tables or :class:`TableView` lazy intermediates; ``build``
+        is the hash-table side.  Key columns are gathered through the
+        views' selection vectors (and memoized there); all non-key
+        columns stay untouched when the inputs are views, because the
+        result is then a composed view rather than a gathered table.
     probe_on, build_on:
         Equal-length lists of key column names.
     how:
@@ -201,7 +222,8 @@ def hash_join(
         probe_idx = probe_rows[probe_idx]
 
     if residual is not None and len(probe_idx) > 0:
-        pair_table = _merge_columns(probe, build, probe_idx, build_idx, False)
+        # On views this gathers only the columns the residual touches.
+        pair_table = _merge(probe, build, probe_idx, build_idx, False)
         keep = evaluate_mask(residual, pair_table)
         probe_idx, build_idx = probe_idx[keep], build_idx[keep]
         counts = np.bincount(probe_idx, minlength=probe.num_rows)
@@ -211,7 +233,7 @@ def hash_join(
         counts = np.bincount(probe_idx, minlength=probe.num_rows)
 
     if how == "inner":
-        result = _merge_columns(probe, build, probe_idx, build_idx, False)
+        result = _merge(probe, build, probe_idx, build_idx, False)
     elif how == "semi":
         result = probe.filter(counts > 0)
     elif how == "anti":
@@ -223,7 +245,7 @@ def hash_join(
             [build_idx, np.full(len(unmatched), -1, dtype=build_idx.dtype)]
         )
         order = np.argsort(all_probe, kind="stable")
-        result = _merge_columns(
+        result = _merge(
             probe, build, all_probe[order], all_build[order], True
         )
 

@@ -60,13 +60,24 @@ class TransferStats:
 
 @dataclass
 class QueryStats:
-    """End-to-end statistics for one query execution."""
+    """End-to-end statistics for one query execution.
+
+    ``scan_seconds`` (scan + local predicates), ``materialize_seconds``
+    (row gathers into concrete tables: the final output gather under
+    late materialization, or the post-prefilter full-table copies under
+    the eager fallback) and ``bytes_materialized`` attribute the time
+    the paper's phase split leaves invisible — everything that is
+    neither transfer nor join matching.
+    """
 
     strategy: str = ""
     query: str = ""
+    scan_seconds: float = 0.0
     transfer_seconds: float = 0.0
     join_seconds: float = 0.0
     post_seconds: float = 0.0
+    materialize_seconds: float = 0.0
+    bytes_materialized: int = 0
     joins: list[JoinStat] = field(default_factory=list)
     transfer: TransferStats = field(default_factory=TransferStats)
     output_rows: int = 0
@@ -75,21 +86,51 @@ class QueryStats:
     @property
     def total_seconds(self) -> float:
         """Total execution time including all pre-stages."""
-        own = self.transfer_seconds + self.join_seconds + self.post_seconds
+        own = (
+            self.scan_seconds
+            + self.transfer_seconds
+            + self.join_seconds
+            + self.post_seconds
+            + self.materialize_seconds
+        )
         return own + sum(s.total_seconds for s in self.stage_stats)
 
     @property
     def prefilter_seconds(self) -> float:
-        """Pre-filter phase time including pre-stages' pre-filter time."""
-        return self.transfer_seconds + sum(
-            s.prefilter_seconds for s in self.stage_stats
+        """Everything before the join phase (scan + transfer),
+        including pre-stages' pre-filter time."""
+        return (
+            self.scan_seconds
+            + self.transfer_seconds
+            + sum(s.prefilter_seconds for s in self.stage_stats)
         )
 
     @property
     def joinphase_seconds(self) -> float:
-        """Join+post phase time including pre-stages'."""
-        own = self.join_seconds + self.post_seconds
+        """Join+post+materialize phase time including pre-stages'."""
+        own = self.join_seconds + self.post_seconds + self.materialize_seconds
         return own + sum(s.joinphase_seconds for s in self.stage_stats)
+
+    @property
+    def scan_seconds_total(self) -> float:
+        """Scan time including pre-stages' scans."""
+        return self.scan_seconds + sum(
+            s.scan_seconds_total for s in self.stage_stats
+        )
+
+    @property
+    def materialize_seconds_total(self) -> float:
+        """Materialization time including pre-stages'."""
+        return self.materialize_seconds + sum(
+            s.materialize_seconds_total for s in self.stage_stats
+        )
+
+    @property
+    def bytes_materialized_total(self) -> int:
+        """Bytes gathered into concrete tables including pre-stages'."""
+        return self.bytes_materialized + sum(
+            s.bytes_materialized_total for s in self.stage_stats
+        )
 
     def all_joins(self) -> list[JoinStat]:
         """Join stats across pre-stages and the main block, in order."""

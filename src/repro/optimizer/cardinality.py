@@ -20,7 +20,10 @@ def ndv(column: Column, rows: np.ndarray | None = None) -> int:
     data = column.data if rows is None else column.data[rows]
     if len(data) == 0:
         return 0
-    return int(len(np.unique(data)))
+    # Sort-based distinct count: one copy-sort plus a boundary scan is
+    # measurably faster than np.unique's hash path on these key columns.
+    ordered = np.sort(data)
+    return int((ordered[1:] != ordered[:-1]).sum()) + 1
 
 
 class NdvCache:

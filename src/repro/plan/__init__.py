@@ -7,6 +7,7 @@ from .joingraph import (
     is_acyclic_graph,
     validate_connected,
 )
+from .pruning import live_columns
 from .query import (
     Aggregate,
     Filter,
@@ -37,6 +38,7 @@ __all__ = [
     "edge_keys_for",
     "has_scalar_refs",
     "is_acyclic_graph",
+    "live_columns",
     "resolve_scalars",
     "validate_connected",
 ]

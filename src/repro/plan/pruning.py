@@ -1,0 +1,88 @@
+"""Column pruning: the live column set per alias.
+
+A late-materializing scan only wraps the columns a query can ever
+touch.  The live set of an alias is the union of
+
+* its local predicate's columns,
+* the join keys of every edge incident to it (plus edge residuals),
+* the query-level residual predicates,
+* the inputs of the post-operator pipeline up to (and including) the
+  first *schema-defining* operator — an ``Aggregate`` or ``Project``
+  replaces the join table's schema, so operators after it reference its
+  outputs, never base columns.
+
+When no post operator defines an output schema, the query's result *is*
+the joined table and every column is live: :func:`live_columns` returns
+``None`` and the scanner falls back to wrapping everything.
+
+Only qualified ``alias.column`` names are attributed; bare names (e.g.
+aggregate output columns referenced by a HAVING filter) never match an
+alias and are ignored, which is exactly right — they are not base
+columns.
+"""
+
+from __future__ import annotations
+
+from .query import Aggregate, Filter, Project, QuerySpec, Sort
+
+SchemaDefining = (Aggregate, Project)
+
+
+def _post_inputs(spec: QuerySpec) -> tuple[set[str], bool]:
+    """Column names the post pipeline reads from the joined table.
+
+    Returns ``(names, schema_defined)`` where ``schema_defined`` tells
+    whether some operator replaces the join table's schema (making the
+    set complete).
+    """
+    names: set[str] = set()
+    for op in spec.post:
+        if isinstance(op, Aggregate):
+            for key in op.keys:
+                names |= key.resolved_expr().columns()
+            for agg in op.aggs:
+                if agg.input is not None:
+                    names |= agg.input.columns()
+            return names, True
+        if isinstance(op, Project):
+            for _, expr in op.outputs:
+                names |= expr.columns()
+            return names, True
+        if isinstance(op, Filter):
+            names |= op.predicate.columns()
+        elif isinstance(op, Sort):
+            names |= {column for column, _ in op.by}
+        # Limit reads no columns.
+    return names, False
+
+
+def live_columns(spec: QuerySpec) -> dict[str, set[str]] | None:
+    """Per-alias live column sets (*unqualified* names), or ``None``
+    when the output schema is the joined table itself (no pruning).
+
+    ``spec`` must already be scalar-resolved: scalar subquery references
+    are literals by now, so every remaining ``ColumnRef`` is either a
+    qualified base column or a derived output name.
+    """
+    post_names, schema_defined = _post_inputs(spec)
+    if not schema_defined:
+        return None
+
+    qualified: set[str] = set(post_names)
+    for relation in spec.relations:
+        if relation.predicate is not None:
+            qualified |= relation.predicate.columns()
+    for e in spec.edges:
+        qualified.update(e.qualified_left())
+        qualified.update(e.qualified_right())
+        if e.residual is not None:
+            qualified |= e.residual.columns()
+    for residual in spec.residuals:
+        qualified |= residual.columns()
+
+    live: dict[str, set[str]] = {r.alias: set() for r in spec.relations}
+    for name in qualified:
+        alias, _, column = name.partition(".")
+        if column and alias in live:
+            live[alias].add(column)
+    return live

@@ -16,12 +16,17 @@ from .dates import (
     years_of,
 )
 from .table import Table
+from .view import TableView, as_view, join_views, materialize
 
 __all__ = [
     "Catalog",
     "Column",
     "DType",
     "Table",
+    "TableView",
+    "as_view",
+    "join_views",
+    "materialize",
     "add_days",
     "add_months",
     "date_range_days",

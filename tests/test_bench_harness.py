@@ -122,12 +122,13 @@ def test_suite_to_json_roundtrip(suite):
     from repro.bench.harness import suite_to_json, write_bench_json
 
     doc = suite_to_json(suite, repeats=1, seed=0)
-    assert doc["schema"] == "repro-bench/v1"
+    assert doc["schema"] == "repro-bench/v2"
     assert doc["meta"]["sf"] == TINY_SF
     assert len(doc["measurements"]) == len(suite.measurements)
     record = doc["measurements"][0]
     for key in (
         "query", "strategy", "seconds", "transfer_seconds", "join_seconds",
+        "scan_seconds", "materialize_seconds", "bytes_materialized",
         "filter_bytes", "prefilter_reduction", "join_input_rows",
     ):
         assert key in record
@@ -142,4 +143,4 @@ def test_write_bench_json(tmp_path, suite):
 
     path = tmp_path / "out.json"
     write_bench_json(str(path), suite_to_json(suite, repeats=1))
-    assert json.loads(path.read_text())["schema"] == "repro-bench/v1"
+    assert json.loads(path.read_text())["schema"] == "repro-bench/v2"

@@ -8,12 +8,61 @@ from repro.__main__ import build_parser, main
 def test_parser_subcommands():
     parser = build_parser()
     args = parser.parse_args(["tpch", "--sf", "0.004", "--query", "5"])
-    assert args.command == "tpch" and args.query == 5 and args.sf == 0.004
+    assert args.command == "tpch" and args.query == (5,) and args.sf == 0.004
 
 
 def test_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_query_lists_accepted_everywhere():
+    parser = build_parser()
+    assert parser.parse_args(["tpch", "--query", "3,5,9"]).query == (3, 5, 9)
+    assert parser.parse_args(["ssb", "--query", "1.1,2.1"]).query == (
+        "1.1",
+        "2.1",
+    )
+    assert parser.parse_args(["bench", "--queries", "3,5"]).queries == (3, 5)
+
+
+@pytest.mark.parametrize(
+    "argv",
+    [
+        ["tpch", "--query", "23"],
+        ["tpch", "--query", "3,x"],
+        ["tpch", "--query", ","],
+        ["ssb", "--query", "9.9"],
+        ["bench", "--queries", "0"],
+    ],
+)
+def test_bad_query_lists_rejected(argv):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(argv)
+
+
+def test_tpch_query_list_runs(capsys):
+    code = main(
+        [
+            "tpch", "--sf", "0.003", "--query", "3,5",
+            "--strategy", "predtrans", "--repeats", "1",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "q3" in out and "q5" in out
+
+
+def test_ssb_query_list_runs(capsys):
+    code = main(
+        [
+            "ssb", "--sf", "0.003", "--query", "1.1,2.1",
+            "--strategy", "predtrans", "--repeats", "1",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Q1.1" in out and "Q2.1" in out
 
 
 def test_tpch_single_query(capsys):
@@ -68,7 +117,7 @@ def test_bench_json_smoke(tmp_path, capsys):
     import json
 
     doc = json.loads(out_path.read_text())
-    assert doc["schema"] == "repro-bench/v1"
+    assert doc["schema"] == "repro-bench/v2"
     assert doc["meta"]["sf"] == 0.003
     strategies = {m["strategy"] for m in doc["measurements"]}
     assert strategies == {"predtrans", "nopredtrans"}
@@ -77,3 +126,64 @@ def test_bench_json_smoke(tmp_path, capsys):
         assert m["transfer_seconds"] >= 0
         if m["strategy"] == "predtrans":
             assert m["filters_built"] > 0 and m["filter_bytes"] > 0
+
+
+def test_bench_compare_embeds_comparison(tmp_path, capsys):
+    base_path = tmp_path / "base.json"
+    code = main(
+        [
+            "bench", "--sf", "0.003", "--queries", "5",
+            "--strategies", "predtrans", "--repeats", "1",
+            "--json", str(base_path),
+        ]
+    )
+    assert code == 0
+    out_path = tmp_path / "new.json"
+    code = main(
+        [
+            "bench", "--sf", "0.003", "--queries", "5",
+            "--strategies", "predtrans", "--repeats", "1",
+            "--json", str(out_path), "--compare", str(base_path),
+        ]
+    )
+    assert code == 0
+    assert "speedup" in capsys.readouterr().out
+
+    import json
+
+    doc = json.loads(out_path.read_text())
+    block = doc["comparison"]
+    assert block["baseline_file"] == str(base_path)
+    assert block["pairs_compared"] == 1
+    assert "predtrans" in block["speedup_over_baseline"]
+
+
+def test_bench_compare_cli_warn_only(tmp_path, capsys):
+    import json
+
+    from repro.bench.compare import main as compare_main
+
+    def record(path, seconds, sf=0.01):
+        json.dump(
+            {
+                "schema": "repro-bench/v2",
+                "meta": {"sf": sf},
+                "measurements": [
+                    {"query": "q5", "strategy": "predtrans", "seconds": seconds}
+                ],
+            },
+            open(path, "w"),
+        )
+
+    old, new = tmp_path / "old.json", tmp_path / "new.json"
+    record(old, 0.1)
+    record(new, 0.2)  # 2x slower: beyond the 1.3x threshold
+    code = compare_main([str(old), str(new), "--github"])
+    assert code == 0  # warn-only: never fails
+    out = capsys.readouterr().out
+    assert "::warning" in out and "q5/predtrans" in out
+
+    # Cross-SF comparison is refused but still exits 0.
+    record(new, 0.2, sf=0.02)
+    assert compare_main([str(old), str(new)]) == 0
+    assert "skipped" in capsys.readouterr().out

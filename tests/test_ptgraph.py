@@ -126,13 +126,13 @@ def test_q5_pt_graph_matches_paper_figure(small_catalog):
     """The Q5 transfer graph must match Fig. 1b: region->nation->
     {supplier, customer}, supplier->{customer, lineitem},
     customer->orders->lineitem."""
-    from repro.core.runner import _scan
+    from repro.core.runner import RunConfig, _scan
     from repro.tpch.queries import get_query
 
     spec = get_query(5, sf=0.01)
     jg = build_join_graph(spec)
-    scanned, masks = _scan(spec, small_catalog)
-    sizes = {a: int(m.sum()) for a, m in masks.items()}
+    scanned, rows = _scan(spec, small_catalog, RunConfig())
+    sizes = {a: len(r) for a, r in rows.items()}
     pt = build_pt_graph(jg, sizes)
     expected = {
         ("r", "n"), ("n", "s"), ("n", "c"), ("s", "c"),

@@ -1,0 +1,139 @@
+"""Unit tests for the late-materialization view layer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage.table import Table
+from repro.storage.view import TableView, as_view, join_views, materialize
+
+
+@pytest.fixture
+def emp():
+    return Table.from_pydict(
+        "emp",
+        {
+            "eid": [1, 2, 3, 4],
+            "dept": [10, 10, 20, 30],
+            "name": ["a", "b", "c", "d"],
+        },
+    )
+
+
+@pytest.fixture
+def dept():
+    return Table.from_pydict("dept", {"did": [10, 20], "dname": ["eng", "ops"]})
+
+
+def test_rename_prune_view_is_zero_copy(emp):
+    view = TableView.over(emp, name="e", columns={"e.eid": "eid", "e.dept": "dept"})
+    assert view.column_names == ["e.eid", "e.dept"]
+    assert "e.name" not in view
+    # Zero copy: the exposed column IS the base column object.
+    assert view.column("e.eid") is emp.column("eid")
+
+
+def test_over_rejects_unknown_source_column(emp):
+    with pytest.raises(SchemaError):
+        TableView.over(emp, columns={"x": "nope"})
+
+
+def test_missing_column_raises(emp):
+    view = TableView.over(emp)
+    with pytest.raises(SchemaError):
+        view.column("ghost")
+
+
+def test_selection_vector_gather(emp):
+    view = TableView.over(emp, rows=np.array([2, 0]))
+    assert view.num_rows == 2
+    assert view.column("eid").to_pylist() == [3, 1]
+    # Memoized: repeated access returns the same object (stable identity
+    # for the query-wide hash/sort caches).
+    assert view.column("eid") is view.column("eid")
+
+
+def test_take_of_take_composes_indices(emp):
+    view = TableView.over(emp).take(np.array([3, 2, 1])).take(np.array([0, 2]))
+    assert view.column("eid").to_pylist() == [4, 2]
+    # Still a single-source view over the original table.
+    assert view._sources[0].table is emp
+
+
+def test_filter_and_head(emp):
+    view = TableView.over(emp)
+    kept = view.filter(np.array([True, False, True, False]))
+    assert kept.column("eid").to_pylist() == [1, 3]
+    assert view.head(2).column("eid").to_pylist() == [1, 2]
+
+
+def test_empty_selection_vector(emp):
+    view = TableView.over(emp, rows=np.array([], dtype=np.intp))
+    assert view.num_rows == 0
+    assert view.column("eid").to_pylist() == []
+    out = view.materialize()
+    assert out.num_rows == 0 and out.column_names == ["eid", "dept", "name"]
+
+
+def test_join_views_inner_composition(emp, dept):
+    e = TableView.over(emp, name="e", columns={"e.eid": "eid", "e.dept": "dept"})
+    d = TableView.over(dept, name="d", columns={"d.did": "did", "d.dname": "dname"})
+    joined = join_views(
+        e, d, np.array([0, 1, 2]), np.array([0, 0, 1]), False
+    )
+    assert joined.num_rows == 3
+    assert joined.column("e.eid").to_pylist() == [1, 2, 3]
+    assert joined.column("d.dname").to_pylist() == ["eng", "eng", "ops"]
+
+
+def test_join_views_null_extension_take_nullable(emp, dept):
+    """-1 build indices must surface as nulls through the view."""
+    e = TableView.over(emp, name="e", columns={"e.eid": "eid"})
+    d = TableView.over(dept, name="d", columns={"d.dname": "dname"})
+    joined = join_views(
+        e, d, np.array([0, 1, 3]), np.array([0, 1, -1]), True
+    )
+    assert joined.column("d.dname").to_pylist() == ["eng", "ops", None]
+    assert joined.column("e.eid").null_count() == 0
+    # Null rows survive further take-of-take composition.
+    again = joined.take(np.array([2, 0]))
+    assert again.column("d.dname").to_pylist() == [None, "eng"]
+
+
+def test_join_views_null_extension_composes_through_selection(emp, dept):
+    """-1 outer indices compose with an existing selection vector."""
+    d = TableView.over(
+        dept, name="d", columns={"d.dname": "dname"}, rows=np.array([1, 0])
+    )
+    e = TableView.over(emp, name="e", columns={"e.eid": "eid"})
+    joined = join_views(e, d, np.array([0, 1]), np.array([1, -1]), True)
+    # build row 1 of the view is dept row 0 ("eng"); -1 stays null.
+    assert joined.column("d.dname").to_pylist() == ["eng", None]
+
+
+def test_join_views_duplicate_columns_rejected(emp):
+    left = TableView.over(emp, name="l", columns={"x.eid": "eid"})
+    right = TableView.over(emp, name="r", columns={"x.eid": "eid"})
+    with pytest.raises(SchemaError):
+        join_views(left, right, np.array([0]), np.array([0]), False)
+
+
+def test_materialize_orders_and_subsets(emp):
+    view = TableView.over(emp, rows=np.array([1, 3]))
+    out = view.materialize(["name", "eid"])
+    assert out.column_names == ["name", "eid"]
+    assert out.to_rows() == [("b", 2), ("d", 4)]
+
+
+def test_as_view_and_materialize_passthrough(emp):
+    assert as_view(emp)._sources[0].table is emp
+    view = TableView.over(emp)
+    assert as_view(view) is view
+    assert materialize(emp) is emp
+    assert materialize(view).to_rows() == emp.to_rows()
+
+
+def test_whole_table_view_column_identity_after_full_take(emp):
+    """An all-rows view serves base columns without any gather."""
+    view = TableView.over(emp)
+    assert view.column("dept") is emp.column("dept")
