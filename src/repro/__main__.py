@@ -2,13 +2,25 @@
 
 Commands
 --------
-``tpch``   Run TPC-H queries under one or more strategies.
-``ssb``    Run SSB queries likewise.
-``fig4``   Regenerate the paper's Figure 4 table at a chosen SF.
-``q5``     Regenerate the Q5 case study (Tables 1–2, Figures 5–6).
-``bench``  Measure wall-clock/transfer-phase/filter-memory per query
-           and strategy; ``--json`` writes the machine-readable record
-           (the repo's ``BENCH_*.json`` perf-trajectory artifacts).
+``tpch``     Run TPC-H queries under one or more strategies.
+``ssb``      Run SSB queries likewise.
+``fig4``     Regenerate the paper's Figure 4 table at a chosen SF.
+``q5``       Regenerate the Q5 case study (Tables 1–2, Figures 5–6).
+``bench``    Measure wall-clock/transfer-phase/filter-memory per query
+             and strategy; ``--json`` writes the machine-readable record
+             (the repo's ``BENCH_*.json`` perf-trajectory artifacts).
+``workload`` Cold/warm replay of a mixed TPC-H+SSB stream through the
+             service Engine (the ``BENCH_PR3.json`` artifact).
+``cache``    ``stats`` / ``clear`` on the process-wide filter cache.
+
+``tpch``, ``ssb`` and ``bench`` execute through the process-wide
+cross-query filter cache by default — repeated queries within one
+invocation hit it — and accept ``--no-filter-cache`` to run the
+uncached executor instead.  The cache lives for the process: ``repro
+cache stats`` reports on the same instance the other commands warmed
+(which is only observable when commands run inside one process, e.g.
+driving :func:`main` programmatically — a fresh shell invocation
+starts cold).
 
 Query arguments accept single ids or comma-separated lists everywhere
 (``--query 5``, ``--query 3,5,9``, ``--queries 3,5``).
@@ -16,16 +28,19 @@ Query arguments accept single ids or comma-separated lists everywhere
 Examples::
 
     python -m repro tpch --sf 0.02 --query 3,5 --strategy predtrans
-    python -m repro ssb --query 1.1,2.1
+    python -m repro ssb --query 1.1,2.1 --no-filter-cache
     python -m repro fig4 --sf 0.05
     python -m repro q5 --sf 0.1
     python -m repro bench --sf 0.02 --queries 5 --json BENCH.json \
         --compare BENCH_PR1.json
+    python -m repro workload --sf 0.02 --repeats 2 --json BENCH_PR3.json
+    python -m repro cache stats
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .bench.harness import (
@@ -44,7 +59,14 @@ from .bench.harness import (
 )
 from .bench.compare import compare_payloads, format_comparison, load_bench
 from .bench.report import format_table
-from .core.runner import STRATEGIES
+from .cache import default_filter_cache
+from .core.runner import STRATEGIES, RunConfig
+from .filters.hashcache import KeyHashCache
+from .service.workload import (
+    DEFAULT_SSB_IDS,
+    DEFAULT_TPCH_IDS,
+    cold_warm,
+)
 from .ssb import ALL_SSB_QUERY_IDS, generate_ssb, get_ssb_query
 from .tpch import generate_tpch
 from .tpch.queries import BENCH_QUERY_IDS, Q5_JOIN_ORDERS, get_query
@@ -55,14 +77,37 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="generator seed")
 
 
+def _add_cache_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-filter-cache",
+        action="store_true",
+        help="run the uncached executor (default: queries share the "
+        "process-wide cross-query filter cache)",
+    )
+
+
+def _run_config(args: argparse.Namespace) -> RunConfig | None:
+    """The command's execution config: cached by default, plain on
+    ``--no-filter-cache``.  One per-invocation hash cache is shared by
+    all of the command's queries (it only holds base-column hashes)."""
+    if getattr(args, "no_filter_cache", False):
+        return None
+    return RunConfig(
+        filter_cache=default_filter_cache(), shared_hashes=KeyHashCache()
+    )
+
+
 def _cmd_tpch(args: argparse.Namespace) -> int:
     catalog = generate_tpch(sf=args.sf, seed=args.seed)
     queries = list(args.query) if args.query else list(BENCH_QUERY_IDS)
     strategies = [args.strategy] if args.strategy else list(STRATEGIES)
+    config = _run_config(args)
     for qid in queries:
         spec = get_query(qid, sf=args.sf)
         for strategy in strategies:
-            m = time_query(spec, catalog, strategy, repeats=args.repeats)
+            m = time_query(
+                spec, catalog, strategy, repeats=args.repeats, config=config
+            )
             print(
                 f"q{qid:<3d} {strategy:12s} {m.seconds:9.4f}s  "
                 f"rows={m.output_rows}  "
@@ -75,10 +120,13 @@ def _cmd_ssb(args: argparse.Namespace) -> int:
     catalog = generate_ssb(sf=args.sf, seed=args.seed)
     queries = list(args.query) if args.query else list(ALL_SSB_QUERY_IDS)
     strategies = [args.strategy] if args.strategy else list(STRATEGIES)
+    config = _run_config(args)
     for qid in queries:
         spec = get_ssb_query(qid)
         for strategy in strategies:
-            m = time_query(spec, catalog, strategy, repeats=args.repeats)
+            m = time_query(
+                spec, catalog, strategy, repeats=args.repeats, config=config
+            )
             print(
                 f"Q{qid:<4s} {strategy:12s} {m.seconds:9.4f}s  rows={m.output_rows}"
             )
@@ -163,6 +211,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         query_ids=query_ids,
         strategies=strategies,
         repeats=args.repeats,
+        config=_run_config(args),
     )
     headers = ["query", "strategy", "seconds", "transfer_s", "filter_KiB", "rows"]
     rows = []
@@ -197,6 +246,70 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_workload(args: argparse.Namespace) -> int:
+    payload = cold_warm(
+        sf=args.sf,
+        seed=args.seed,
+        tpch_ids=args.tpch if args.tpch else DEFAULT_TPCH_IDS,
+        ssb_ids=args.ssb if args.ssb else DEFAULT_SSB_IDS,
+        repeats=args.repeats,
+        variants=args.variants,
+        workers=args.workers,
+        strategy=args.strategy,
+    )
+    comp = payload["comparison"]
+    print(
+        f"stream of {payload['meta']['stream_length']} queries "
+        f"(SF={args.sf}, strategy={args.strategy}, workers={args.workers})"
+    )
+    print(
+        f"cold {comp['cold_seconds']:.4f}s -> warm {comp['warm_seconds']:.4f}s "
+        f"({comp['speedup']:.2f}x), results identical: "
+        f"{comp['results_identical']}"
+    )
+    for row in comp["per_query"]:
+        print(
+            f"  {row['query']:12s} cold={row['cold_seconds']:.4f}s "
+            f"warm={row['warm_seconds']:.4f}s ({row['ratio']:.2f}x)"
+        )
+    if comp["cache"]:
+        c = comp["cache"]
+        print(
+            f"cache: {c['entries']} entries, {c['bytes'] / 1024:.1f} KiB, "
+            f"hit rate {c['hit_rate']:.1%}"
+        )
+    if args.json:
+        write_bench_json(args.json, payload)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _format_cache_stats(stats) -> str:
+    lines = ["filter cache:"]
+    for key, value in stats.to_dict().items():
+        if key == "hit_rate":
+            lines.append(f"  {key:14s} {value:.1%}")
+        else:
+            lines.append(f"  {key:14s} {value}")
+    return "\n".join(lines)
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = default_filter_cache()
+    if args.cache_command == "stats":
+        if args.cache_json:
+            print(json.dumps(cache.stats().to_dict(), indent=1))
+        else:
+            print(_format_cache_stats(cache.stats()))
+        return 0
+    if args.cache_command == "clear":
+        dropped = len(cache)
+        cache.clear()
+        print(f"cleared {dropped} cached entries")
+        return 0
+    raise AssertionError(f"unknown cache command {args.cache_command!r}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -213,6 +326,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     tpch.add_argument("--strategy", choices=STRATEGIES)
     tpch.add_argument("--repeats", type=int, default=2)
+    _add_cache_flag(tpch)
     tpch.set_defaults(func=_cmd_tpch)
 
     ssb = sub.add_parser("ssb", help="run SSB queries")
@@ -224,6 +338,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ssb.add_argument("--strategy", choices=STRATEGIES)
     ssb.add_argument("--repeats", type=int, default=2)
+    _add_cache_flag(ssb)
     ssb.set_defaults(func=_cmd_ssb)
 
     fig4 = sub.add_parser("fig4", help="regenerate Figure 4")
@@ -257,7 +372,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="baseline BENCH_*.json; embeds a before/after comparison "
         "block into the output and prints the summary",
     )
+    _add_cache_flag(bench)
     bench.set_defaults(func=_cmd_bench)
+
+    workload = sub.add_parser(
+        "workload",
+        help="cold/warm replay of a mixed TPC-H+SSB stream through the "
+        "service Engine",
+    )
+    _add_common(workload)
+    workload.add_argument(
+        "--tpch",
+        type=_parse_query_ids,
+        help='TPC-H query ids in the mix, e.g. "3,5,9"',
+    )
+    workload.add_argument(
+        "--ssb",
+        type=_parse_ssb_ids,
+        help='SSB query ids in the mix, e.g. "1.1,2.1"',
+    )
+    workload.add_argument(
+        "--repeats", type=int, default=2, help="occurrences of each query"
+    )
+    workload.add_argument(
+        "--variants",
+        type=int,
+        default=1,
+        help="parameter-varied copies per query (date-shifted)",
+    )
+    workload.add_argument(
+        "--workers", type=int, default=1, help="concurrent engine workers"
+    )
+    workload.add_argument(
+        "--strategy", choices=STRATEGIES, default="predtrans"
+    )
+    workload.add_argument("--json", help="write the cold/warm record here")
+    workload.set_defaults(func=_cmd_workload)
+
+    cache = sub.add_parser(
+        "cache", help="inspect/clear the process-wide filter cache"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="print cache counters and occupancy"
+    )
+    cache_stats.add_argument(
+        "--json", dest="cache_json", action="store_true", help="JSON output"
+    )
+    cache_stats.set_defaults(func=_cmd_cache)
+    cache_clear = cache_sub.add_parser("clear", help="drop every cached entry")
+    cache_clear.set_defaults(func=_cmd_cache)
     return parser
 
 

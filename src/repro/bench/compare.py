@@ -1,8 +1,9 @@
 """Bench-record comparison: per-query regression/speedup diffing.
 
-Compares two ``BENCH_*.json`` documents (any mix of ``repro-bench/v1``
-and ``v2`` schemas) on per-(query, strategy) total wall clock.  Used in
-two places:
+Compares two ``BENCH_*.json`` documents (any mix of ``repro-bench/v1``,
+``v2`` and ``v3`` schemas — only the shared per-pair ``seconds`` field
+is read, so the v3 filter-cache counters never break older baselines)
+on per-(query, strategy) total wall clock.  Used in two places:
 
 * ``python -m repro bench --compare OLD.json`` embeds the comparison
   block into the freshly written record, giving the repo's committed

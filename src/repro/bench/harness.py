@@ -105,14 +105,20 @@ def run_suite(
     query_ids: tuple[int, ...] = BENCH_QUERY_IDS,
     strategies: tuple[str, ...] = STRATEGIES,
     repeats: int = 2,
+    config: RunConfig | None = None,
 ) -> SuiteResult:
-    """Run the Figure-4 sweep: every query under every strategy."""
+    """Run the Figure-4 sweep: every query under every strategy.
+
+    ``config`` threads execution options (e.g. a cross-query filter
+    cache) through every measurement; with a cache and ``repeats >= 2``
+    the kept minimum is a warm-cache run.
+    """
     suite = SuiteResult(sf=sf)
     for qid in query_ids:
         spec = get_query(qid, sf=sf)
         for strategy in strategies:
             suite.measurements.append(
-                time_query(spec, catalog, strategy, repeats=repeats)
+                time_query(spec, catalog, strategy, repeats=repeats, config=config)
             )
     return suite
 
@@ -123,9 +129,14 @@ def run_suite(
 def measurement_to_json(m: Measurement) -> dict:
     """One measurement as a flat JSON-ready record.
 
-    Schema ``repro-bench/v2``: ``scan_seconds``, ``materialize_seconds``
-    and ``bytes_materialized`` (all including pre-stages) attribute the
-    time the v1 phase split left invisible.
+    Schema ``repro-bench/v3``: extends v2 (whose ``scan_seconds`` /
+    ``materialize_seconds`` / ``bytes_materialized`` attribute the time
+    the v1 phase split left invisible) with the cross-query filter
+    cache counters ``filter_cache_hits`` / ``filter_cache_misses``
+    (including pre-stages) and the ``filter_cache_bytes`` occupancy
+    snapshot.  All-zero counters mean the measurement ran uncached, so
+    v3 records compare cleanly against v1/v2 baselines (the comparator
+    only reads per-pair ``seconds``).
     """
     t = m.stats.transfer
     return {
@@ -138,6 +149,9 @@ def measurement_to_json(m: Measurement) -> dict:
         "post_seconds": m.stats.post_seconds,
         "materialize_seconds": m.stats.materialize_seconds_total,
         "bytes_materialized": m.stats.bytes_materialized_total,
+        "filter_cache_hits": m.stats.filter_cache_hits_total,
+        "filter_cache_misses": m.stats.filter_cache_misses_total,
+        "filter_cache_bytes": m.stats.filter_cache_bytes,
         "output_rows": m.output_rows,
         "prefilter_reduction": t.reduction(),
         "filters_built": t.filters_built,
@@ -153,7 +167,7 @@ def measurement_to_json(m: Measurement) -> dict:
 def suite_to_json(suite: SuiteResult, repeats: int, seed: int = 0) -> dict:
     """The whole sweep as a JSON document with environment metadata."""
     return {
-        "schema": "repro-bench/v2",
+        "schema": "repro-bench/v3",
         "meta": {
             "sf": suite.sf,
             "seed": seed,

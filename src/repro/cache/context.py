@@ -1,0 +1,157 @@
+"""Per-query binding of the shared :class:`FilterCache`.
+
+The runner builds one :class:`QueryCache` per execution from the
+resolved spec and the catalog's data versions.  It precomputes each
+alias's cache identity — ``(base table, data version, canonical local
+predicate)`` — and offers typed get/put entry points for the three
+artifact kinds, while counting this query's hits and misses so
+:class:`~repro.engine.stats.QueryStats` can report them.
+
+Aliases over unversioned tables (derived pre-stage outputs registered
+on a scoped catalog) are simply absent from the context: every lookup
+for them reports "not cacheable" and the phases fall back to building
+from scratch, exactly as when no cache is configured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .fingerprint import (
+    canonical_expr,
+    filter_fingerprint,
+    prefilter_fingerprint,
+    scan_fingerprint,
+    strip_alias,
+)
+from .store import FilterCache
+
+
+@dataclass(frozen=True)
+class AliasKey:
+    """Cache identity of one aliased base relation."""
+
+    table: str
+    version: int
+    predicate: str  # canonical, alias-stripped local-predicate form
+
+
+class QueryCache:
+    """One query's window onto the shared filter cache."""
+
+    __slots__ = ("cache", "aliases", "hits", "misses")
+
+    def __init__(self, cache: FilterCache, aliases: dict[str, AliasKey]) -> None:
+        self.cache = cache
+        self.aliases = aliases
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def cacheable(self, alias: str) -> bool:
+        """Is this alias backed by a versioned base table?"""
+        return alias in self.aliases
+
+    def covers(self, aliases) -> bool:
+        """Are *all* of the given aliases cacheable (required for
+        whole-query pre-filter entries)?"""
+        return all(a in self.aliases for a in aliases)
+
+    def _get(self, fp: str) -> object | None:
+        payload = self.cache.get(fp)
+        if payload is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return payload
+
+    # ------------------------------------------------------------------
+    # Scan selection vectors
+    # ------------------------------------------------------------------
+    def scan_fp(self, alias: str) -> str:
+        key = self.aliases[alias]
+        return scan_fingerprint(key.table, key.version, key.predicate)
+
+    def get_scan(self, alias: str) -> np.ndarray | None:
+        """Cached local-predicate selection vector, if present."""
+        return self._get(self.scan_fp(alias))
+
+    def put_scan(self, alias: str, rows: np.ndarray) -> None:
+        self.cache.put(
+            self.scan_fp(alias), rows, tables=(self.aliases[alias].table,)
+        )
+
+    # ------------------------------------------------------------------
+    # Transferable filters from pristine vertices
+    # ------------------------------------------------------------------
+    def filter_fp(
+        self, alias: str, key_columns: tuple[str, ...], kind: str, params: str
+    ) -> str:
+        key = self.aliases[alias]
+        stripped = tuple(strip_alias(c, alias) for c in key_columns)
+        return filter_fingerprint(
+            key.table, key.version, key.predicate, stripped, kind, params
+        )
+
+    def get_filter(
+        self, alias: str, key_columns: tuple[str, ...], kind: str, params: str
+    ):
+        """Cached built filter for a pristine vertex, if present."""
+        return self._get(self.filter_fp(alias, key_columns, kind, params))
+
+    def put_filter(
+        self,
+        alias: str,
+        key_columns: tuple[str, ...],
+        kind: str,
+        params: str,
+        filt,
+    ) -> None:
+        self.cache.put(
+            self.filter_fp(alias, key_columns, kind, params),
+            filt,
+            tables=(self.aliases[alias].table,),
+        )
+
+    # ------------------------------------------------------------------
+    # Whole-query pre-filter results
+    # ------------------------------------------------------------------
+    def prefilter_fp(self, edges: list[str], strategy: str, config_form: str) -> str:
+        relation_keys = [
+            (alias, key.table, key.version, key.predicate)
+            for alias, key in self.aliases.items()
+        ]
+        return prefilter_fingerprint(relation_keys, edges, strategy, config_form)
+
+    def get_prefilter(self, fp: str) -> dict[str, np.ndarray] | None:
+        """Cached pre-filter phase output (alias → row vector)."""
+        payload = self._get(fp)
+        if payload is None:
+            return None
+        return dict(payload)  # callers rebind freely; never share the dict
+
+    def put_prefilter(self, fp: str, rows: dict[str, np.ndarray]) -> None:
+        tables = tuple(sorted({k.table for k in self.aliases.values()}))
+        self.cache.put(fp, dict(rows), tables=tables)
+
+
+def build_query_cache(spec, catalog, cache: FilterCache) -> QueryCache:
+    """Construct the per-query context from a *resolved* spec.
+
+    Must run after scalar-subquery resolution so predicates contain only
+    literals — an unresolved :class:`ScalarRef` would fingerprint the
+    placeholder rather than the value it resolves to this execution.
+    """
+    aliases: dict[str, AliasKey] = {}
+    for relation in spec.relations:
+        version = catalog.data_version(relation.table)
+        if version is None:
+            continue
+        aliases[relation.alias] = AliasKey(
+            table=relation.table,
+            version=version,
+            predicate=canonical_expr(relation.predicate, relation.alias),
+        )
+    return QueryCache(cache, aliases)

@@ -1,0 +1,217 @@
+"""Byte-budgeted LRU store for cross-query pre-filtering artifacts.
+
+The :class:`FilterCache` holds the three artifact kinds the engine can
+reuse across queries, all keyed by deterministic fingerprints
+(:mod:`repro.cache.fingerprint`):
+
+* built transferable filters (Bloom / exact) from pristine vertices,
+* sorted row-index selection vectors of local-predicate scans,
+* whole-query pre-filter results (alias → selection vector).
+
+Entries are tagged with the base table names they were derived from, so
+:meth:`invalidate_table` can promptly reclaim memory when a table is
+replaced (version-bumped fingerprints already make stale entries
+unreachable; invalidation just stops them from squatting in the LRU).
+
+Thread safety: every public method takes the internal lock, so one
+cache can serve all worker threads of a service
+:class:`~repro.service.engine.Engine`.  Cached payloads are shared
+between threads and treated as immutable by every consumer (selection
+vectors are never written through; filters are only probed after
+construction — their op counters may undercount under races, which is
+benign).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of cache effectiveness and occupancy."""
+
+    hits: int
+    misses: int
+    insertions: int
+    evictions: int
+    invalidations: int
+    rejected: int
+    entries: int
+    bytes: int
+    max_bytes: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0 when never probed)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (includes the derived hit rate)."""
+        out = asdict(self)
+        out["hit_rate"] = self.hit_rate
+        return out
+
+
+def payload_nbytes(payload: object) -> int:
+    """Best-effort byte accounting of a cacheable payload."""
+    if isinstance(payload, np.ndarray):
+        return payload.nbytes
+    if isinstance(payload, dict):
+        return sum(payload_nbytes(v) for v in payload.values())
+    size = getattr(payload, "size_bytes", None)
+    if callable(size):
+        return int(size())
+    return 64  # opaque payloads: charge a nominal entry cost
+
+
+class _Entry:
+    __slots__ = ("payload", "nbytes", "tables")
+
+    def __init__(self, payload: object, nbytes: int, tables: tuple[str, ...]):
+        self.payload = payload
+        self.nbytes = nbytes
+        self.tables = tables
+
+
+class FilterCache:
+    """A thread-safe, byte-budgeted LRU of pre-filtering artifacts."""
+
+    DEFAULT_MAX_BYTES = 256 << 20  # 256 MiB
+
+    def __init__(self, max_bytes: int = DEFAULT_MAX_BYTES) -> None:
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        self.max_bytes = max_bytes
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        self._by_table: dict[str, set[str]] = {}
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._insertions = 0
+        self._evictions = 0
+        self._invalidations = 0
+        self._rejected = 0
+
+    # ------------------------------------------------------------------
+    def get(self, fp: str) -> object | None:
+        """Look up a fingerprint; a hit refreshes LRU recency."""
+        with self._lock:
+            entry = self._entries.get(fp)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(fp)
+            self._hits += 1
+            return entry.payload
+
+    def put(
+        self,
+        fp: str,
+        payload: object,
+        *,
+        nbytes: int | None = None,
+        tables: tuple[str, ...] = (),
+    ) -> bool:
+        """Insert (or refresh) an entry; evicts LRU entries over budget.
+
+        Payloads larger than the whole budget are rejected (returning
+        ``False``) rather than wiping the cache to fit one entry.
+        """
+        if nbytes is None:
+            nbytes = payload_nbytes(payload)
+        with self._lock:
+            if nbytes > self.max_bytes:
+                self._rejected += 1
+                return False
+            old = self._entries.pop(fp, None)
+            if old is not None:
+                self._drop_tags(fp, old)
+                self._bytes -= old.nbytes
+            entry = _Entry(payload, nbytes, tables)
+            self._entries[fp] = entry
+            self._bytes += nbytes
+            for table in tables:
+                self._by_table.setdefault(table, set()).add(fp)
+            self._insertions += 1
+            while self._bytes > self.max_bytes and self._entries:
+                victim_fp, victim = self._entries.popitem(last=False)
+                self._drop_tags(victim_fp, victim)
+                self._bytes -= victim.nbytes
+                self._evictions += 1
+            return True
+
+    def _drop_tags(self, fp: str, entry: _Entry) -> None:
+        for table in entry.tables:
+            fps = self._by_table.get(table)
+            if fps is not None:
+                fps.discard(fp)
+                if not fps:
+                    del self._by_table[table]
+
+    # ------------------------------------------------------------------
+    def invalidate_table(self, name: str) -> int:
+        """Drop every entry derived from table ``name``; returns count.
+
+        Correctness never depends on this call — a data-version bump
+        already orphans stale fingerprints — but it reclaims their
+        memory immediately instead of waiting for LRU pressure.
+        """
+        with self._lock:
+            fps = self._by_table.pop(name, None)
+            if not fps:
+                return 0
+            dropped = 0
+            for fp in list(fps):
+                entry = self._entries.pop(fp, None)
+                if entry is None:
+                    continue
+                self._drop_tags(fp, entry)
+                self._bytes -= entry.nbytes
+                dropped += 1
+            self._invalidations += dropped
+            return dropped
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept; see :meth:`stats`)."""
+        with self._lock:
+            self._invalidations += len(self._entries)
+            self._entries.clear()
+            self._by_table.clear()
+            self._bytes = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        """Bytes currently held by cached payloads."""
+        with self._lock:
+            return self._bytes
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, fp: str) -> bool:
+        with self._lock:
+            return fp in self._entries
+
+    def stats(self) -> CacheStats:
+        """A consistent snapshot of counters and occupancy."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                insertions=self._insertions,
+                evictions=self._evictions,
+                invalidations=self._invalidations,
+                rejected=self._rejected,
+                entries=len(self._entries),
+                bytes=self._bytes,
+                max_bytes=self.max_bytes,
+            )

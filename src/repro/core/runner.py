@@ -37,6 +37,25 @@ tables, post-prefilter ``filter(mask)`` copies of every column, and
 gather-everything joins.  It exists as the equivalence oracle for the
 lazy path (see ``tests/test_late_materialization.py``) and as the
 attribution baseline for ``materialize_seconds``/``bytes_materialized``.
+
+Cross-query caching (``RunConfig.filter_cache``)
+------------------------------------------------
+When a :class:`~repro.cache.store.FilterCache` is configured, three
+artifact kinds are reused across queries, each keyed by deterministic
+fingerprints over (table name, data version, canonical predicate, …):
+
+* local-predicate **scan selection vectors** (skips predicate
+  re-evaluation on warm runs);
+* **pristine-vertex filters** inside the transfer / semi-join /
+  BloomJoin phases (skips hash + build work);
+* the **whole pre-filter phase result** for an exactly repeated query
+  shape (skips the transfer phase outright).
+
+Every cached artifact is a pure function of base-table contents and
+the query's predicate shape, so warm results are byte-identical to
+cold runs and to the eager oracle; a catalog data-version bump (table
+append/replace) orphans all stale entries.  ``filter_cache=None`` (the
+default) preserves the uncached executor exactly.
 """
 
 from __future__ import annotations
@@ -46,6 +65,9 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from ..cache.context import QueryCache, build_query_cache
+from ..cache.fingerprint import canonical_expr
+from ..cache.store import FilterCache
 from ..engine.aggregate import AggSpec, GroupKey, group_aggregate
 from ..engine.hashjoin import BuildSortCache, hash_join
 from ..engine.sort import limit, sort_table
@@ -76,7 +98,16 @@ MATERIALIZE_MODES = ("lazy", "eager")
 
 @dataclass
 class RunConfig:
-    """Execution options shared by all strategies."""
+    """Execution options shared by all strategies.
+
+    ``filter_cache`` switches on cross-query artifact reuse (see the
+    module docstring); ``shared_hashes`` lets a long-lived owner (the
+    service :class:`~repro.service.engine.Engine`) share one
+    :class:`~repro.filters.hashcache.KeyHashCache` across queries for
+    the pre-filter phases — sound because those phases hash only
+    immutable base-table columns, keyed by object identity.  Both
+    default to ``None`` = the uncached single-query executor.
+    """
 
     strategy: str = "predtrans"
     transfer: TransferConfig = field(default_factory=TransferConfig)
@@ -84,6 +115,8 @@ class RunConfig:
     replan: bool = False
     yannakakis_root: str | None = None
     materialize: str = "lazy"
+    filter_cache: FilterCache | None = None
+    shared_hashes: KeyHashCache | None = None
 
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGIES:
@@ -132,11 +165,20 @@ def run_query(
     resolved = _resolve_spec(spec, scoped)
     graph = build_join_graph(resolved)
 
+    # Per-query binding of the cross-query filter cache (None = the
+    # uncached executor).  Built from the *resolved* spec so scalar
+    # subquery values participate in fingerprints as literals.
+    qcache = (
+        build_query_cache(resolved, scoped, config.filter_cache)
+        if config.filter_cache is not None
+        else None
+    )
+
     # ------------------------------------------------------------------
     # Scan phase: wrap (pruned) base columns, apply local predicates.
     # ------------------------------------------------------------------
     t0 = time.perf_counter()
-    scanned, rows = _scan(resolved, scoped, config)
+    scanned, rows = _scan(resolved, scoped, config, qcache)
     local_sizes = {a: len(r) for a, r in rows.items()}
     stats.scan_seconds = time.perf_counter() - t0
 
@@ -147,18 +189,45 @@ def run_query(
     t1 = time.perf_counter()
     # Query-wide caches: key hashing (shared by transfer / semi-join /
     # BloomJoin prefilters) and build-side sorts (shared by all joins).
+    # A service engine may supply a cross-query hash cache for the
+    # pre-filter phases (they only touch immutable base columns); the
+    # join phase always uses a query-private one, since it hashes
+    # per-query gathered view columns that must not be pinned forever.
     hashes = KeyHashCache()
+    prefilter_hashes = (
+        config.shared_hashes if config.shared_hashes is not None else hashes
+    )
     build_cache = BuildSortCache()
 
-    if config.strategy == "yannakakis":
+    prefilter_fp = None
+    cached_rows = None
+    if qcache is not None and config.strategy in ("yannakakis", "predtrans"):
+        if qcache.covers(rows):
+            prefilter_fp = qcache.prefilter_fp(
+                _edge_forms(resolved), config.strategy, _prefilter_config_form(config)
+            )
+            cached_rows = qcache.get_prefilter(prefilter_fp)
+
+    if cached_rows is not None:
+        # Warm hit: the whole pre-filter phase is served from cache.
+        rows = cached_rows
+        stats.transfer.rows_before = dict(local_sizes)
+        stats.transfer.rows_after = {a: len(r) for a, r in rows.items()}
+    elif config.strategy == "yannakakis":
         rows, stats.transfer = run_semi_join_rows(
-            graph, scanned, rows, config.yannakakis_root, hashes=hashes
+            graph, scanned, rows, config.yannakakis_root,
+            hashes=prefilter_hashes, cache=qcache,
         )
+        if prefilter_fp is not None:
+            qcache.put_prefilter(prefilter_fp, rows)
     elif config.strategy == "predtrans":
         ptgraph = build_pt_graph(graph, local_sizes)
         rows, stats.transfer = run_transfer_rows(
-            ptgraph, scanned, rows, config.transfer, hashes=hashes
+            ptgraph, scanned, rows, config.transfer,
+            hashes=prefilter_hashes, cache=qcache,
         )
+        if prefilter_fp is not None:
+            qcache.put_prefilter(prefilter_fp, rows)
     else:
         stats.transfer.rows_before = dict(local_sizes)
         stats.transfer.rows_after = dict(local_sizes)
@@ -172,7 +241,7 @@ def run_query(
     reduced = _reduce(scanned, rows, config, stats)
     order = _choose_order(resolved, graph, reduced, local_sizes, config, join_order)
     current = _execute_join_phase(
-        resolved, graph, reduced, order, config, stats, build_cache, hashes
+        resolved, graph, reduced, order, config, stats, build_cache, hashes, qcache
     )
     stats.join_seconds = time.perf_counter() - t2
 
@@ -193,7 +262,31 @@ def run_query(
         stats.materialize_seconds += time.perf_counter() - t4
         stats.bytes_materialized += _table_nbytes(table)
     stats.output_rows = table.num_rows
+    if qcache is not None:
+        stats.filter_cache_hits = qcache.hits
+        stats.filter_cache_misses = qcache.misses
+        stats.filter_cache_bytes = config.filter_cache.total_bytes
     return QueryResult(table, stats)
+
+
+def _edge_forms(spec: QuerySpec) -> list[str]:
+    """Canonical join-edge serializations for prefilter fingerprints."""
+    return [
+        f"{e.left}~{e.right}:{','.join(e.left_keys)}~{','.join(e.right_keys)}"
+        f":{e.how}:{canonical_expr(e.residual)}"
+        for e in spec.edges
+    ]
+
+
+def _prefilter_config_form(config: RunConfig) -> str:
+    """The strategy-config part of a prefilter fingerprint.
+
+    ``TransferConfig`` is a frozen dataclass of scalars, so its repr is
+    a deterministic serialization of every transfer knob.
+    """
+    if config.strategy == "predtrans":
+        return repr(config.transfer)
+    return f"root={config.yannakakis_root!r}"
 
 
 # ----------------------------------------------------------------------
@@ -245,14 +338,19 @@ def _resolve_spec(spec: QuerySpec, catalog: Catalog) -> QuerySpec:
 
 
 def _scan(
-    spec: QuerySpec, catalog: Catalog, config: RunConfig
+    spec: QuerySpec,
+    catalog: Catalog,
+    config: RunConfig,
+    qcache: QueryCache | None = None,
 ) -> tuple[dict[str, AnyTable], dict[str, np.ndarray]]:
     """Scan every relation and apply local predicates.
 
     Lazy mode wraps only each alias's live columns in a zero-copy
     rename view; eager mode keeps the classical full-width
     ``prefixed()`` table.  Either way the survivors come back as sorted
-    row-index vectors.
+    row-index vectors.  With a query cache, the selection vector of a
+    versioned relation's local predicate is served from / stored into
+    the cross-query cache (cached vectors are never mutated downstream).
     """
     lazy = config.materialize == "lazy"
     live = live_columns(spec) if lazy else None
@@ -269,10 +367,14 @@ def _scan(
         scanned[relation.alias] = table
         if relation.predicate is None:
             rows[relation.alias] = np.arange(table.num_rows)
-        else:
-            rows[relation.alias] = np.flatnonzero(
-                evaluate_mask(relation.predicate, table)
-            )
+            continue
+        cacheable = qcache is not None and qcache.cacheable(relation.alias)
+        selected = qcache.get_scan(relation.alias) if cacheable else None
+        if selected is None:
+            selected = np.flatnonzero(evaluate_mask(relation.predicate, table))
+            if cacheable:
+                qcache.put_scan(relation.alias, selected)
+        rows[relation.alias] = selected
     return scanned, rows
 
 
@@ -375,6 +477,7 @@ def _execute_join_phase(
     stats: QueryStats,
     build_cache: BuildSortCache | None = None,
     hashes: KeyHashCache | None = None,
+    qcache: QueryCache | None = None,
 ) -> AnyTable:
     hashes = hashes or KeyHashCache()
     # Only stable base tables go through the query-wide caches:
@@ -382,6 +485,10 @@ def _execute_join_phase(
     # produce a cache hit, and caching them would pin their columns
     # (plus full-size hash/sort arrays) until query end.
     stable_ids = {id(t) for t in reduced.values()}
+    # BloomJoin's build sides are always at their local-predicate
+    # survivors (no transfer phase ran), so their filters are
+    # cross-query cacheable under the owning alias's fingerprint.
+    alias_of = {id(t): a for a, t in reduced.items()}
     current = reduced[order[0]]
     joined = {order[0]}
     pending = list(spec.residuals)
@@ -403,7 +510,7 @@ def _execute_join_phase(
         if config.strategy == "bloomjoin" and how in ("inner", "semi"):
             probe_rows = _bloom_prefilter(
                 probe_table, build_table, probe_on, build_on, config, stats,
-                hashes, stable_ids,
+                hashes, stable_ids, qcache, alias_of.get(id(build_table)),
             )
 
         current, jstat = hash_join(
@@ -475,6 +582,8 @@ def _bloom_prefilter(
     stats: QueryStats,
     hashes: KeyHashCache,
     stable_ids: set[int],
+    qcache: QueryCache | None = None,
+    build_alias: str | None = None,
 ) -> np.ndarray:
     """BloomJoin's one-hop filter: build side filters probe side.
 
@@ -484,7 +593,9 @@ def _bloom_prefilter(
     Hashing of stable base tables goes through the query-wide cache,
     so a table serving as build side of several joins is hashed once;
     intermediate join results are hashed directly (caching them could
-    never hit and would pin their columns until query end).
+    never hit and would pin their columns until query end).  When the
+    build side is a versioned base relation, its filter additionally
+    goes through the cross-query cache.
     """
 
     def side_keys(table: Table, cols: list) -> np.ndarray:
@@ -492,12 +603,24 @@ def _bloom_prefilter(
             return hashes.bloom_keys(cols)
         return bloom_keys(cols)
 
-    build_cols = [build_table.column(c) for c in build_on]
-    bloom = BloomFilter(capacity=build_table.num_rows, fpp=config.bloom_fpp)
-    bloom.add_hashes(side_keys(build_table, build_cols))
+    cacheable = (
+        qcache is not None
+        and build_alias is not None
+        and qcache.cacheable(build_alias)
+    )
+    params = f"fpp={config.bloom_fpp!r}"
+    bloom = None
+    if cacheable:
+        bloom = qcache.get_filter(build_alias, tuple(build_on), "bloom", params)
+    if bloom is None:
+        build_cols = [build_table.column(c) for c in build_on]
+        bloom = BloomFilter(capacity=build_table.num_rows, fpp=config.bloom_fpp)
+        bloom.add_hashes(side_keys(build_table, build_cols))
+        stats.transfer.bloom_inserts += build_table.num_rows
+        if cacheable:
+            qcache.put_filter(build_alias, tuple(build_on), "bloom", params, bloom)
     probe_cols = [probe_table.column(c) for c in probe_on]
     keep = bloom.contains_hashes(side_keys(probe_table, probe_cols))
-    stats.transfer.bloom_inserts += build_table.num_rows
     stats.transfer.bloom_probes += len(keep)
     stats.transfer.filters_built += 1
     stats.transfer.filter_bytes += bloom.size_bytes()

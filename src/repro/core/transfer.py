@@ -28,6 +28,15 @@ key_columns)`` pair is normalized and splitmix64-hashed once, and every
 subsequent edge/pass/round serves row subsets by index gather.  Bloom
 filters consume the cached hash pair directly via their ``*_hashes``
 entry points, so no per-edge re-hashing happens at all.
+
+Cross-query caching: when a :class:`~repro.cache.context.QueryCache`
+is supplied, filters built at **pristine** vertices — vertices whose
+surviving rows still equal the local-predicate survivors, i.e. no
+incoming filter has shrunk them yet — are looked up / stored under
+deterministic fingerprints.  A pristine build is a pure function of
+(table contents, local predicate, key columns, filter kind, fpp), so a
+cache hit returns a filter byte-identical to what this query would
+have built; non-pristine vertices always build from scratch.
 """
 
 from __future__ import annotations
@@ -138,6 +147,10 @@ class TransferState:
     rows: dict[str, np.ndarray]
     pending: dict[str, list[_IncomingFilter]] = field(default_factory=dict)
     hashes: KeyHashCache = field(default_factory=KeyHashCache)
+    # Cross-query filter cache hookup: aliases whose surviving rows
+    # still equal the local-predicate survivors (cacheable builds).
+    cache: object | None = None
+    pristine: set[str] = field(default_factory=set)
 
     def selected_count(self, alias: str) -> int:
         """Rows currently surviving at ``alias``."""
@@ -161,6 +174,7 @@ def run_transfer_rows(
     rows: dict[str, np.ndarray],
     config: TransferConfig | None = None,
     hashes: KeyHashCache | None = None,
+    cache=None,
 ) -> tuple[dict[str, np.ndarray], TransferStats]:
     """Run the predicate transfer phase on sorted row-index vectors.
 
@@ -183,6 +197,9 @@ def run_transfer_rows(
         Optional query-scoped hash cache to share with other phases
         (the runner passes one so BloomJoin/scan hashing is reused); a
         private cache is created when omitted.
+    cache:
+        Optional :class:`~repro.cache.context.QueryCache` enabling
+        cross-query reuse of filters built at pristine vertices.
 
     Returns the reduced row vectors and phase statistics.
     """
@@ -191,6 +208,8 @@ def run_transfer_rows(
         tables=tables,
         rows=dict(rows),
         hashes=hashes or KeyHashCache(),
+        cache=cache,
+        pristine=set(rows) if cache is not None else set(),
     )
     stats = TransferStats()
     for alias in rows:
@@ -299,6 +318,9 @@ def _apply_incoming(
             else:
                 rows = rows[keep]
             gather = rows
+            # Rows no longer equal the local-predicate survivors, so
+            # filters built here stop being cross-query cacheable.
+            state.pristine.discard(alias)
     state.rows[alias] = rows
     state.pending[alias] = []
 
@@ -311,6 +333,19 @@ def _build_filter(
     config: TransferConfig,
     stats: TransferStats,
 ):
+    cacheable = (
+        state.cache is not None
+        and alias in state.pristine
+        and state.cache.cacheable(alias)
+    )
+    params = f"fpp={config.fpp!r}" if config.filter_type == "bloom" else ""
+    if cacheable:
+        cached = state.cache.get_filter(
+            alias, key_columns, config.filter_type, params
+        )
+        if cached is not None:
+            stats.filter_bytes += cached.size_bytes()
+            return cached
     table = state.tables[alias]
     columns = [table.column(c) for c in key_columns]
     gather = rows if len(rows) < table.num_rows else None
@@ -323,4 +358,6 @@ def _build_filter(
         filt = ExactFilter.from_keys(keys)
         stats.hash_inserts += len(rows)
     stats.filter_bytes += filt.size_bytes()
+    if cacheable:
+        state.cache.put_filter(alias, key_columns, config.filter_type, params, filt)
     return filt

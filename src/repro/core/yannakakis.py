@@ -83,21 +83,41 @@ def _semi_join(
     dst: str,
     stats: TransferStats,
     hashes: KeyHashCache,
+    cache=None,
+    pristine: set[str] | None = None,
 ) -> None:
     """Filter ``dst`` to rows whose key matches a surviving ``src`` row."""
     keys_src_dst = edge_keys_for(join_graph, src, dst)
-    src_cols = [tables[src].column(a) for a, _ in keys_src_dst]
-    dst_cols = [tables[dst].column(b) for _, b in keys_src_dst]
     src_rows = rows[src]
     dst_rows = rows[dst]
     if len(dst_rows) == 0:
         return
-    filt = ExactFilter.from_keys(hashes.bloom_keys(src_cols, src_rows))
-    stats.hash_inserts += len(src_rows)
+    # Cross-query reuse: a semi-join filter built while ``src`` is still
+    # at its local-predicate survivors is a pure function of (table
+    # contents, predicate, key columns) and therefore cacheable.
+    src_key_cols = tuple(a for a, _ in keys_src_dst)
+    cacheable = (
+        cache is not None
+        and pristine is not None
+        and src in pristine
+        and cache.cacheable(src)
+    )
+    filt = None
+    if cacheable:
+        filt = cache.get_filter(src, src_key_cols, "exact-semi", "")
+    if filt is None:
+        src_cols = [tables[src].column(a) for a, _ in keys_src_dst]
+        filt = ExactFilter.from_keys(hashes.bloom_keys(src_cols, src_rows))
+        stats.hash_inserts += len(src_rows)
+        if cacheable:
+            cache.put_filter(src, src_key_cols, "exact-semi", "", filt)
+    dst_cols = [tables[dst].column(b) for _, b in keys_src_dst]
     keep = filt.contains_keys(hashes.bloom_keys(dst_cols, dst_rows))
     stats.hash_probes += len(dst_rows)
     if not keep.all():
         rows[dst] = dst_rows[keep]
+        if pristine is not None:
+            pristine.discard(dst)
     stats.edges_traversed += 1
 
 
@@ -107,6 +127,7 @@ def run_semi_join_rows(
     rows: dict[str, np.ndarray],
     root: str | None = None,
     hashes: KeyHashCache | None = None,
+    cache=None,
 ) -> tuple[dict[str, np.ndarray], TransferStats]:
     """Yannakakis semi-join passes over sorted row-index vectors.
 
@@ -115,11 +136,15 @@ def run_semi_join_rows(
     semi-join), ready to serve as join-phase selection vectors.  Input
     vectors are never mutated.  ``hashes`` memoizes key hashing per
     column set, so each vertex's key columns are normalized once across
-    the forward and backward passes.
+    the forward and backward passes.  ``cache`` (an optional
+    :class:`~repro.cache.context.QueryCache`) enables cross-query reuse
+    of semi-join filters built while the source vertex is still at its
+    local-predicate survivors.
     """
     rows = dict(rows)
     stats = TransferStats()
     hashes = hashes or KeyHashCache()
+    pristine: set[str] | None = set(rows) if cache is not None else None
     for alias in rows:
         stats.rows_before[alias] = len(rows[alias])
 
@@ -134,14 +159,16 @@ def run_semi_join_rows(
             for child in jtree.tree.successors(parent):
                 if _direction_allowed(join_graph, child, parent):
                     _semi_join(
-                        join_graph, tables, rows, child, parent, stats, hashes
+                        join_graph, tables, rows, child, parent, stats,
+                        hashes, cache, pristine,
                     )
         # Backward pass (top-down): each child is reduced by its parent.
         for parent in jtree.top_down():
             for child in jtree.tree.successors(parent):
                 if _direction_allowed(join_graph, parent, child):
                     _semi_join(
-                        join_graph, tables, rows, parent, child, stats, hashes
+                        join_graph, tables, rows, parent, child, stats,
+                        hashes, cache, pristine,
                     )
 
     for alias in rows:

@@ -68,6 +68,11 @@ class QueryStats:
     the eager fallback) and ``bytes_materialized`` attribute the time
     the paper's phase split leaves invisible — everything that is
     neither transfer nor join matching.
+
+    ``filter_cache_hits`` / ``filter_cache_misses`` count this query's
+    lookups against the cross-query filter cache (zero when no cache is
+    configured); ``filter_cache_bytes`` snapshots the cache's occupancy
+    at query end.
     """
 
     strategy: str = ""
@@ -78,6 +83,9 @@ class QueryStats:
     post_seconds: float = 0.0
     materialize_seconds: float = 0.0
     bytes_materialized: int = 0
+    filter_cache_hits: int = 0
+    filter_cache_misses: int = 0
+    filter_cache_bytes: int = 0
     joins: list[JoinStat] = field(default_factory=list)
     transfer: TransferStats = field(default_factory=TransferStats)
     output_rows: int = 0
@@ -130,6 +138,20 @@ class QueryStats:
         """Bytes gathered into concrete tables including pre-stages'."""
         return self.bytes_materialized + sum(
             s.bytes_materialized_total for s in self.stage_stats
+        )
+
+    @property
+    def filter_cache_hits_total(self) -> int:
+        """Filter-cache hits including pre-stages'."""
+        return self.filter_cache_hits + sum(
+            s.filter_cache_hits_total for s in self.stage_stats
+        )
+
+    @property
+    def filter_cache_misses_total(self) -> int:
+        """Filter-cache misses including pre-stages'."""
+        return self.filter_cache_misses + sum(
+            s.filter_cache_misses_total for s in self.stage_stats
         )
 
     def all_joins(self) -> list[JoinStat]:

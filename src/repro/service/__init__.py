@@ -1,0 +1,35 @@
+"""Concurrent query service: Engine/Session serving + workload replay.
+
+The serving layer grown on top of the single-query executor:
+
+* :mod:`.engine` — :class:`Engine` (one shared catalog + filter cache
+  + worker pool; thread-safe execution and catalog mutation) and
+  :class:`Session` (per-client handle with history);
+* :mod:`.workload` — mixed TPC-H/SSB stream construction (repeated,
+  shuffled, parameter-varied) and cold/warm replay, backing the
+  ``repro workload`` CLI and the ``BENCH_PR3.json`` artifact.
+"""
+
+from __future__ import annotations
+
+from .engine import Engine, EngineStats, Session
+from .workload import (
+    ReplayResult,
+    build_catalog,
+    build_stream,
+    cold_warm,
+    replay,
+    vary_spec,
+)
+
+__all__ = [
+    "Engine",
+    "EngineStats",
+    "ReplayResult",
+    "Session",
+    "build_catalog",
+    "build_stream",
+    "cold_warm",
+    "replay",
+    "vary_spec",
+]

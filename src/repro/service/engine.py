@@ -1,0 +1,263 @@
+"""The concurrent query service: one shared catalog + cache, many sessions.
+
+:class:`Engine` is the serving-layer owner of everything that outlives
+a single query:
+
+* the base :class:`~repro.storage.catalog.Catalog` (mutations go
+  through :meth:`Engine.register`, which bumps the data version and
+  invalidates cache entries derived from the table);
+* one :class:`~repro.cache.store.FilterCache` shared by every query;
+* one cross-query :class:`~repro.filters.hashcache.KeyHashCache` for
+  the pre-filter phases (keyed on immutable base-column identity);
+* a worker thread pool that bounds concurrent query execution.
+
+Thread-safety and eviction guarantees
+-------------------------------------
+``Session.execute`` / ``Engine.execute`` may be called from any number
+of threads concurrently:
+
+* query execution is read-only against the catalog — tables, columns
+  and views are immutable, and every query runs against a scoped child
+  catalog, so concurrent executions never observe partial state;
+* the filter cache takes an internal lock on every operation; cached
+  payloads are immutable by convention (selection vectors are never
+  written through, filters are only probed after construction), so a
+  hit can be shared by any number of in-flight queries;
+* the cache's byte budget is enforced under that same lock: the store
+  never exceeds ``max_bytes`` after a ``put`` returns, evicting
+  least-recently-used entries first.  Eviction (or a full
+  :meth:`clear_cache`) is always safe mid-flight — queries holding a
+  reference to an evicted filter simply finish with it while new
+  lookups rebuild;
+* :meth:`register` serializes catalog mutations under the engine lock,
+  bumps the table's monotonic data version (orphaning every stale
+  fingerprint), eagerly drops the table's cache entries, and swaps in
+  a fresh hash cache.  Queries already running keep the old (still
+  correct, immutable) snapshot they started with.
+
+Results are byte-identical to the uncached single-query executor and
+to the ``materialize="eager"`` oracle: every cached artifact is a pure
+function of base-table contents and predicate shape.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+
+from ..cache.store import CacheStats, FilterCache
+from ..core.runner import QueryResult, RunConfig, run_query
+from ..engine.stats import QueryStats
+from ..filters.hashcache import KeyHashCache
+from ..plan.query import QuerySpec
+from ..storage.catalog import Catalog
+from ..storage.table import Table
+
+
+@dataclass
+class EngineStats:
+    """Aggregate serving statistics across all executed queries."""
+
+    queries: int = 0
+    seconds: float = 0.0
+    rows_returned: int = 0
+    filter_cache_hits: int = 0
+    filter_cache_misses: int = 0
+    by_strategy: dict[str, int] = field(default_factory=dict)
+
+    def record(self, stats: QueryStats, seconds: float, rows: int) -> None:
+        self.queries += 1
+        self.seconds += seconds
+        self.rows_returned += rows
+        self.filter_cache_hits += stats.filter_cache_hits_total
+        self.filter_cache_misses += stats.filter_cache_misses_total
+        self.by_strategy[stats.strategy] = (
+            self.by_strategy.get(stats.strategy, 0) + 1
+        )
+
+    def snapshot(self) -> "EngineStats":
+        return EngineStats(
+            queries=self.queries,
+            seconds=self.seconds,
+            rows_returned=self.rows_returned,
+            filter_cache_hits=self.filter_cache_hits,
+            filter_cache_misses=self.filter_cache_misses,
+            by_strategy=dict(self.by_strategy),
+        )
+
+
+class Engine:
+    """A concurrent query service over one catalog and one filter cache.
+
+    Parameters
+    ----------
+    catalog:
+        The base catalog to serve (mutate only via :meth:`register`).
+    config:
+        Default :class:`RunConfig` for queries that don't bring their
+        own; its ``filter_cache`` / ``shared_hashes`` fields are always
+        overridden with the engine's shared instances.
+    cache_bytes:
+        Filter-cache byte budget (``None`` disables caching entirely).
+    workers:
+        Worker-pool size bounding concurrent query execution.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        *,
+        config: RunConfig | None = None,
+        cache_bytes: int | None = FilterCache.DEFAULT_MAX_BYTES,
+        workers: int = 4,
+    ) -> None:
+        self.catalog = catalog
+        self.filter_cache = (
+            FilterCache(max_bytes=cache_bytes) if cache_bytes else None
+        )
+        self._hashes = KeyHashCache() if cache_bytes else None
+        self._default_config = config or RunConfig()
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, workers), thread_name_prefix="repro-engine"
+        )
+        self._lock = threading.Lock()
+        self._stats = EngineStats()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+    def _effective_config(self, config: RunConfig | None) -> RunConfig:
+        base = config or self._default_config
+        return replace(
+            base, filter_cache=self.filter_cache, shared_hashes=self._hashes
+        )
+
+    def _run(self, spec: QuerySpec, config: RunConfig | None) -> QueryResult:
+        t0 = time.perf_counter()
+        result = run_query(spec, self.catalog, config=self._effective_config(config))
+        elapsed = time.perf_counter() - t0
+        with self._lock:
+            self._stats.record(result.stats, elapsed, result.table.num_rows)
+        return result
+
+    def submit(
+        self, spec: QuerySpec, config: RunConfig | None = None
+    ) -> "Future[QueryResult]":
+        """Enqueue a query on the worker pool; returns its future."""
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        return self._pool.submit(self._run, spec, config)
+
+    def execute(
+        self, spec: QuerySpec, config: RunConfig | None = None
+    ) -> QueryResult:
+        """Run a query through the worker pool and wait for its result."""
+        return self.submit(spec, config).result()
+
+    def run_many(
+        self, specs: list[QuerySpec], config: RunConfig | None = None
+    ) -> list[QueryResult]:
+        """Execute a batch concurrently, preserving input order."""
+        futures = [self.submit(spec, config) for spec in specs]
+        return [f.result() for f in futures]
+
+    def session(self, config: RunConfig | None = None) -> "Session":
+        """Open a session (a per-client handle with its own defaults)."""
+        return Session(self, config)
+
+    # ------------------------------------------------------------------
+    # Catalog mutation & cache control
+    # ------------------------------------------------------------------
+    def register(self, table: Table, name: str | None = None) -> None:
+        """Register/replace/append a table and invalidate derived state.
+
+        Bumps the name's monotonic data version (so every fingerprint
+        minted against the old contents is orphaned), eagerly drops the
+        table's cache entries, and swaps in a fresh pre-filter hash
+        cache.  In-flight queries keep their immutable snapshot.
+        """
+        key = name or table.name
+        with self._lock:
+            self.catalog.register(table, key)
+            if self.filter_cache is not None:
+                self.filter_cache.invalidate_table(key)
+                self._hashes = KeyHashCache()
+
+    def cache_stats(self) -> CacheStats | None:
+        """Filter-cache snapshot (``None`` when caching is disabled)."""
+        return None if self.filter_cache is None else self.filter_cache.stats()
+
+    def clear_cache(self) -> None:
+        """Drop every cached artifact (correctness-neutral)."""
+        if self.filter_cache is not None:
+            self.filter_cache.clear()
+        with self._lock:
+            if self._hashes is not None:
+                self._hashes = KeyHashCache()
+
+    def stats(self) -> EngineStats:
+        """Aggregate serving statistics snapshot."""
+        with self._lock:
+            return self._stats.snapshot()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        self._closed = True
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class Session:
+    """A per-client handle on an :class:`Engine`.
+
+    Sessions are cheap; open one per logical client.  ``execute`` is
+    thread-safe (it delegates to the engine's pool).  The session keeps
+    running aggregate counters plus a **bounded** window of recent
+    :class:`QueryStats` for inspection — long-lived serving sessions
+    must not accumulate per-query objects forever.
+    """
+
+    HISTORY_LIMIT = 128
+
+    def __init__(self, engine: Engine, config: RunConfig | None = None) -> None:
+        self.engine = engine
+        self.config = config
+        self.history: deque[QueryStats] = deque(maxlen=self.HISTORY_LIMIT)
+        self._lock = threading.Lock()
+        self._queries = 0
+        self._hits = 0
+        self._misses = 0
+
+    def execute(
+        self, spec: QuerySpec, config: RunConfig | None = None
+    ) -> QueryResult:
+        """Execute through the engine's worker pool; records counters
+        and the bounded recent-stats window."""
+        result = self.engine.execute(spec, config or self.config)
+        with self._lock:
+            self._queries += 1
+            self._hits += result.stats.filter_cache_hits_total
+            self._misses += result.stats.filter_cache_misses_total
+            self.history.append(result.stats)
+        return result
+
+    @property
+    def queries_executed(self) -> int:
+        """Queries this session has executed (running count)."""
+        with self._lock:
+            return self._queries
+
+    def cache_counters(self) -> tuple[int, int]:
+        """(hits, misses) over the session's whole lifetime."""
+        with self._lock:
+            return (self._hits, self._misses)

@@ -5,25 +5,69 @@ once (e.g. the eight TPC-H tables), and query pre-stages register derived
 tables under their output names.  A catalog can be *scoped* — a cheap
 copy-on-write child used by a single query so derived tables never leak
 into the shared base catalog.
+
+Data versioning
+---------------
+Every registration on a base catalog stamps the name with a fresh value
+from a process-wide monotonic counter.  The version is the
+cross-query filter cache's invalidation handle
+(:mod:`repro.cache`): cache fingerprints embed ``(table name, data
+version)``, so replacing or appending to a table — which goes through
+:meth:`register` and bumps the version — makes every cached filter and
+selection vector built against the old contents unreachable.
+
+Scoped child catalogs do **not** version their registrations: a derived
+table exists for one query execution only, so stamping it would let a
+never-hittable fingerprint churn the cache.  :meth:`data_version`
+returns ``None`` for such tables and the cache layer skips them.
 """
 
 from __future__ import annotations
 
+import itertools
 from typing import Iterator
 
 from ..errors import SchemaError
 from .table import Table
 
+#: Process-wide monotonic version source.  ``next()`` on an
+#: ``itertools.count`` is atomic under the GIL, so concurrent
+#: registrations (e.g. through a service Engine) get distinct versions.
+_VERSION_COUNTER = itertools.count(1)
+
 
 class Catalog:
     """A mutable name → :class:`Table` mapping with copy-on-write scoping."""
 
-    def __init__(self, tables: dict[str, Table] | None = None) -> None:
+    def __init__(
+        self,
+        tables: dict[str, Table] | None = None,
+        versions: dict[str, int] | None = None,
+        *,
+        track_versions: bool = True,
+    ) -> None:
         self._tables: dict[str, Table] = dict(tables or {})
+        self._track_versions = track_versions
+        self._versions: dict[str, int] = dict(versions or {})
+        if track_versions:
+            for name in self._tables:
+                self._versions.setdefault(name, next(_VERSION_COUNTER))
 
     def register(self, table: Table, name: str | None = None) -> None:
-        """Register (or replace) a table under ``name`` (default: its own)."""
-        self._tables[name or table.name] = table
+        """Register (or replace) a table under ``name`` (default: its own).
+
+        On a base catalog this bumps the name's data version (appending
+        rows is modeled as registering the extended table, e.g. via
+        :meth:`Table.concat`).  On a scoped child the name becomes
+        unversioned instead — derived tables are per-query and must not
+        produce cacheable fingerprints.
+        """
+        key = name or table.name
+        self._tables[key] = table
+        if self._track_versions:
+            self._versions[key] = next(_VERSION_COUNTER)
+        else:
+            self._versions.pop(key, None)
 
     def get(self, name: str) -> Table:
         """Look up a table, raising :class:`SchemaError` when absent."""
@@ -33,6 +77,14 @@ class Catalog:
             raise SchemaError(
                 f"no table {name!r} in catalog; available: {sorted(self._tables)}"
             ) from None
+
+    def data_version(self, name: str) -> int | None:
+        """The monotonic data version of ``name``.
+
+        ``None`` for unknown names and for derived tables registered on
+        a scoped child (the "do not cache" signal).
+        """
+        return self._versions.get(name)
 
     def __contains__(self, name: str) -> bool:
         return name in self._tables
@@ -48,9 +100,11 @@ class Catalog:
         """A child catalog sharing all current tables.
 
         Registrations on the child do not affect this catalog; the table
-        objects themselves are immutable so sharing is safe.
+        objects themselves are immutable so sharing is safe.  The child
+        inherits the parent's data versions but does not version its own
+        registrations (see :meth:`register`).
         """
-        return Catalog(self._tables)
+        return Catalog(self._tables, self._versions, track_versions=False)
 
     def total_rows(self) -> int:
         """Sum of row counts over all registered tables."""

@@ -238,6 +238,32 @@ class Column:
             valid_mask = valid
         return Column(data, self.dtype, self.dictionary, valid_mask)
 
+    def concat(self, other: "Column") -> "Column":
+        """Row-wise concatenation (the append path of table mutation).
+
+        STRING columns re-encode over the merged value set so the result
+        carries a single consistent dictionary.
+        """
+        if self.dtype is not other.dtype:
+            raise SchemaError(
+                f"cannot concat {self.dtype} column with {other.dtype}"
+            )
+        if self.dtype is DType.STRING:
+            values = np.concatenate(
+                [self.dictionary[self.data], other.dictionary[other.data]]
+            )
+            dictionary, codes = np.unique(values, return_inverse=True)
+            data = codes.astype(np.int32)
+            dictionary = dictionary.astype(object)
+        else:
+            data = np.concatenate([self.data, other.data])
+            dictionary = None
+        if self.valid is None and other.valid is None:
+            valid = None
+        else:
+            valid = np.concatenate([self.validity(), other.validity()])
+        return Column(data, self.dtype, dictionary, valid)
+
     def compact_dictionary(self) -> "Column":
         """Drop unused dictionary entries (after heavy filtering).
 

@@ -151,6 +151,27 @@ class Table:
         """First ``n`` rows."""
         return self.take(np.arange(min(n, self._num_rows)))
 
+    def concat(self, other: "Table") -> "Table":
+        """Row-wise concatenation with an identically-named table.
+
+        The append path of catalog mutation: build the extension batch
+        with :meth:`from_pydict`, ``concat`` it onto the existing table
+        and re-register the result (which bumps the catalog's data
+        version and thereby invalidates cross-query cache entries).
+        """
+        if set(self.columns) != set(other.columns):
+            raise SchemaError(
+                f"cannot concat tables with different columns: "
+                f"{sorted(self.columns)} vs {sorted(other.columns)}"
+            )
+        return Table(
+            self.name,
+            {
+                name: col.concat(other.columns[name])
+                for name, col in self.columns.items()
+            },
+        )
+
     # ------------------------------------------------------------------
     # Interop / debugging
     # ------------------------------------------------------------------

@@ -122,7 +122,7 @@ def test_suite_to_json_roundtrip(suite):
     from repro.bench.harness import suite_to_json, write_bench_json
 
     doc = suite_to_json(suite, repeats=1, seed=0)
-    assert doc["schema"] == "repro-bench/v2"
+    assert doc["schema"] == "repro-bench/v3"
     assert doc["meta"]["sf"] == TINY_SF
     assert len(doc["measurements"]) == len(suite.measurements)
     record = doc["measurements"][0]
@@ -143,4 +143,4 @@ def test_write_bench_json(tmp_path, suite):
 
     path = tmp_path / "out.json"
     write_bench_json(str(path), suite_to_json(suite, repeats=1))
-    assert json.loads(path.read_text())["schema"] == "repro-bench/v2"
+    assert json.loads(path.read_text())["schema"] == "repro-bench/v3"

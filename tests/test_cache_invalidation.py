@@ -1,0 +1,123 @@
+"""Cache invalidation: data-version bumps force rebuilds, results stay
+byte-identical to the eager oracle across all four strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.runner import STRATEGIES, RunConfig, run_query
+from repro.service.engine import Engine
+from repro.service.workload import result_digest
+from repro.tpch import generate_tpch
+from repro.tpch.queries import get_query
+
+SF = 0.003
+
+
+@pytest.fixture()
+def fresh_catalog():
+    """Per-test catalog (these tests mutate it)."""
+    return generate_tpch(sf=SF, seed=11)
+
+
+def eager_oracle(spec, catalog, strategy: str) -> str:
+    """Digest of the uncached eager-executor result (the ground truth)."""
+    result = run_query(
+        spec, catalog, config=RunConfig(strategy=strategy, materialize="eager")
+    )
+    return result_digest(result.table)
+
+
+def appended(table):
+    """The table with all of its rows appended again.  Doubling every
+    row doubles every surviving aggregate, so staleness is observable
+    in any query touching the table."""
+    return table.concat(table)
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_append_bumps_version_and_rebuilds(fresh_catalog, strategy):
+    spec = get_query(3, sf=SF)
+    with Engine(fresh_catalog, config=RunConfig(strategy=strategy)) as engine:
+        cold = engine.execute(spec)
+        warm = engine.execute(spec)
+        # Warm run served from cache, byte-identical to cold and oracle.
+        assert warm.stats.filter_cache_hits > 0
+        assert result_digest(warm.table) == result_digest(cold.table)
+        assert result_digest(warm.table) == eager_oracle(
+            spec, fresh_catalog, strategy
+        )
+
+        v_before = engine.catalog.data_version("lineitem")
+        engine.register(appended(engine.catalog.get("lineitem")), "lineitem")
+        v_after = engine.catalog.data_version("lineitem")
+        assert v_after > v_before  # monotonic bump on mutation
+
+        # The first post-mutation run cannot reuse lineitem entries:
+        # its lookups against the new version miss and rebuild.
+        after = engine.execute(spec)
+        assert after.stats.filter_cache_misses > 0
+        # Results reflect the new data and match a fresh eager oracle.
+        assert result_digest(after.table) == eager_oracle(
+            spec, engine.catalog, strategy
+        )
+        # Appending duplicated lineitem rows must change this query's
+        # output (otherwise the staleness check proves nothing).
+        assert result_digest(after.table) != result_digest(cold.table)
+
+        # And the post-mutation state warms up again, byte-identically.
+        rewarm = engine.execute(spec)
+        assert rewarm.stats.filter_cache_hits > 0
+        assert result_digest(rewarm.table) == result_digest(after.table)
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_replace_table_invalidates(fresh_catalog, strategy):
+    spec = get_query(5, sf=SF)
+    with Engine(fresh_catalog, config=RunConfig(strategy=strategy)) as engine:
+        engine.execute(spec)
+        baseline = engine.execute(spec)
+
+        # Replace orders with its first half: a content change under
+        # the same name.
+        orders = engine.catalog.get("orders")
+        half = orders.take(np.arange(orders.num_rows // 2))
+        engine.register(half, "orders")
+
+        after = engine.execute(spec)
+        assert result_digest(after.table) == eager_oracle(
+            spec, engine.catalog, strategy
+        )
+        assert result_digest(after.table) != result_digest(baseline.table)
+
+
+def test_invalidation_drops_cache_entries(fresh_catalog):
+    spec = get_query(3, sf=SF)
+    with Engine(fresh_catalog) as engine:
+        engine.execute(spec)
+        before = engine.cache_stats()
+        assert before.entries > 0
+        engine.register(appended(engine.catalog.get("lineitem")), "lineitem")
+        after = engine.cache_stats()
+        # Every lineitem-derived entry was reclaimed eagerly.
+        assert after.invalidations > 0
+        assert after.entries < before.entries
+
+
+def test_warm_equals_cold_across_all_strategies_and_materialization(
+    fresh_catalog,
+):
+    """The full equivalence sweep on one query: cached warm runs are
+    byte-identical to uncached lazy and eager executions."""
+    spec = get_query(10, sf=SF)
+    with Engine(fresh_catalog) as engine:
+        for strategy in STRATEGIES:
+            cfg = RunConfig(strategy=strategy)
+            engine.execute(spec, cfg)  # populate
+            warm = engine.execute(spec, cfg)
+            lazy = run_query(spec, fresh_catalog, config=RunConfig(strategy=strategy))
+            assert result_digest(warm.table) == result_digest(lazy.table)
+            assert result_digest(warm.table) == eager_oracle(
+                spec, fresh_catalog, strategy
+            )

@@ -117,7 +117,7 @@ def test_bench_json_smoke(tmp_path, capsys):
     import json
 
     doc = json.loads(out_path.read_text())
-    assert doc["schema"] == "repro-bench/v2"
+    assert doc["schema"] == "repro-bench/v3"
     assert doc["meta"]["sf"] == 0.003
     strategies = {m["strategy"] for m in doc["measurements"]}
     assert strategies == {"predtrans", "nopredtrans"}

@@ -1,0 +1,164 @@
+"""Property tests for fingerprint stability and sensitivity.
+
+The cross-query cache is only sound if fingerprints are (a) *stable* —
+the same query shape over the same data version always maps to the same
+key, across rebuilt ASTs and sessions — and (b) *sensitive* — any
+change to predicate constants, key columns, filter parameters, or data
+version yields a distinct key.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import FilterCache, build_query_cache
+from repro.cache.fingerprint import (
+    canonical_expr,
+    filter_fingerprint,
+    scan_fingerprint,
+)
+from repro.core.runner import RunConfig, _edge_forms, _prefilter_config_form
+from repro.core.transfer import TransferConfig
+from repro.expr.nodes import col, date, lit
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+from repro.tpch.queries import get_query
+
+
+def make_pred():
+    return (col("l.l_quantity").gt(lit(24)) & col("l.l_shipdate").le(
+        date("1995-03-15")
+    )) | col("l.l_discount").between(lit(0.05), lit(0.07))
+
+
+def test_canonical_expr_stable_across_rebuilds():
+    # Two structurally identical trees built independently serialize
+    # identically (no dependence on object identity or hash()).
+    assert canonical_expr(make_pred()) == canonical_expr(make_pred())
+
+
+def test_canonical_expr_alias_stripping():
+    a = col("l1.l_orderkey").gt(lit(5))
+    b = col("l2.l_orderkey").gt(lit(5))
+    assert canonical_expr(a, "l1") == canonical_expr(b, "l2")
+    assert canonical_expr(a) != canonical_expr(b)
+
+
+def test_canonical_expr_distinguishes_value_types():
+    assert canonical_expr(lit(1)) != canonical_expr(lit(1.0))
+    assert canonical_expr(lit("1")) != canonical_expr(lit(1))
+
+
+def test_scan_fingerprint_sensitivity():
+    base = scan_fingerprint("lineitem", 7, canonical_expr(make_pred(), "l"))
+    assert base == scan_fingerprint(
+        "lineitem", 7, canonical_expr(make_pred(), "l")
+    )
+    # Data version bump.
+    assert base != scan_fingerprint(
+        "lineitem", 8, canonical_expr(make_pred(), "l")
+    )
+    # Different table.
+    assert base != scan_fingerprint(
+        "orders", 7, canonical_expr(make_pred(), "l")
+    )
+    # Changed predicate constant.
+    changed = col("l.l_quantity").gt(lit(25)) & col("l.l_shipdate").le(
+        date("1995-03-15")
+    )
+    assert base != scan_fingerprint(
+        "lineitem", 7, canonical_expr(changed, "l")
+    )
+
+
+def test_filter_fingerprint_sensitivity():
+    pred = canonical_expr(make_pred(), "l")
+    base = filter_fingerprint(
+        "lineitem", 7, pred, ("l_orderkey",), "bloom", "fpp=0.01"
+    )
+
+    def variant(**kw):
+        args = dict(
+            table="lineitem",
+            version=7,
+            predicate=pred,
+            key_columns=("l_orderkey",),
+            kind="bloom",
+            params="fpp=0.01",
+        )
+        args.update(kw)
+        return filter_fingerprint(**args)
+
+    assert base == variant()
+    assert base != variant(version=8)
+    assert base != variant(key_columns=("l_partkey",))
+    assert base != variant(key_columns=("l_orderkey", "l_partkey"))
+    assert base != variant(kind="exact")
+    assert base != variant(params="fpp=0.05")
+    assert base != variant(predicate=canonical_expr(None))
+
+
+@pytest.fixture()
+def versioned_catalog():
+    t = Table.from_pydict("t", {"k": [1, 2, 3]})
+    return Catalog({"t": t})
+
+
+def test_same_query_same_prefilter_fingerprint(tiny_catalog):
+    """The headline property: rebuilding the same TPC-H query from
+    scratch (a fresh AST, as a new session would) yields the same
+    whole-query prefilter fingerprint."""
+    cache = FilterCache()
+    config = RunConfig()
+
+    def fp():
+        spec = get_query(5, sf=0.003)  # fresh spec objects every call
+        qcache = build_query_cache(spec, tiny_catalog, cache)
+        assert qcache.covers([r.alias for r in spec.relations])
+        return qcache.prefilter_fp(
+            _edge_forms(spec), config.strategy, _prefilter_config_form(config)
+        )
+
+    assert fp() == fp()
+
+
+def test_prefilter_fingerprint_sensitivity(tiny_catalog):
+    cache = FilterCache()
+    spec = get_query(5, sf=0.003)
+    qcache = build_query_cache(spec, tiny_catalog, cache)
+    edges = _edge_forms(spec)
+
+    base_cfg = RunConfig()
+    base = qcache.prefilter_fp(edges, "predtrans", _prefilter_config_form(base_cfg))
+    # Different strategy.
+    assert base != qcache.prefilter_fp(
+        edges, "yannakakis", _prefilter_config_form(RunConfig(strategy="yannakakis"))
+    )
+    # Different transfer parameters (fpp).
+    tweaked = RunConfig(transfer=TransferConfig(fpp=0.05))
+    assert base != qcache.prefilter_fp(
+        edges, "predtrans", _prefilter_config_form(tweaked)
+    )
+    # Different edge set.
+    assert base != qcache.prefilter_fp(edges[:-1], "predtrans",
+                                       _prefilter_config_form(base_cfg))
+
+
+def test_version_bump_changes_alias_keys(versioned_catalog):
+    t = Table.from_pydict("lineitem", {"k": [1]})
+    versioned_catalog.register(t, "lineitem")
+    v1 = versioned_catalog.data_version("lineitem")
+    versioned_catalog.register(t, "lineitem")
+    v2 = versioned_catalog.data_version("lineitem")
+    assert v2 > v1  # monotonic bump on replacement
+
+    # Scoped children never version derived registrations.
+    scoped = versioned_catalog.scoped()
+    scoped.register(t, "derived")
+    assert scoped.data_version("derived") is None
+    assert scoped.data_version("lineitem") == v2
+
+    # The bump flows into distinct fingerprints.
+    assert scan_fingerprint("lineitem", v1, "none") != scan_fingerprint(
+        "lineitem", v2, "none"
+    )

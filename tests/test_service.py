@@ -1,0 +1,287 @@
+"""Service-layer tests: Engine/Session concurrency, workload driver, CLI."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.__main__ import main
+from repro.cache import default_filter_cache
+from repro.core.runner import RunConfig, run_query
+from repro.service import (
+    Engine,
+    Session,
+    build_catalog,
+    build_stream,
+    cold_warm,
+    replay,
+    vary_spec,
+)
+from repro.service.workload import SSB_PREFIX, prefix_tables, result_digest
+from repro.ssb import get_ssb_query
+from repro.tpch import generate_tpch
+from repro.tpch.queries import get_query
+
+SF = 0.003
+
+
+@pytest.fixture(scope="module")
+def serving_catalog():
+    return build_catalog(sf=SF, seed=3)
+
+
+# ----------------------------------------------------------------------
+# Engine & Session basics
+# ----------------------------------------------------------------------
+def test_engine_matches_plain_runner(serving_catalog):
+    spec = get_query(5, sf=SF)
+    with Engine(serving_catalog) as engine:
+        served = engine.execute(spec)
+    plain = run_query(spec, serving_catalog)
+    assert result_digest(served.table) == result_digest(plain.table)
+
+
+def test_engine_aggregates_stats(serving_catalog):
+    with Engine(serving_catalog) as engine:
+        engine.execute(get_query(5, sf=SF))
+        engine.execute(get_query(5, sf=SF))
+        engine.execute(get_query(3, sf=SF), RunConfig(strategy="bloomjoin"))
+        stats = engine.stats()
+    assert stats.queries == 3
+    assert stats.by_strategy == {"predtrans": 2, "bloomjoin": 1}
+    assert stats.filter_cache_hits > 0  # the repeated q5 hit
+    assert stats.seconds > 0
+
+
+def test_session_history_and_counters(serving_catalog):
+    with Engine(serving_catalog) as engine:
+        session = engine.session()
+        assert isinstance(session, Session)
+        session.execute(get_query(3, sf=SF))
+        session.execute(get_query(3, sf=SF))
+        assert len(session.history) == 2
+        hits, misses = session.cache_counters()
+        assert hits > 0 and misses > 0
+
+
+def test_engine_without_cache(serving_catalog):
+    with Engine(serving_catalog, cache_bytes=None) as engine:
+        result = engine.execute(get_query(5, sf=SF))
+        assert engine.cache_stats() is None
+        assert result.stats.filter_cache_hits == 0
+        assert result.stats.filter_cache_misses == 0
+
+
+def test_engine_clear_cache(serving_catalog):
+    with Engine(serving_catalog) as engine:
+        engine.execute(get_query(5, sf=SF))
+        assert engine.cache_stats().entries > 0
+        engine.clear_cache()
+        assert engine.cache_stats().entries == 0
+        # Still serves correctly after a clear.
+        result = engine.execute(get_query(5, sf=SF))
+        assert result.table.num_rows >= 0
+
+
+def test_engine_rejects_after_close(serving_catalog):
+    engine = Engine(serving_catalog)
+    engine.close()
+    with pytest.raises(RuntimeError):
+        engine.submit(get_query(5, sf=SF))
+
+
+# ----------------------------------------------------------------------
+# Concurrency stress: N threads x repeated query mix == oracle
+# ----------------------------------------------------------------------
+def test_concurrent_mixed_stream_matches_single_threaded_oracle(
+    serving_catalog,
+):
+    """The CI stress scenario: a repeated TPC-H+SSB mix executed on a
+    multi-worker engine from multiple client threads must produce
+    byte-identical results to a fresh single-threaded uncached run."""
+    stream = build_stream(SF, (3, 5, 10), ("1.1", "2.1"), repeats=3, variants=1,
+                          seed=9)
+    oracle = {}
+    for spec in stream:
+        if spec.name not in oracle:
+            oracle[spec.name] = result_digest(
+                run_query(spec, serving_catalog).table
+            )
+
+    with Engine(serving_catalog, workers=4) as engine:
+        errors: list[Exception] = []
+        digests: dict[int, list[tuple[str, str]]] = {}
+
+        def client(tid: int) -> None:
+            try:
+                session = engine.session()
+                out = []
+                for spec in stream:
+                    result = session.execute(spec)
+                    out.append((spec.name, result_digest(result.table)))
+                digests[tid] = out
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        served = engine.stats()
+
+    assert served.queries == 4 * len(stream)
+    for out in digests.values():
+        assert len(out) == len(stream)
+        for name, digest in out:
+            assert digest == oracle[name], f"mismatch for {name}"
+
+
+def test_run_many_preserves_order(serving_catalog):
+    specs = [get_query(q, sf=SF) for q in (3, 5, 10)]
+    with Engine(serving_catalog, workers=3) as engine:
+        results = engine.run_many(specs)
+    assert [r.stats.query for r in results] == [s.name for s in specs]
+
+
+# ----------------------------------------------------------------------
+# Workload driver
+# ----------------------------------------------------------------------
+def test_build_catalog_merges_both_benchmarks(serving_catalog):
+    assert "lineitem" in serving_catalog  # TPC-H
+    assert f"{SSB_PREFIX}lineorder" in serving_catalog  # SSB, prefixed
+    # The clash-prone dimension names coexist.
+    assert "customer" in serving_catalog
+    assert f"{SSB_PREFIX}customer" in serving_catalog
+
+
+def test_prefix_tables_rewrites_base_references():
+    spec = prefix_tables(get_ssb_query("2.1"), SSB_PREFIX)
+    assert all(r.table.startswith(SSB_PREFIX) for r in spec.relations)
+
+
+def test_build_stream_is_deterministic():
+    a = build_stream(SF, (3, 5), ("1.1",), repeats=2, variants=1, seed=4)
+    b = build_stream(SF, (3, 5), ("1.1",), repeats=2, variants=1, seed=4)
+    assert [s.name for s in a] == [s.name for s in b]
+    assert len(a) >= 2 * 3  # every query at least `repeats` times
+    c = build_stream(SF, (3, 5), ("1.1",), repeats=2, variants=1, seed=5)
+    assert [s.name for s in a] != [s.name for s in c]  # seed matters
+
+
+def test_build_stream_validates_ids():
+    with pytest.raises(ValueError):
+        build_stream(SF, (99,), ())
+    with pytest.raises(ValueError):
+        build_stream(SF, (), ("9.9",))
+
+
+def test_vary_spec_shifts_dates_or_declines():
+    q3 = get_query(3, sf=SF)
+    varied = vary_spec(q3, 30, "#v1")
+    assert varied is not None and varied.name == "q3#v1"
+    # Different parameters -> different results fingerprint inputs.
+    assert varied.relations != q3.relations
+    # A spec with no date literals has nothing to vary.
+    q2 = get_query(2, sf=SF)
+    assert vary_spec(q2, 30, "#v1") is None
+
+
+def test_replay_and_cold_warm_payload(serving_catalog):
+    stream = build_stream(SF, (3,), ("1.1",), repeats=2, variants=0, seed=0)
+    with Engine(serving_catalog) as engine:
+        cold = replay(engine, stream)
+        warm = replay(engine, stream)
+    assert len(cold.items) == len(stream)
+    assert all(c["digest"] == w["digest"] for c, w in zip(cold.items, warm.items))
+    warm_hits = sum(i["filter_cache_hits"] for i in warm.items)
+    assert warm_hits > 0
+
+    payload = cold_warm(
+        sf=SF, seed=1, tpch_ids=(3, 5), ssb_ids=("1.1",), repeats=2,
+        variants=1, workers=1,
+    )
+    assert payload["schema"] == "repro-bench/v3"
+    assert payload["kind"] == "workload-cold-warm"
+    comp = payload["comparison"]
+    assert comp["results_identical"] is True
+    assert comp["speedup"] > 0
+    assert comp["cache"]["hits"] > 0
+    assert {q["query"] for q in comp["per_query"]} == {
+        i["query"] for i in payload["cold"]["measurements"]
+    }
+    json.dumps(payload)  # JSON-serializable end to end
+
+
+def test_warm_cache_equivalence_all_tpch_queries(serving_catalog):
+    """Every TPC-H query (including multi-stage decorrelated ones):
+    warm cached results are byte-identical to the uncached eager
+    oracle under the default strategy."""
+    with Engine(serving_catalog) as engine:
+        for qid in range(1, 23):
+            spec = get_query(qid, sf=SF)
+            engine.execute(spec)  # cold: populate
+            warm = engine.execute(spec)
+            oracle = run_query(
+                spec, serving_catalog, config=RunConfig(materialize="eager")
+            )
+            assert result_digest(warm.table) == result_digest(oracle.table), (
+                f"q{qid} warm result diverged from eager oracle"
+            )
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+def test_cli_workload_writes_artifact(tmp_path, capsys):
+    out = tmp_path / "workload.json"
+    code = main(
+        [
+            "workload", "--sf", "0.003", "--tpch", "3", "--ssb", "1.1",
+            "--repeats", "2", "--variants", "1", "--json", str(out),
+        ]
+    )
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "cold" in printed and "warm" in printed
+    doc = json.loads(out.read_text())
+    assert doc["comparison"]["results_identical"] is True
+
+
+def test_cli_cache_stats_and_clear(capsys):
+    # Warm the process-wide cache through a cached command...
+    assert main(["tpch", "--sf", "0.003", "--query", "5",
+                 "--strategy", "predtrans", "--repeats", "2"]) == 0
+    capsys.readouterr()
+    # ...then the cache verbs observe and clear it.
+    assert main(["cache", "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "entries" in out and "hit_rate" in out
+    assert default_filter_cache().stats().insertions > 0
+
+    assert main(["cache", "clear"]) == 0
+    assert "cleared" in capsys.readouterr().out
+    assert len(default_filter_cache()) == 0
+
+    assert main(["cache", "stats", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["entries"] == 0
+
+
+def test_cli_no_filter_cache_flag(capsys):
+    default_filter_cache().clear()
+    assert main(["tpch", "--sf", "0.003", "--query", "5",
+                 "--strategy", "predtrans", "--repeats", "1",
+                 "--no-filter-cache"]) == 0
+    capsys.readouterr()
+    # The uncached run left no trace in the process-wide cache.
+    assert len(default_filter_cache()) == 0
+
+
+def test_cli_ssb_cached(capsys):
+    assert main(["ssb", "--sf", "0.003", "--query", "1.1",
+                 "--strategy", "predtrans", "--repeats", "2"]) == 0
+    assert "Q1.1" in capsys.readouterr().out
