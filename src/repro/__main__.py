@@ -23,7 +23,9 @@ driving :func:`main` programmatically — a fresh shell invocation
 starts cold).
 
 Query arguments accept single ids or comma-separated lists everywhere
-(``--query 5``, ``--query 3,5,9``, ``--queries 3,5``).
+(``--query 5``, ``--query 3,5,9``, ``--queries 3,5``).  The cyclic /
+self-join / cross-product extras are addressed by string id: TPC-H
+``c1``–``c3`` (``--query 3,5,c1``) and SSB ``c.1``.
 
 Examples::
 
@@ -69,7 +71,12 @@ from .service.workload import (
 )
 from .ssb import ALL_SSB_QUERY_IDS, generate_ssb, get_ssb_query
 from .tpch import generate_tpch
-from .tpch.queries import BENCH_QUERY_IDS, Q5_JOIN_ORDERS, get_query
+from .tpch.queries import (
+    BENCH_QUERY_IDS,
+    CYCLIC_QUERY_IDS,
+    Q5_JOIN_ORDERS,
+    get_query,
+)
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -109,7 +116,7 @@ def _cmd_tpch(args: argparse.Namespace) -> int:
                 spec, catalog, strategy, repeats=args.repeats, config=config
             )
             print(
-                f"q{qid:<3d} {strategy:12s} {m.seconds:9.4f}s  "
+                f"{'q' + str(qid):<4s} {strategy:12s} {m.seconds:9.4f}s  "
                 f"rows={m.output_rows}  "
                 f"prefiltered={m.stats.transfer.reduction():.1%}"
             )
@@ -161,20 +168,30 @@ def _parse_list(text: str) -> list[str]:
     return [part.strip() for part in text.split(",") if part.strip()]
 
 
-def _parse_query_ids(text: str) -> tuple[int, ...]:
-    """argparse type for TPC-H query lists: ``"5"`` or ``"3,5,9"``."""
-    try:
-        ids = tuple(int(q) for q in _parse_list(text))
-    except ValueError:
-        raise argparse.ArgumentTypeError(
-            f"expected comma-separated query numbers, got {text!r}"
-        ) from None
+def _parse_query_ids(text: str) -> tuple[int | str, ...]:
+    """argparse type for TPC-H query lists: ``"5"``, ``"3,5,9"`` or
+    the cyclic extras by string id (``"3,c1"``)."""
+    ids: list[int | str] = []
+    for part in _parse_list(text):
+        if part in CYCLIC_QUERY_IDS:
+            ids.append(part)
+            continue
+        try:
+            number = int(part)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"no TPC-H query {part!r}; valid: 1..22 and "
+                f"{', '.join(CYCLIC_QUERY_IDS)}"
+            ) from None
+        if number not in range(1, 23):
+            raise argparse.ArgumentTypeError(
+                f"no TPC-H query {number}; valid: 1..22 and "
+                f"{', '.join(CYCLIC_QUERY_IDS)}"
+            )
+        ids.append(number)
     if not ids:
         raise argparse.ArgumentTypeError("empty query list")
-    bad = [q for q in ids if q not in range(1, 23)]
-    if bad:
-        raise argparse.ArgumentTypeError(f"no TPC-H query {bad[0]}; valid: 1..22")
-    return ids
+    return tuple(ids)
 
 
 def _parse_ssb_ids(text: str) -> tuple[str, ...]:
@@ -322,7 +339,7 @@ def build_parser() -> argparse.ArgumentParser:
     tpch.add_argument(
         "--query",
         type=_parse_query_ids,
-        help='query number(s) 1-22, e.g. "5" or "3,5,9"',
+        help='query id(s) 1-22 or cyclic c1-c3, e.g. "5" or "3,5,c1"',
     )
     tpch.add_argument("--strategy", choices=STRATEGIES)
     tpch.add_argument("--repeats", type=int, default=2)
@@ -358,7 +375,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--queries",
         type=_parse_query_ids,
-        help='comma-separated query ids, e.g. "3,5"',
+        help='comma-separated query ids (1-22 and c1-c3), e.g. "3,5,c1"',
     )
     bench.add_argument(
         "--strategies",

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 
 import networkx as nx
 
+from ..errors import PlanError
 from ..plan.joingraph import edge_keys_for
 
 
@@ -105,6 +106,15 @@ def build_pt_graph(join_graph: nx.Graph, sizes: dict[str, int]) -> PTGraph:
     forced: list[tuple[str, str]] = []
 
     for u, v, data in join_graph.edges(data=True):
+        if u == v:
+            # A self-loop would orient onto itself and be silently
+            # dropped by the cycle breaker; the planner folds self-loop
+            # edges into local predicates long before this point, so
+            # one arriving here is a caller bug worth surfacing.
+            raise PlanError(
+                f"self-loop edge on {u!r} reached the PT graph; fold it "
+                "with fold_self_edges() before building the transfer plan"
+            )
         fwd_ok, bwd_ok = allowed_directions(data)
         left = data["syntactic_left"]
         right = v if left == u else u
@@ -138,7 +148,10 @@ def _break_cycles(digraph: nx.DiGraph, forced: list[tuple[str, str]]) -> list:
     while not nx.is_directed_acyclic_graph(digraph):
         cycle = nx.find_cycle(digraph)
         candidates = [e[:2] for e in cycle if e[:2] in forced]
-        victim = candidates[0] if candidates else cycle[0][:2]
+        # Deterministic victim choice: the lexicographically smallest
+        # forced edge on the cycle (any forced edge is droppable without
+        # affecting correctness), else the smallest edge outright.
+        victim = min(candidates) if candidates else min(e[:2] for e in cycle)
         digraph.remove_edge(*victim)
         dropped.append(victim)
     return dropped

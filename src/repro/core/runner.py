@@ -13,6 +13,22 @@ deterministic order) and the post-operator pipeline, so measured
 differences are attributable to pre-filtering alone — mirroring the
 paper's single-executor methodology.
 
+Query shapes
+------------
+The executor accepts arbitrary join graphs:
+
+* **acyclic** — the classical Yannakakis setting;
+* **cyclic** — transfer keeps every cycle edge in the PT DAG;
+  Yannakakis falls back to a spanning tree plus residual-edge
+  post-verification of the off-tree edges;
+* **self-joins** — distinct alias occurrences of one table are
+  ordinary vertices; a *self-loop* edge (``left == right``) is folded
+  into a row-local predicate before planning
+  (:func:`repro.plan.rewrite.fold_self_edges`);
+* **disconnected** (cross products) — each connected component is
+  executed independently and the results are combined with cartesian
+  joins, smallest component first.
+
 Materialization policy (``RunConfig.materialize``)
 --------------------------------------------------
 ``"lazy"`` (default) runs the whole pipeline late-materialized:
@@ -63,13 +79,14 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field, replace
 
+import networkx as nx
 import numpy as np
 
 from ..cache.context import QueryCache, build_query_cache
 from ..cache.fingerprint import canonical_expr
 from ..cache.store import FilterCache
 from ..engine.aggregate import AggSpec, GroupKey, group_aggregate
-from ..engine.hashjoin import BuildSortCache, hash_join
+from ..engine.hashjoin import BuildSortCache, cross_join, hash_join
 from ..engine.sort import limit, sort_table
 from ..engine.stats import QueryStats
 from ..errors import PlanError
@@ -83,7 +100,7 @@ from ..optimizer.joinorder import greedy_join_order
 from ..plan.joingraph import build_join_graph, edge_keys_for
 from ..plan.pruning import live_columns
 from ..plan.query import Aggregate, Filter, Limit, Project, QuerySpec, Sort
-from ..plan.rewrite import resolve_scalars
+from ..plan.rewrite import fold_self_edges, resolve_scalars
 from ..storage.catalog import Catalog
 from ..storage.table import Table
 from ..storage.view import AnyTable, TableView, materialize
@@ -162,7 +179,7 @@ def run_query(
         scoped.register(sub.table, stage.output)
         stats.stage_stats.append(sub.stats)
 
-    resolved = _resolve_spec(spec, scoped)
+    resolved = _resolve_spec(fold_self_edges(spec), scoped)
     graph = build_join_graph(resolved)
 
     # Per-query binding of the cross-query filter cache (None = the
@@ -286,7 +303,10 @@ def _prefilter_config_form(config: RunConfig) -> str:
     """
     if config.strategy == "predtrans":
         return repr(config.transfer)
-    return f"root={config.yannakakis_root!r}"
+    # ``verify-residual`` marks the cyclic fallback plan (spanning tree
+    # + off-tree edge post-verification) so its prefilter results never
+    # collide with entries from a plain-spanning-tree build.
+    return f"root={config.yannakakis_root!r};verify-residual"
 
 
 # ----------------------------------------------------------------------
@@ -468,6 +488,23 @@ def _and_fold(exprs: list[Expr]) -> Expr | None:
     return acc
 
 
+def _component_orders(graph, order: list[str]) -> list[list[str]]:
+    """Partition a join order by connected component of the join graph.
+
+    Relative order within each component is preserved; components are
+    sequenced by their first appearance in ``order``.  A spec whose
+    graph is connected yields a single partition (the common case).
+    """
+    component_of: dict[str, int] = {}
+    for cid, component in enumerate(nx.connected_components(graph)):
+        for alias in component:
+            component_of[alias] = cid
+    parts: dict[int, list[str]] = {}
+    for alias in order:
+        parts.setdefault(component_of[alias], []).append(alias)
+    return list(parts.values())
+
+
 def _execute_join_phase(
     spec: QuerySpec,
     graph,
@@ -479,6 +516,15 @@ def _execute_join_phase(
     hashes: KeyHashCache | None = None,
     qcache: QueryCache | None = None,
 ) -> AnyTable:
+    """Left-deep joins per connected component, then cross-join combine.
+
+    Each component of the join graph is executed independently (its
+    aliases in join-order sequence); a disconnected graph — a cross
+    product — combines the per-component results with cartesian joins
+    in component order.  Residual predicates apply as soon as their
+    columns are available, which for cross-component residuals is right
+    after the cross join that brings both sides together.
+    """
     hashes = hashes or KeyHashCache()
     # Only stable base tables go through the query-wide caches:
     # intermediate join results are fresh objects that can never
@@ -489,43 +535,57 @@ def _execute_join_phase(
     # survivors (no transfer phase ran), so their filters are
     # cross-query cacheable under the owning alias's fingerprint.
     alias_of = {id(t): a for a, t in reduced.items()}
-    current = reduced[order[0]]
-    joined = {order[0]}
     pending = list(spec.residuals)
-    current = _apply_ready_residuals(current, pending)
+    join_index = 0
 
-    for i, alias in enumerate(order[1:], start=1):
-        neighbors = sorted(n for n in graph.neighbors(alias) if n in joined)
-        if not neighbors:
-            raise PlanError(
-                f"join order {order} creates a cross product at {alias!r}"
+    results: list[AnyTable] = []
+    for comp_order in _component_orders(graph, order):
+        current = reduced[comp_order[0]]
+        joined = {comp_order[0]}
+        current = _apply_ready_residuals(current, pending)
+        for alias in comp_order[1:]:
+            neighbors = sorted(n for n in graph.neighbors(alias) if n in joined)
+            if not neighbors:
+                raise PlanError(
+                    f"join order {order} disconnects component "
+                    f"{sorted(comp_order)} at {alias!r}"
+                )
+            how, probe_on, build_on, residual = _gather_edges(
+                graph, neighbors, alias
             )
-        how, probe_on, build_on, residual = _gather_edges(graph, neighbors, alias)
-        probe_table, build_table = current, reduced[alias]
-        if how == "inner" and build_table.num_rows > probe_table.num_rows:
-            probe_table, build_table = build_table, probe_table
-            probe_on, build_on = build_on, probe_on
+            probe_table, build_table = current, reduced[alias]
+            if how == "inner" and build_table.num_rows > probe_table.num_rows:
+                probe_table, build_table = build_table, probe_table
+                probe_on, build_on = build_on, probe_on
 
-        probe_rows = None
-        if config.strategy == "bloomjoin" and how in ("inner", "semi"):
-            probe_rows = _bloom_prefilter(
-                probe_table, build_table, probe_on, build_on, config, stats,
-                hashes, stable_ids, qcache, alias_of.get(id(build_table)),
+            probe_rows = None
+            if config.strategy == "bloomjoin" and how in ("inner", "semi"):
+                probe_rows = _bloom_prefilter(
+                    probe_table, build_table, probe_on, build_on, config, stats,
+                    hashes, stable_ids, qcache, alias_of.get(id(build_table)),
+                )
+
+            join_index += 1
+            current, jstat = hash_join(
+                probe_table,
+                build_table,
+                probe_on,
+                build_on,
+                how=how,
+                residual=residual,
+                label=f"Join {join_index}",
+                probe_rows=probe_rows,
+                build_cache=build_cache if id(build_table) in stable_ids else None,
             )
+            stats.joins.append(jstat)
+            joined.add(alias)
+            current = _apply_ready_residuals(current, pending)
+        results.append(current)
 
-        current, jstat = hash_join(
-            probe_table,
-            build_table,
-            probe_on,
-            build_on,
-            how=how,
-            residual=residual,
-            label=f"Join {i}",
-            probe_rows=probe_rows,
-            build_cache=build_cache if id(build_table) in stable_ids else None,
-        )
+    current = results[0]
+    for i, other in enumerate(results[1:], start=1):
+        current, jstat = cross_join(current, other, label=f"Cross {i}")
         stats.joins.append(jstat)
-        joined.add(alias)
         current = _apply_ready_residuals(current, pending)
 
     if pending:

@@ -9,11 +9,19 @@ queries:
 
 * non-inner edges adopt the same direction-blocking rules as predicate
   transfer (a semi-join along a blocked direction is skipped);
-* cyclic join graphs are handled by picking a root and taking the BFS
-  tree — edges off the tree are **not traversed** (the source of
-  Yannakakis' filtering loss on cyclic queries like Q5, §4.3).
+* cyclic join graphs fall back to a spanning-tree plan with
+  **residual-edge post-verification**: a root is picked, the BFS tree
+  drives the two semi-join passes, and every edge off the tree — the
+  source of classical Yannakakis' filtering loss on cyclic queries
+  like Q5 (§4.3) — is then verified as an extra semi-join in each
+  allowed direction.  Verification only removes rows that provably
+  have no partner on the cycle edge, so it is always sound; the exact
+  Yannakakis guarantee (every survivor participates in the join
+  result) still holds only for acyclic inputs.
 
-The join phase is shared with every other strategy (the runner's).
+Disconnected graphs (cross products) reduce each connected component
+independently; single-vertex components pass through untouched.  The
+join phase is shared with every other strategy (the runner's).
 """
 
 from __future__ import annotations
@@ -170,6 +178,17 @@ def run_semi_join_rows(
                         join_graph, tables, rows, parent, child, stats,
                         hashes, cache, pristine,
                     )
+        # Residual-edge post-verification (the cyclic fallback): edges
+        # the spanning tree skipped still constrain the final join, so
+        # probe them as extra semi-joins in every allowed direction.
+        for u, v in sorted(jtree.dropped_edges):
+            for src, dst in ((u, v), (v, u)):
+                if _direction_allowed(join_graph, src, dst):
+                    _semi_join(
+                        join_graph, tables, rows, src, dst, stats,
+                        hashes, cache, pristine,
+                    )
+                    stats.edges_verified += 1
 
     for alias in rows:
         stats.rows_after[alias] = len(rows[alias])

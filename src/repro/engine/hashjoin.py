@@ -23,6 +23,17 @@ Join kinds: ``inner``, ``left`` (null-extending), ``semi``, ``anti``.
 Residual (non-equi) predicates are applied to the matched pair block
 before null extension, which matches SQL ``ON``-clause semantics for the
 query shapes used here.
+
+NULL join keys follow SQL semantics: a row whose key tuple contains a
+null (e.g. the null-extended side of an upstream left join) **never**
+matches anything.  Physically such rows carry a canonical zero
+placeholder under a ``valid=False`` mask (:meth:`Column.take_nullable`),
+so the matching kernel's raw key comparison can still produce bogus
+pairs (zero is a perfectly matchable value); :func:`hash_join`
+therefore post-filters every matched pair by the conjunction of both
+sides' key-column validity masks.  Null-keyed probe rows then count
+zero matches — dropped by ``inner``/``semi``, kept by ``anti`` (SQL
+``NOT EXISTS``), null-extended by ``left``.
 """
 
 from __future__ import annotations
@@ -129,6 +140,20 @@ def join_indices(
     return probe_idx, build_idx, counts
 
 
+def _key_validity(columns: list[Column]) -> np.ndarray | None:
+    """Per-row validity of a key tuple: AND of the columns' masks.
+
+    ``None`` (the common case: no column carries a mask) means every
+    row's key is non-null.
+    """
+    valid: np.ndarray | None = None
+    for column in columns:
+        if column.valid is None:
+            continue
+        valid = column.valid if valid is None else (valid & column.valid)
+    return valid
+
+
 def _merge_columns(
     probe: Table, build: Table, probe_idx: np.ndarray, build_idx: np.ndarray,
     null_extend_build: bool,
@@ -212,12 +237,27 @@ def hash_join(
     probe_cols = [probe.column(c) for c in probe_on]
     build_cols = [build.column(c) for c in build_on]
     probe_keys, build_keys = normalize_join_keys(probe_cols, build_cols)
+    probe_valid = _key_validity(probe_cols)
+    build_valid = _key_validity(build_cols)
     if probe_rows is not None:
         probe_keys = probe_keys[probe_rows]
+        if probe_valid is not None:
+            probe_valid = probe_valid[probe_rows]
     build_sort = None
     if build_cache is not None and len(build_cols) == 1 and len(build_keys):
         build_sort = build_cache.get_or_sort(build_cols[0], build_keys)
     probe_idx, build_idx, counts = join_indices(probe_keys, build_keys, build_sort)
+    if probe_valid is not None or build_valid is not None:
+        # Null-keyed rows never match (SQL semantics); the kernel
+        # compared their placeholder values, so drop those pairs here.
+        keep = None if probe_valid is None else probe_valid[probe_idx]
+        if build_valid is not None:
+            bk = build_valid[build_idx]
+            keep = bk if keep is None else keep & bk
+        if not keep.all():
+            probe_idx = probe_idx[keep]
+            build_idx = build_idx[keep]
+            counts = np.bincount(probe_idx, minlength=len(probe_keys))
     if probe_rows is not None:
         probe_idx = probe_rows[probe_idx]
 
@@ -253,6 +293,32 @@ def hash_join(
         label=label or f"{build.name}->{probe.name}",
         ht_rows=build.num_rows,
         pr_rows=len(probe_keys),
+        out_rows=result.num_rows,
+        seconds=time.perf_counter() - start,
+    )
+    return result, stat
+
+
+def cross_join(
+    left: AnyTable, right: AnyTable, label: str | None = None
+) -> tuple[AnyTable, JoinStat]:
+    """Cartesian product of two inputs (no join keys).
+
+    Used by the runner to combine independently executed connected
+    components of a disconnected join graph.  Row order is
+    deterministic: every ``left`` row paired with every ``right`` row,
+    right side varying fastest.  On views this is pure index-vector
+    composition; data is gathered only when columns are read.
+    """
+    start = time.perf_counter()
+    n_left, n_right = left.num_rows, right.num_rows
+    left_idx = np.repeat(np.arange(n_left, dtype=np.intp), n_right)
+    right_idx = np.tile(np.arange(n_right, dtype=np.intp), n_left)
+    result = _merge(left, right, left_idx, right_idx, False)
+    stat = JoinStat(
+        label=label or f"{left.name}x{right.name}",
+        ht_rows=n_right,
+        pr_rows=n_left,
         out_rows=result.num_rows,
         seconds=time.perf_counter() - start,
     )

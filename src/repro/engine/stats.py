@@ -41,6 +41,10 @@ class TransferStats:
     rows_after: dict[str, int] = field(default_factory=dict)
     edges_traversed: int = 0
     edges_pruned: int = 0
+    # Off-tree (cycle) edges re-checked by Yannakakis' residual-edge
+    # post-verification pass (0 for acyclic inputs and all other
+    # strategies).
+    edges_verified: int = 0
 
     def total_rows_before(self) -> int:
         """Total base rows entering the pre-filter phase."""

@@ -41,14 +41,40 @@ def greedy_join_order(
 ) -> list[str]:
     """Pick a left-deep join order greedily by estimated intermediate size.
 
-    Starts from the smallest eligible relation and repeatedly appends the
-    connected relation minimizing the estimated next intermediate.
+    Each connected component is ordered independently (starting from its
+    smallest eligible relation, repeatedly appending the connected
+    relation minimizing the estimated next intermediate); components are
+    then concatenated smallest-first — the runner cross-joins them in
+    this sequence, so small components pair up before the large ones
+    multiply in.
     """
     aliases = sorted(graph.nodes)
     if len(aliases) == 1:
         return aliases
+    components = [sorted(c) for c in nx.connected_components(graph)]
+    components.sort(key=lambda c: (min(sizes[a] for a in c), c[0]))
     restricted = _restricted_rights(graph)
+    order: list[str] = []
+    for component in components:
+        if len(component) == 1:
+            order.extend(component)
+            continue
+        order.extend(
+            _order_component(
+                graph.subgraph(component), sizes, ndv_cache, restricted, component
+            )
+        )
+    return order
 
+
+def _order_component(
+    graph: nx.Graph,
+    sizes: dict[str, int],
+    ndv_cache: NdvCache,
+    restricted: dict[str, str],
+    aliases: list[str],
+) -> list[str]:
+    """Greedy order of one connected component."""
     start_candidates = sorted(
         (a for a in aliases if a not in restricted),
         key=lambda a: (sizes[a], a),
@@ -96,8 +122,8 @@ def _greedy_from(
                 best, best_est = key, est
         if best is None:
             raise PlanError(
-                "join graph is disconnected or deadlocked by non-inner "
-                f"ordering constraints; joined so far: {sorted(joined)}"
+                "join component deadlocked by non-inner ordering "
+                f"constraints; joined so far: {sorted(joined)}"
             )
         order.append(best[1])
         joined.add(best[1])

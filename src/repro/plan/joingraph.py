@@ -3,10 +3,16 @@
 The join graph (paper Fig. 1a) has one vertex per relation occurrence
 and one edge per equi-join.  Multiple key pairs between the same alias
 pair are merged into a single composite-key edge (conjunctive equi-join
-semantics).  Edge attributes carry everything downstream phases need:
+semantics; residual conditions of parallel inner edges AND together the
+same way).  Edge attributes carry everything downstream phases need:
 key pairs oriented by endpoint, the join kind, the residual condition
 and which endpoint is the syntactic left (for direction-restricted
 kinds).
+
+Self-loop edges (``left == right``) are rejected with a precise error:
+they denote row-local comparisons, which
+:func:`repro.plan.rewrite.fold_self_edges` folds into local predicates
+before the graph is built.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ from __future__ import annotations
 import networkx as nx
 
 from ..errors import PlanError
+from ..expr.nodes import And
 from .query import JoinEdge, QuerySpec
 
 
@@ -39,6 +46,19 @@ def build_join_graph(spec: QuerySpec) -> nx.Graph:
 
 
 def _add_edge(graph: nx.Graph, e: JoinEdge, query_name: str) -> None:
+    if e.left == e.right:
+        # A self-loop would silently corrupt every downstream consumer
+        # (spanning trees skip it, the PT-DAG cycle breaker drops it,
+        # the join phase never applies it).  The runner folds such
+        # edges into local predicates before graph construction
+        # (:func:`repro.plan.rewrite.fold_self_edges`); reaching here
+        # means a caller built the graph from an unfolded spec.
+        raise PlanError(
+            f"self-loop join edge on alias {e.left!r} in {query_name!r}: "
+            "a join of an alias with itself is a row-local comparison — "
+            "fold it with fold_self_edges(), or introduce a second alias "
+            "occurrence of the table"
+        )
     how, syntactic_left = e.how, e.left
     if how == "right":
         # Normalize: (L right-outer R) executes and transfers as
@@ -58,9 +78,13 @@ def _add_edge(graph: nx.Graph, e: JoinEdge, query_name: str) -> None:
             if pair not in data["keys"]:
                 data["keys"].append(pair)
         if e.residual is not None:
-            if data["residual"] is not None:
-                raise PlanError(f"two residuals on edge {u}-{v} in {query_name!r}")
-            data["residual"] = e.residual
+            # Parallel inner edges merge conjunctively: the combined
+            # edge matches a pair iff every contributing edge does, so
+            # residual conditions AND together like the key pairs.
+            if data["residual"] is None:
+                data["residual"] = e.residual
+            else:
+                data["residual"] = And(data["residual"], e.residual)
         return
     graph.add_edge(
         u,
@@ -99,7 +123,14 @@ def connected_components(graph: nx.Graph) -> list[set[str]]:
 
 
 def validate_connected(graph: nx.Graph, query_name: str) -> None:
-    """Raise when the join graph would force a cross product."""
+    """Raise when the join graph would force a cross product.
+
+    Advisory since PR 4: the executor runs disconnected graphs by
+    executing each connected component independently and cross-joining
+    the results (see :mod:`repro.core.runner`).  Callers that want to
+    *refuse* cartesian products — e.g. a serving layer guarding against
+    accidental blow-ups — can still enforce connectivity with this.
+    """
     if graph.number_of_nodes() and not nx.is_connected(graph):
         raise PlanError(
             f"join graph of {query_name!r} is disconnected (cross product); "

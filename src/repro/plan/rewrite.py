@@ -1,16 +1,25 @@
-"""Expression tree rewriting.
+"""Expression tree and query-spec rewriting.
 
-The only rewrite the runner needs is resolving
-:class:`~repro.expr.nodes.ScalarRef` placeholders — references to the
-single value produced by a scalar-aggregate pre-stage — into plain
-literals once the stage has run.
+Two rewrites run before planning:
+
+* resolving :class:`~repro.expr.nodes.ScalarRef` placeholders —
+  references to the single value produced by a scalar-aggregate
+  pre-stage — into plain literals once the stage has run;
+* folding **self-loop join edges** (``edge.left == edge.right``) into
+  row-local predicates (:func:`fold_self_edges`): a join of an alias
+  with *itself* compares columns of one row occurrence, which is a
+  filter, not a join.  The join-graph builder rejects self-loops, so
+  the runner folds them first.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from ..errors import PlanError
 from ..expr import nodes as N
 from ..storage.catalog import Catalog
+from .query import QuerySpec
 
 
 def resolve_scalars(expr: N.Expr | None, catalog: Catalog) -> N.Expr | None:
@@ -79,6 +88,62 @@ def _rewrite(expr: N.Expr, catalog: Catalog) -> N.Expr:
     if isinstance(expr, N.Substr):
         return N.Substr(_rewrite(expr.operand, catalog), expr.start, expr.length)
     raise PlanError(f"cannot rewrite node {type(expr).__name__}")
+
+
+def fold_self_edges(spec: QuerySpec) -> QuerySpec:
+    """Fold every self-loop join edge into a local predicate.
+
+    With a single occurrence of the alias, the join condition can only
+    compare columns of the same row, so each kind degenerates to a
+    row-local filter:
+
+    * ``inner`` / ``semi`` — a row joins/matches itself iff the key
+      columns are pairwise equal (and the residual holds): keep rows
+      satisfying the conjunction;
+    * ``anti`` — keep rows that do *not* match themselves: the negated
+      conjunction;
+    * ``left`` (and ``right``) — unrepresentable: the preserved and the
+      null-extended side are the same occurrence, so the fold raises a
+      precise :class:`PlanError` telling the caller to introduce a
+      second alias occurrence instead.
+
+    Specs without self-loop edges are returned unchanged (no copy).
+    """
+    if all(e.left != e.right for e in spec.edges):
+        return spec
+    folded: dict[str, N.Expr] = {}
+    edges = []
+    for e in spec.edges:
+        if e.left != e.right:
+            edges.append(e)
+            continue
+        if e.how in ("left", "right"):
+            raise PlanError(
+                f"self-loop {e.how} join on alias {e.left!r} in query "
+                f"{spec.name!r} cannot null-extend its own occurrence; "
+                "add a second alias occurrence of the table instead"
+            )
+        condition: N.Expr | None = None
+        for lk, rk in zip(e.qualified_left(), e.qualified_right()):
+            pair = N.col(lk).eq(N.col(rk))
+            condition = pair if condition is None else N.And(condition, pair)
+        if e.residual is not None:
+            condition = N.And(condition, e.residual)
+        if e.how == "anti":
+            condition = N.Not(condition)
+        alias = e.left
+        held = folded.get(alias)
+        folded[alias] = condition if held is None else N.And(held, condition)
+    relations = []
+    for r in spec.relations:
+        extra = folded.get(r.alias)
+        if extra is None:
+            relations.append(r)
+        elif r.predicate is None:
+            relations.append(replace(r, predicate=extra))
+        else:
+            relations.append(replace(r, predicate=N.And(r.predicate, extra)))
+    return replace(spec, relations=relations, edges=edges)
 
 
 def has_scalar_refs(expr: N.Expr | None) -> bool:

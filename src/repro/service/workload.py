@@ -56,15 +56,17 @@ from ..storage.catalog import Catalog
 from ..storage.dates import date_to_days, days_to_date
 from ..storage.table import Table
 from ..tpch import generate_tpch
-from ..tpch.queries import get_query
+from ..tpch.queries import CYCLIC_QUERY_IDS, get_query
 from .engine import Engine
 
 #: SSB tables are registered under this prefix in the merged catalog.
 SSB_PREFIX = "ssb."
 
-#: Default query mixes (kept modest so smoke runs stay fast).
-DEFAULT_TPCH_IDS: tuple[int, ...] = (3, 5, 9, 10, 12)
-DEFAULT_SSB_IDS: tuple[str, ...] = ("1.1", "2.1", "3.2", "4.1")
+#: Default query mixes (kept modest so smoke runs stay fast).  The
+#: cyclic extras ("c1" triangle, SSB "c.1") keep general-graph shapes
+#: exercised by every service/bench replay.
+DEFAULT_TPCH_IDS: tuple[int | str, ...] = (3, 5, 9, 10, 12, "c1")
+DEFAULT_SSB_IDS: tuple[str, ...] = ("1.1", "2.1", "3.2", "4.1", "c.1")
 
 
 # ----------------------------------------------------------------------
@@ -197,7 +199,7 @@ def vary_spec(spec: QuerySpec, delta_days: int, tag: str) -> QuerySpec | None:
 # ----------------------------------------------------------------------
 def build_stream(
     sf: float,
-    tpch_ids: tuple[int, ...] = DEFAULT_TPCH_IDS,
+    tpch_ids: tuple[int | str, ...] = DEFAULT_TPCH_IDS,
     ssb_ids: tuple[str, ...] = DEFAULT_SSB_IDS,
     *,
     repeats: int = 2,
@@ -212,9 +214,16 @@ def build_stream(
     near misses (per-table filter/scan hits only).
     """
     rng = random.Random(seed)
-    bad = [q for q in tpch_ids if q not in range(1, 23)]
+    bad = [
+        q
+        for q in tpch_ids
+        if q not in range(1, 23) and q not in CYCLIC_QUERY_IDS
+    ]
     if bad:
-        raise ValueError(f"no TPC-H query {bad[0]}; valid: 1..22")
+        raise ValueError(
+            f"no TPC-H query {bad[0]!r}; valid: 1..22 and "
+            f"{', '.join(CYCLIC_QUERY_IDS)}"
+        )
     bad = [q for q in ssb_ids if q not in ALL_SSB_QUERY_IDS]
     if bad:
         raise ValueError(
@@ -242,6 +251,10 @@ def result_digest(table: Table) -> str:
 
     Hashes column names, physical buffers, decoded dictionaries and
     validity, so two digests match iff the results are byte-identical.
+    An all-valid column digests the same whether it carries no mask or
+    an explicit all-true one — different execution paths are free to
+    drop a mask that no longer flags anything (null placeholders are
+    already canonical zeros, see :meth:`Column.take_nullable`).
     """
     h = hashlib.sha256()
     for name in table.column_names:
@@ -250,7 +263,8 @@ def result_digest(table: Table) -> str:
         h.update(np.ascontiguousarray(col.data).tobytes())
         if col.dictionary is not None:
             h.update("\x1f".join(map(str, col.dictionary)).encode())
-        h.update(b"" if col.valid is None else np.ascontiguousarray(col.valid).tobytes())
+        if col.null_count():
+            h.update(np.ascontiguousarray(col.valid).tobytes())
     return h.hexdigest()
 
 
@@ -313,7 +327,7 @@ def replay(
 def cold_warm(
     sf: float = 0.01,
     seed: int = 0,
-    tpch_ids: tuple[int, ...] = DEFAULT_TPCH_IDS,
+    tpch_ids: tuple[int | str, ...] = DEFAULT_TPCH_IDS,
     ssb_ids: tuple[str, ...] = DEFAULT_SSB_IDS,
     *,
     repeats: int = 2,

@@ -5,6 +5,11 @@ where one-hop Bloom join already broadcasts every dimension filter to
 the fact table.  PredTrans should therefore match BloomJoin here (the
 backward pass adds little), which the SSB bench verifies; the TPC-H
 suite shows where multi-hop transfer pulls ahead.
+
+``"c.1"`` is a cyclic extension (Q3.1 plus an explicit supplier–
+customer same-nation edge) exercising the general-graph scheduler on
+the SSB substrate; it is part of ``ALL_SSB_QUERY_IDS`` and the default
+workload mix.
 """
 
 from __future__ import annotations
@@ -252,18 +257,56 @@ def q4_3() -> QuerySpec:
     )
 
 
+def qc_1() -> QuerySpec:
+    """QC.1 (cyclic extension): a Q3.1-style flight with an added
+    supplier–customer same-nation edge, closing a lineorder–supplier–
+    customer triangle.
+
+    The 13 standard SSB queries are all stars (acyclic by
+    construction); this variant exercises the general-graph transfer
+    scheduler on the SSB substrate.  Note it is a *different query*
+    than Q3.1, not an equivalent reformulation: the ``c_nation =
+    s_nation`` edge restricts lineorder rows to same-nation customer–
+    supplier pairs (Q3.1 has no such predicate) and the aggregate
+    groups by the now-shared nation — revenue of ASIA customer–
+    supplier pairs trading within one nation, per year.
+    """
+    spec = _star(
+        "ssb_qc_1",
+        dims=[
+            ("c", "customer", "lo_custkey", "c_custkey",
+             col("c.c_region").eq(lit("ASIA"))),
+            ("s", "supplier", "lo_suppkey", "s_suppkey",
+             col("s.s_region").eq(lit("ASIA"))),
+            ("d", "date", "lo_orderdate", "d_datekey",
+             col("d.d_year").between(lit(1992), lit(1997))),
+        ],
+        post=[
+            Aggregate(
+                keys=(GroupKey("c_nation", col("c.c_nation")),
+                      GroupKey("d_year", col("d.d_year"))),
+                aggs=(AggSpec("sum", col("lo.lo_revenue"), "revenue"),),
+            ),
+            Sort((("d_year", "asc"), ("revenue", "desc"))),
+        ],
+    )
+    spec.edges.append(edge("c", "s", ("c_nation", "s_nation")))
+    return spec
+
+
 _BUILDERS = {
     "1.1": q1_1, "1.2": q1_2, "1.3": q1_3,
     "2.1": q2_1, "2.2": q2_2, "2.3": q2_3,
     "3.1": q3_1, "3.2": q3_2, "3.3": q3_3, "3.4": q3_4,
     "4.1": q4_1, "4.2": q4_2, "4.3": q4_3,
+    "c.1": qc_1,
 }
 
 ALL_SSB_QUERY_IDS: tuple[str, ...] = tuple(_BUILDERS)
 
 
 def get_ssb_query(number: str) -> QuerySpec:
-    """Build SSB query ``number`` ("1.1" .. "4.3")."""
+    """Build SSB query ``number`` ("1.1" .. "4.3", or cyclic "c.1")."""
     try:
         return _BUILDERS[number]()
     except KeyError:

@@ -214,6 +214,12 @@ class Column:
 
         Used by outer joins: unmatched probe rows carry index ``-1`` and
         must surface as nulls on the other side's columns.
+
+        Null rows get a **canonical zero placeholder** in ``data``:
+        logical contents never depend on the bytes under a null, but
+        deterministic bytes make results byte-identical across
+        execution paths that gather at different points (the lazy and
+        eager executors), which the workload digest checks rely on.
         """
         if len(self.data) == 0:
             # Every index must be -1 (null): synthesize an all-null column.
@@ -233,10 +239,9 @@ class Column:
         if self.valid is not None:
             valid = valid & self.valid[safe]
         if valid.all():
-            valid_mask = None
-        else:
-            valid_mask = valid
-        return Column(data, self.dtype, self.dictionary, valid_mask)
+            return Column(data, self.dtype, self.dictionary, None)
+        data[~valid] = 0  # canonical placeholder under nulls
+        return Column(data, self.dtype, self.dictionary, valid)
 
     def concat(self, other: "Column") -> "Column":
         """Row-wise concatenation (the append path of table mutation).

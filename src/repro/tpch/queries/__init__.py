@@ -5,12 +5,16 @@ is needed only by Q11 (whose HAVING fraction scales as ``0.0001/SF`` per
 the spec) but accepted uniformly.
 
 ``BENCH_QUERY_IDS`` is the paper's Figure 4 set: all queries except Q1
-and Q6, which contain no joins.
+and Q6, which contain no joins.  ``CYCLIC_QUERY_IDS`` adds the
+beyond-TPC-H shapes of :mod:`.extra` — triangle cycle, self-join cycle
+and cross product — addressable from :func:`get_query` (and therefore
+the CLI/bench/workload layers) by their string ids ``"c1"``–``"c3"``.
 """
 
 from __future__ import annotations
 
 from ...plan.query import QuerySpec
+from . import extra
 from . import (
     q01,
     q02,
@@ -44,6 +48,13 @@ _BUILDERS = {
     21: q21.build, 22: q22.build,
 }
 
+#: Cyclic / self-join / cross-product extras (string ids).
+_EXTRA_BUILDERS = {
+    "c1": extra.build_c1,
+    "c2": extra.build_c2,
+    "c3": extra.build_c3,
+}
+
 ALL_QUERY_IDS: tuple[int, ...] = tuple(sorted(_BUILDERS))
 
 #: The paper's Figure 4 benchmark set (Q1/Q6 have no joins).
@@ -51,16 +62,28 @@ BENCH_QUERY_IDS: tuple[int, ...] = tuple(
     q for q in ALL_QUERY_IDS if q not in (1, 6)
 )
 
+#: The beyond-Figure-4 shapes: triangle cycle, self-join cycle,
+#: cross product (see :mod:`.extra`).
+CYCLIC_QUERY_IDS: tuple[str, ...] = tuple(sorted(_EXTRA_BUILDERS))
+
 Q5_JOIN_ORDERS = q05.JOIN_ORDERS
 
 
-def get_query(number: int, sf: float = 1.0) -> QuerySpec:
-    """Build TPC-H query ``number`` (1–22) for scale factor ``sf``."""
-    try:
-        builder = _BUILDERS[number]
-    except KeyError:
-        raise ValueError(f"no TPC-H query {number}; valid: 1..22") from None
+def get_query(number: int | str, sf: float = 1.0) -> QuerySpec:
+    """Build TPC-H query ``number`` (1–22, or ``"c1"``–``"c3"``)."""
+    builder = _BUILDERS.get(number) or _EXTRA_BUILDERS.get(number)
+    if builder is None:
+        raise ValueError(
+            f"no TPC-H query {number!r}; valid: 1..22 and "
+            f"{', '.join(CYCLIC_QUERY_IDS)}"
+        )
     return builder(sf)
 
 
-__all__ = ["ALL_QUERY_IDS", "BENCH_QUERY_IDS", "Q5_JOIN_ORDERS", "get_query"]
+__all__ = [
+    "ALL_QUERY_IDS",
+    "BENCH_QUERY_IDS",
+    "CYCLIC_QUERY_IDS",
+    "Q5_JOIN_ORDERS",
+    "get_query",
+]

@@ -121,3 +121,73 @@ def test_warm_equals_cold_across_all_strategies_and_materialization(
             assert result_digest(warm.table) == eager_oracle(
                 spec, fresh_catalog, strategy
             )
+
+
+def test_scoped_shadow_never_serves_stale_base_entries():
+    """A pre-stage output shadowing a versioned base-table name must not
+    hit cache entries fingerprinted against the base contents.
+
+    The shadow is registered on the query's scoped catalog, which
+    unversions the name; every lookup for the shadowed alias then
+    reports "not cacheable" and the scan/filters rebuild from the
+    derived contents."""
+    from repro.cache.store import FilterCache
+    from repro.engine.aggregate import AggSpec
+    from repro.expr.nodes import col, lit
+    from repro.plan.query import (
+        Aggregate,
+        Project,
+        QuerySpec,
+        Relation,
+        Stage,
+    )
+    from repro.storage.catalog import Catalog
+    from repro.storage.table import Table
+
+    base = Catalog()
+    base.register(
+        Table.from_pydict("emp", {"eid": [1, 2, 3], "val": [5, 20, 30]})
+    )
+    base.register(
+        Table.from_pydict("src", {"eid": [7, 8], "val": [100, 1]})
+    )
+    cache = FilterCache()
+    config = RunConfig(strategy="predtrans", filter_cache=cache)
+
+    count_big = [
+        Aggregate(keys=(), aggs=(AggSpec("count", col("e.val"), "n"),))
+    ]
+    direct = QuerySpec(
+        "direct",
+        relations=[Relation("e", "emp", col("e.val").gt(lit(10)))],
+        post=count_big,
+    )
+    # Warm the cache against the base table's contents (2 rows > 10).
+    first = run_query(direct, base, config=config)
+    assert first.table.column("n").to_pylist() == [2]
+    assert len(cache) > 0
+
+    # Same alias, same predicate shape — but "emp" is now a pre-stage
+    # shadow with different contents (1 row > 10).
+    stage_spec = QuerySpec(
+        "stage",
+        relations=[Relation("s", "src")],
+        post=[
+            Project((("eid", col("s.eid")), ("val", col("s.val")))),
+        ],
+    )
+    shadowed = QuerySpec(
+        "shadowed",
+        relations=[Relation("e", "emp", col("e.val").gt(lit(10)))],
+        post=count_big,
+        pre_stages=[Stage(spec=stage_spec, output="emp")],
+    )
+    for strategy in STRATEGIES:
+        res = run_query(shadowed, base, config=RunConfig(
+            strategy=strategy, filter_cache=cache
+        ))
+        assert res.table.column("n").to_pylist() == [1], strategy
+    # And the base table's own cached plan still serves correctly.
+    again = run_query(direct, base, config=config)
+    assert again.table.column("n").to_pylist() == [2]
+    assert again.stats.filter_cache_hits > 0

@@ -62,3 +62,31 @@ def test_iteration():
     cat = Catalog()
     cat.register(_t("x"))
     assert list(cat) == ["x"]
+
+
+def test_scoped_shadow_of_versioned_base_name_is_unversioned():
+    # Re-registering a base-table name on a scoped child must strip the
+    # inherited data version: the shadow is a per-query derived table
+    # whose fingerprints would otherwise collide with (and serve stale
+    # artifacts for) the base table's contents.
+    base = Catalog()
+    base.register(_t("dim", 3))
+    base_version = base.data_version("dim")
+    assert base_version is not None
+    child = base.scoped()
+    assert child.data_version("dim") == base_version  # inherited
+    child.register(_t("other", 7), name="dim")
+    assert child.data_version("dim") is None
+    assert child.get("dim").num_rows == 7
+    # The parent keeps its table and version untouched.
+    assert base.data_version("dim") == base_version
+    assert base.get("dim").num_rows == 3
+
+
+def test_scoped_shadow_does_not_unversion_siblings():
+    base = Catalog()
+    base.register(_t("dim", 3))
+    first = base.scoped()
+    first.register(_t("other", 7), name="dim")
+    second = base.scoped()
+    assert second.data_version("dim") == base.data_version("dim")

@@ -187,3 +187,29 @@ def test_bench_compare_cli_warn_only(tmp_path, capsys):
     record(new, 0.2, sf=0.02)
     assert compare_main([str(old), str(new)]) == 0
     assert "skipped" in capsys.readouterr().out
+
+
+def test_cyclic_query_ids_accepted():
+    parser = build_parser()
+    assert parser.parse_args(["tpch", "--query", "3,c1"]).query == (3, "c1")
+    assert parser.parse_args(["bench", "--queries", "c1,c2,c3"]).queries == (
+        "c1",
+        "c2",
+        "c3",
+    )
+    assert parser.parse_args(["ssb", "--query", "c.1"]).query == ("c.1",)
+    assert parser.parse_args(["workload", "--tpch", "5,c1"]).tpch == (5, "c1")
+
+
+def test_unknown_cyclic_id_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["tpch", "--query", "c9"])
+
+
+def test_tpch_cyclic_query_runs(capsys):
+    from repro.__main__ import main
+
+    assert main(["tpch", "--sf", "0.003", "--query", "c1", "--strategy",
+                 "predtrans", "--repeats", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "qc1" in out

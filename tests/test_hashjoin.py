@@ -274,3 +274,106 @@ def test_build_sort_cache_not_used_for_multi_key():
     )
     assert out.column("v").to_pylist() == [20]
     assert cache.hits == 0 and not cache._entries
+
+
+# ----------------------------------------------------------------------
+# NULL join-key semantics
+# ----------------------------------------------------------------------
+def _left_then_inner(how_second="inner"):
+    """a LEFT b, then join the null-extended b.y against c.y."""
+    a = _t("a", x=[1, 2, 3])
+    b = _t("b", x=[1], y=[10])
+    c = _t("c", y=[0, 10])
+    ab, _ = hash_join(
+        a.prefixed("a"), b.prefixed("b"), ["a.x"], ["b.x"], how="left"
+    )
+    return hash_join(
+        ab, c.prefixed("c"), ["b.y"], ["c.y"], how=how_second
+    )[0]
+
+
+def test_null_extended_keys_never_match_inner():
+    # Rows a.x=2,3 carry b.y=NULL (physically row 0's value 10 under a
+    # False validity mask); they must not match c.y=10.
+    out = _left_then_inner("inner")
+    assert out.column("a.x").to_pylist() == [1]
+    assert out.column("c.y").to_pylist() == [10]
+
+
+def test_null_extended_keys_never_match_semi():
+    out = _left_then_inner("semi")
+    assert out.column("a.x").to_pylist() == [1]
+
+
+def test_null_extended_keys_kept_by_anti():
+    # SQL NOT EXISTS: a NULL key has no match, so anti keeps the row.
+    out = _left_then_inner("anti")
+    assert out.column("a.x").to_pylist() == [2, 3]
+
+
+def test_null_extended_keys_null_extend_again_on_left():
+    out = _left_then_inner("left")
+    assert out.column("a.x").to_pylist() == [1, 2, 3]
+    assert out.column("c.y").to_pylist() == [10, None, None]
+
+
+def test_null_build_keys_never_match():
+    # Null keys on the build side must not match probe values either.
+    a = _t("a", x=[1, 2])
+    b = _t("b", x=[2], y=[7])
+    ab, _ = hash_join(
+        a.prefixed("a"), b.prefixed("b"), ["a.x"], ["b.x"], how="left"
+    )  # rows: (1, NULL[7]), (2, 7)
+    probe = _t("p", y=[7]).prefixed("p")
+    out, _ = hash_join(probe, ab, ["p.y"], ["b.y"])
+    assert out.num_rows == 1
+    assert out.column("a.x").to_pylist() == [2]
+
+
+def test_null_keys_with_probe_rows_restriction():
+    a = _t("a", x=[1, 2, 3])
+    b = _t("b", x=[1], y=[10])
+    c = _t("c", y=[10, 10])
+    ab, _ = hash_join(
+        a.prefixed("a"), b.prefixed("b"), ["a.x"], ["b.x"], how="left"
+    )
+    out, _ = hash_join(
+        ab, c.prefixed("c"), ["b.y"], ["c.y"],
+        probe_rows=np.array([0, 1, 2]),
+    )
+    assert out.column("a.x").to_pylist() == [1, 1]
+
+
+def test_multi_key_null_in_any_column_blocks_match():
+    a = _t("a", x=[1, 2], z=[5, 6])
+    b = _t("b", x=[1], y=[10])
+    ab, _ = hash_join(
+        a.prefixed("a"), b.prefixed("b"), ["a.x"], ["b.x"], how="left"
+    )  # row (2, 6, NULL)
+    c = _t("c", z=[5, 6], y=[10, 10])
+    out, _ = hash_join(ab, c.prefixed("c"), ["a.z", "b.y"], ["c.z", "c.y"])
+    # Only row a.x=1 has a non-null (z, y) = (5, 10) tuple.
+    assert out.column("a.x").to_pylist() == [1]
+
+
+# ----------------------------------------------------------------------
+# Cross join
+# ----------------------------------------------------------------------
+def test_cross_join_cartesian_order():
+    from repro.engine.hashjoin import cross_join
+
+    left = _t("l", a=[1, 2]).prefixed("l")
+    right = _t("r", b=[10, 20, 30]).prefixed("r")
+    out, stat = cross_join(left, right)
+    assert out.column("l.a").to_pylist() == [1, 1, 1, 2, 2, 2]
+    assert out.column("r.b").to_pylist() == [10, 20, 30, 10, 20, 30]
+    assert (stat.pr_rows, stat.ht_rows, stat.out_rows) == (2, 3, 6)
+
+
+def test_cross_join_empty_side():
+    from repro.engine.hashjoin import cross_join
+
+    left = _t("l", a=[1, 2]).prefixed("l")
+    right = _t("r", b=np.empty(0, dtype=np.int64)).prefixed("r")
+    out, _ = cross_join(left, right)
+    assert out.num_rows == 0

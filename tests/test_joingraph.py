@@ -100,3 +100,33 @@ def test_connected_components_and_validation():
         _spec([edge("a", "b", ("k", "k")), edge("b", "c", ("k", "k"))])
     )
     validate_connected(full, "q")  # should not raise
+
+
+def test_self_loop_edge_rejected_with_precise_error():
+    spec = QuerySpec(
+        "q", relations=[Relation("a", "t_a")], edges=[edge("a", "a", ("x", "y"))]
+    )
+    with pytest.raises(PlanError, match="self-loop join edge on alias 'a'"):
+        build_join_graph(spec)
+
+
+def test_parallel_inner_edges_merge_residuals_conjunctively():
+    from repro.expr.nodes import col, lit
+
+    r1 = col("a.x").gt(lit(1))
+    r2 = col("b.y").lt(lit(9))
+    g = build_join_graph(
+        _spec(
+            [
+                edge("a", "b", ("k1", "j1"), residual=r1),
+                edge("a", "b", ("k2", "j2"), residual=r2),
+            ]
+        )
+    )
+    merged = g.edges["a", "b"]["residual"]
+    from repro.expr.nodes import And
+
+    assert isinstance(merged, And)
+    assert merged.left is r1 and merged.right is r2
+    # Key pairs still merge into the composite key.
+    assert len(edge_keys_for(g, "a", "b")) == 2

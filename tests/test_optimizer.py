@@ -123,14 +123,33 @@ def test_all_restricted_rights_rejected():
         greedy_join_order(graph, {"a": 1, "b": 1, "c": 1}, _cache(a=t, b=t, c=t))
 
 
-def test_disconnected_graph_rejected():
+def test_disconnected_graph_ordered_per_component():
+    # A disconnected graph (cross product) is no longer rejected: each
+    # component is ordered independently, smallest component first.
     graph = _graph_and_tables(
         [Relation("a", "a"), Relation("b", "b")],
         [],
     )
     t = Table.from_pydict("t", {"k": [1]})
-    with pytest.raises(PlanError):
-        greedy_join_order(graph, {"a": 1, "b": 1}, _cache(a=t, b=t))
+    order = greedy_join_order(graph, {"a": 5, "b": 1}, _cache(a=t, b=t))
+    assert order == ["b", "a"]
+
+
+def test_disconnected_multi_vertex_components_ordered():
+    graph = _graph_and_tables(
+        [Relation(x, x) for x in ("a", "b", "c", "d")],
+        [edge("a", "b", ("k", "k")), edge("c", "d", ("k", "k"))],
+    )
+    t = Table.from_pydict("t", {"k": [1]})
+    order = greedy_join_order(
+        graph,
+        {"a": 100, "b": 50, "c": 2, "d": 9},
+        _cache(a=t, b=t, c=t, d=t),
+    )
+    # {c,d} holds the smallest relation, so it is ordered first; within
+    # each component the greedy start is the smallest member.
+    assert order[:2] == ["c", "d"]
+    assert set(order[2:]) == {"a", "b"} and order[2] == "b"
 
 
 def test_single_relation():

@@ -81,3 +81,64 @@ def test_untouched_expression_identity(catalog):
     expr = col("a").isin((1, 2)) & col("b").is_null()
     resolved = resolve_scalars(expr, catalog)
     assert resolved == expr
+
+
+# ----------------------------------------------------------------------
+# Self-loop edge folding
+# ----------------------------------------------------------------------
+def _selfloop_spec(how="inner", residual=None, predicate=None):
+    from repro.plan.query import QuerySpec, Relation, edge
+
+    return QuerySpec(
+        "q",
+        relations=[Relation("s", "t", predicate)],
+        edges=[edge("s", "s", (("p", "q"),), how=how, residual=residual)],
+    )
+
+
+def test_fold_self_edges_inner_becomes_filter():
+    from repro.expr.nodes import Comparison
+    from repro.plan.rewrite import fold_self_edges
+
+    folded = fold_self_edges(_selfloop_spec())
+    assert folded.edges == []
+    pred = folded.relations[0].predicate
+    assert isinstance(pred, Comparison) and pred.op == "=="
+    assert pred.columns() == {"s.p", "s.q"}
+
+
+def test_fold_self_edges_anti_negates():
+    from repro.expr.nodes import Not
+    from repro.plan.rewrite import fold_self_edges
+
+    folded = fold_self_edges(_selfloop_spec(how="anti"))
+    assert isinstance(folded.relations[0].predicate, Not)
+
+
+def test_fold_self_edges_ands_into_existing_predicate():
+    from repro.expr.nodes import And, col, lit
+    from repro.plan.rewrite import fold_self_edges
+
+    folded = fold_self_edges(
+        _selfloop_spec(predicate=col("s.p").gt(lit(0)))
+    )
+    assert isinstance(folded.relations[0].predicate, And)
+
+
+def test_fold_self_edges_left_rejected():
+    from repro.plan.rewrite import fold_self_edges
+
+    with pytest.raises(PlanError, match="self-loop left join"):
+        fold_self_edges(_selfloop_spec(how="left"))
+
+
+def test_fold_self_edges_no_selfloops_returns_same_object():
+    from repro.plan.query import QuerySpec, Relation, edge
+    from repro.plan.rewrite import fold_self_edges
+
+    spec = QuerySpec(
+        "q",
+        relations=[Relation("a", "t"), Relation("b", "t")],
+        edges=[edge("a", "b", ("p", "p"))],
+    )
+    assert fold_self_edges(spec) is spec

@@ -208,7 +208,7 @@ def test_join_order_override(catalog):
         run_query(_spec(), catalog, strategy="predtrans", join_order=["d"])
 
 
-def test_cross_product_join_order_rejected(catalog):
+def test_cross_product_executes_components_independently(catalog):
     spec = QuerySpec(
         "q",
         relations=[
@@ -218,8 +218,42 @@ def test_cross_product_join_order_rejected(catalog):
         ],
         edges=[edge("e", "d", ("dept", "did"))],
     )
-    with pytest.raises(PlanError, match="cross product|disconnected"):
-        run_query(spec, catalog, strategy="nopredtrans")
+    for strategy in STRATEGIES:
+        res = run_query(spec, catalog, strategy=strategy)
+        # emp ⋈ dept = 3 rows (depts 10, 10, 20), × 3 bonus rows.
+        assert res.table.num_rows == 9
+        assert any(j.label.startswith("Cross") for j in res.stats.joins)
+
+
+def test_cross_product_residual_applies_after_cross_join(catalog):
+    spec = QuerySpec(
+        "q",
+        relations=[Relation("e", "emp"), Relation("b", "bonus")],
+        edges=[],
+        residuals=[col("e.eid").eq(col("b.beid"))],
+    )
+    for strategy in STRATEGIES:
+        res = run_query(spec, catalog, strategy=strategy)
+        # The residual turns the cross product back into an equi-match:
+        # eid 1 has two bonus rows, eid 3 one.
+        assert res.table.num_rows == 3
+
+
+def test_bad_join_order_within_component_rejected(catalog):
+    spec = QuerySpec(
+        "q",
+        relations=[
+            Relation("e", "emp"),
+            Relation("d", "dept"),
+            Relation("b", "bonus"),
+        ],
+        edges=[edge("e", "d", ("dept", "did")), edge("e", "b", ("eid", "beid"))],
+    )
+    # d and b are not adjacent: joining them before e breaks the
+    # component's connectivity, which is a planning error (a genuine
+    # cross product would be a disconnected *graph*, not a bad order).
+    with pytest.raises(PlanError, match="disconnects component"):
+        run_query(spec, catalog, strategy="nopredtrans", join_order=["d", "b", "e"])
 
 
 def test_replan_config(catalog):

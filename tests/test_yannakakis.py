@@ -135,3 +135,31 @@ def test_yannakakis_result_equals_full_join_participation():
     for i in range(40):
         key = (int(s.column("b").data[i]), int(s.column("c").data[i]))
         assert reduced["s"][i] == (key in surviving_s_b_c)
+
+
+def test_cycle_edge_post_verification_recovers_filtering():
+    """On a triangle, the off-tree edge is verified after the tree
+    passes, removing rows classical Yannakakis would have kept."""
+    # a-b and b-c agree everywhere; the a-c cycle edge disagrees on the
+    # second row, which only the post-verification pass can remove.
+    a = Table.from_pydict("a", {"k": [1, 2], "m": [1, 2]})
+    b = Table.from_pydict("b", {"k": [1, 2]})
+    c = Table.from_pydict("c", {"k": [1, 2], "m": [1, 9]})
+    jg, scanned, masks = _setup(
+        {"a": a, "b": b, "c": c},
+        [
+            edge("a", "b", ("k", "k")),
+            edge("b", "c", ("k", "k")),
+            edge("a", "c", ("m", "m")),
+        ],
+    )
+    reduced, stats = run_semi_join_phase(jg, scanned, masks)
+    assert stats.edges_verified > 0
+    assert reduced["a"].tolist() == [True, False]
+    assert reduced["c"].tolist() == [True, False]
+
+
+def test_acyclic_query_has_no_verified_edges():
+    jg, scanned, masks = _chain()
+    _, stats = run_semi_join_phase(jg, scanned, masks)
+    assert stats.edges_verified == 0
