@@ -22,6 +22,14 @@ cache stats`` reports on the same instance the other commands warmed
 driving :func:`main` programmatically — a fresh shell invocation
 starts cold).
 
+``tpch``, ``ssb``, ``bench`` and ``workload`` also share the
+intra-query parallelism knobs: ``--threads N`` runs each query's
+chunked kernels on N workers (results stay byte-identical to the
+serial default) and ``--partition-rows`` overrides the storage chunk
+size behind zone-map pruning.  ``bench --parallel-compare N`` runs the
+full TPC-H+SSB suite serial *and* with N threads and embeds the
+comparison (the ``BENCH_PR5.json`` artifact).
+
 Query arguments accept single ids or comma-separated lists everywhere
 (``--query 5``, ``--query 3,5,9``, ``--queries 3,5``).  The cyclic /
 self-join / cross-product extras are addressed by string id: TPC-H
@@ -30,12 +38,15 @@ self-join / cross-product extras are addressed by string id: TPC-H
 Examples::
 
     python -m repro tpch --sf 0.02 --query 3,5 --strategy predtrans
+    python -m repro tpch --sf 0.05 --query 6 --threads 4
     python -m repro ssb --query 1.1,2.1 --no-filter-cache
     python -m repro fig4 --sf 0.05
     python -m repro q5 --sf 0.1
     python -m repro bench --sf 0.02 --queries 5 --json BENCH.json \
         --compare BENCH_PR1.json
-    python -m repro workload --sf 0.02 --repeats 2 --json BENCH_PR3.json
+    python -m repro bench --sf 0.05 --parallel-compare 4 --json BENCH_PR5.json
+    python -m repro workload --sf 0.02 --repeats 2 --threads 4 \
+        --json BENCH_PR3.json
     python -m repro cache stats
 """
 
@@ -51,8 +62,10 @@ from .bench.harness import (
     format_fig4,
     format_join_orders,
     format_join_sizes,
+    format_parallel_comparison,
     join_order_runtimes,
     join_size_table,
+    parallel_comparison,
     run_suite,
     speedup_summary,
     suite_to_json,
@@ -93,15 +106,42 @@ def _add_cache_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _run_config(args: argparse.Namespace) -> RunConfig | None:
-    """The command's execution config: cached by default, plain on
-    ``--no-filter-cache``.  One per-invocation hash cache is shared by
-    all of the command's queries (it only holds base-column hashes)."""
-    if getattr(args, "no_filter_cache", False):
-        return None
-    return RunConfig(
-        filter_cache=default_filter_cache(), shared_hashes=KeyHashCache()
+def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
+    """The intra-query parallelism knobs shared by every run command."""
+    parser.add_argument(
+        "--threads",
+        type=int,
+        default=1,
+        help="intra-query worker threads (1 = the serial executor; "
+        "results are byte-identical at any thread count)",
     )
+    parser.add_argument(
+        "--partition-rows",
+        type=int,
+        default=None,
+        dest="partition_rows",
+        help="override the storage partition chunk size (rows) used "
+        "for zone-map pruning and parallel kernels",
+    )
+
+
+def _run_config(args: argparse.Namespace) -> RunConfig:
+    """The command's execution config: cached by default, plain on
+    ``--no-filter-cache``; ``--threads`` / ``--partition-rows`` map to
+    the intra-query parallelism knobs.  One per-invocation hash cache
+    is shared by all of the command's queries (it only holds
+    base-column hashes)."""
+    kwargs: dict = {"threads": max(1, getattr(args, "threads", 1) or 1)}
+    partition_rows = getattr(args, "partition_rows", None)
+    if partition_rows is not None:
+        # Invalid values (0, negatives) surface RunConfig's own
+        # validation error rather than being silently dropped.
+        kwargs["partition_rows"] = partition_rows
+    if not getattr(args, "no_filter_cache", False):
+        kwargs.update(
+            filter_cache=default_filter_cache(), shared_hashes=KeyHashCache()
+        )
+    return RunConfig(**kwargs)
 
 
 def _cmd_tpch(args: argparse.Namespace) -> int:
@@ -219,16 +259,44 @@ def _parse_strategies(text: str) -> tuple[str, ...]:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    catalog = generate_tpch(sf=args.sf, seed=args.seed)
     query_ids = args.queries if args.queries else BENCH_QUERY_IDS
     strategies = args.strategies if args.strategies else STRATEGIES
+    config = _run_config(args)
+    if args.parallel_compare:
+        if args.compare:
+            # The serial-vs-parallel record has no per-pair overlap
+            # with a regular bench baseline; refuse rather than write
+            # a record the user thinks embeds a baseline diff.
+            print("--compare cannot be combined with --parallel-compare")
+            return 2
+        # Explicitly narrowed TPC-H scope narrows SSB out too (the
+        # full-suite default covers both benchmarks).
+        ssb_ids = args.ssb_queries if args.ssb_queries else (
+            () if args.queries else ALL_SSB_QUERY_IDS
+        )
+        payload = parallel_comparison(
+            sf=args.sf,
+            seed=args.seed,
+            threads=args.parallel_compare,
+            repeats=args.repeats,
+            tpch_ids=query_ids,
+            ssb_ids=ssb_ids,
+            strategies=strategies,
+            partition_rows=args.partition_rows,
+        )
+        print(format_parallel_comparison(payload))
+        if args.json:
+            write_bench_json(args.json, payload)
+            print(f"\nwrote {args.json}")
+        return 0
+    catalog = generate_tpch(sf=args.sf, seed=args.seed)
     suite = run_suite(
         catalog,
         sf=args.sf,
         query_ids=query_ids,
         strategies=strategies,
         repeats=args.repeats,
-        config=_run_config(args),
+        config=config,
     )
     headers = ["query", "strategy", "seconds", "transfer_s", "filter_KiB", "rows"]
     rows = []
@@ -244,7 +312,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             ]
         )
     print(format_table(headers, rows, title=f"bench (SF={args.sf})"))
-    payload = suite_to_json(suite, args.repeats, args.seed)
+    payload = suite_to_json(suite, args.repeats, args.seed, config)
     if args.compare:
         try:
             baseline = load_bench(args.compare)
@@ -273,11 +341,14 @@ def _cmd_workload(args: argparse.Namespace) -> int:
         variants=args.variants,
         workers=args.workers,
         strategy=args.strategy,
+        threads=max(1, args.threads or 1),
+        partition_rows=args.partition_rows,
     )
     comp = payload["comparison"]
     print(
         f"stream of {payload['meta']['stream_length']} queries "
-        f"(SF={args.sf}, strategy={args.strategy}, workers={args.workers})"
+        f"(SF={args.sf}, strategy={args.strategy}, workers={args.workers}, "
+        f"threads={max(1, args.threads or 1)})"
     )
     print(
         f"cold {comp['cold_seconds']:.4f}s -> warm {comp['warm_seconds']:.4f}s "
@@ -344,6 +415,7 @@ def build_parser() -> argparse.ArgumentParser:
     tpch.add_argument("--strategy", choices=STRATEGIES)
     tpch.add_argument("--repeats", type=int, default=2)
     _add_cache_flag(tpch)
+    _add_parallel_args(tpch)
     tpch.set_defaults(func=_cmd_tpch)
 
     ssb = sub.add_parser("ssb", help="run SSB queries")
@@ -356,6 +428,7 @@ def build_parser() -> argparse.ArgumentParser:
     ssb.add_argument("--strategy", choices=STRATEGIES)
     ssb.add_argument("--repeats", type=int, default=2)
     _add_cache_flag(ssb)
+    _add_parallel_args(ssb)
     ssb.set_defaults(func=_cmd_ssb)
 
     fig4 = sub.add_parser("fig4", help="regenerate Figure 4")
@@ -389,7 +462,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="baseline BENCH_*.json; embeds a before/after comparison "
         "block into the output and prints the summary",
     )
+    bench.add_argument(
+        "--parallel-compare",
+        type=int,
+        default=None,
+        dest="parallel_compare",
+        metavar="N",
+        help="run the full TPC-H+SSB suite serial and with N threads, "
+        "embedding the serial-vs-parallel comparison (with digest "
+        "identity verdict) into the record; --queries/--ssb-queries "
+        "narrow the scope",
+    )
+    bench.add_argument(
+        "--ssb-queries",
+        type=_parse_ssb_ids,
+        default=None,
+        dest="ssb_queries",
+        help='SSB query ids for --parallel-compare, e.g. "1.1,2.1" '
+        "(default: all SSB queries, or none when --queries is given)",
+    )
     _add_cache_flag(bench)
+    _add_parallel_args(bench)
     bench.set_defaults(func=_cmd_bench)
 
     workload = sub.add_parser(
@@ -424,6 +517,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--strategy", choices=STRATEGIES, default="predtrans"
     )
     workload.add_argument("--json", help="write the cold/warm record here")
+    _add_parallel_args(workload)
     workload.set_defaults(func=_cmd_workload)
 
     cache = sub.add_parser(

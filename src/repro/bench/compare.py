@@ -1,9 +1,11 @@
 """Bench-record comparison: per-query regression/speedup diffing.
 
-Compares two ``BENCH_*.json`` documents (any mix of ``repro-bench/v1``,
-``v2`` and ``v3`` schemas — only the shared per-pair ``seconds`` field
-is read, so the v3 filter-cache counters never break older baselines)
-on per-(query, strategy) total wall clock.  Used in two places:
+Compares two ``BENCH_*.json`` documents (any mix of ``repro-bench/v1``
+through ``v4`` schemas — only the shared per-pair ``seconds`` field is
+read, so the v3 filter-cache counters and the v4 partition/parallel
+counters never break older baselines; unknown future schemas are
+refused with a clear error) on per-(query, strategy) total wall
+clock.  Used in two places:
 
 * ``python -m repro bench --compare OLD.json`` embeds the comparison
   block into the freshly written record, giving the repo's committed
@@ -24,6 +26,28 @@ import argparse
 import json
 import sys
 
+#: Schema generations this comparator understands.  Every generation
+#: added fields without renaming the per-pair ``seconds`` the diff
+#: reads, so any v1–v4 mix compares cleanly; anything newer is refused
+#: rather than silently misread.
+ACCEPTED_SCHEMAS = frozenset(
+    f"repro-bench/v{n}" for n in (1, 2, 3, 4)
+)
+
+
+def _check_schema(doc: dict, label: str) -> None:
+    """Refuse documents from schema generations we do not understand.
+
+    Early records carried no ``schema`` field at all (pre-v1 drafts);
+    those are accepted like v1 — the comparator reads the same fields.
+    """
+    schema = doc.get("schema")
+    if schema is not None and schema not in ACCEPTED_SCHEMAS:
+        raise ValueError(
+            f"{label} record has unknown schema {schema!r}; "
+            f"accepted: {', '.join(sorted(ACCEPTED_SCHEMAS))}"
+        )
+
 
 def load_bench(path: str) -> dict:
     """Load a BENCH_*.json document."""
@@ -40,6 +64,8 @@ def compare_payloads(
     the shared (query, strategy) pairs, plus every per-query slowdown
     whose ``new/old`` ratio exceeds ``threshold``.
     """
+    _check_schema(old, "baseline")
+    _check_schema(new, "fresh")
     old_sf, new_sf = old["meta"].get("sf"), new["meta"].get("sf")
     if old_sf != new_sf:
         raise ValueError(

@@ -33,20 +33,28 @@ import numpy as np
 from ..core.runner import STRATEGIES, RunConfig, run_query
 from ..engine.stats import QueryStats
 from ..plan.query import QuerySpec
+from ..service.workload import result_digest
+from ..ssb import ALL_SSB_QUERY_IDS, generate_ssb, get_ssb_query
 from ..storage.catalog import Catalog
+from ..tpch import generate_tpch
 from ..tpch.queries import BENCH_QUERY_IDS, get_query
 from .report import format_bar_chart, format_ratio, format_table
 
 
 @dataclass
 class Measurement:
-    """One (query, strategy) measurement."""
+    """One (query, strategy) measurement.
+
+    ``digest`` is the byte-level result digest of the (fastest) run —
+    the identity handle the serial-vs-parallel comparison checks.
+    """
 
     query: str
     strategy: str
     seconds: float
     stats: QueryStats
     output_rows: int
+    digest: str = ""
 
 
 @dataclass
@@ -96,6 +104,7 @@ def time_query(
         seconds=best,
         stats=stats,
         output_rows=result.table.num_rows,
+        digest=result_digest(result.table),
     )
 
 
@@ -129,14 +138,15 @@ def run_suite(
 def measurement_to_json(m: Measurement) -> dict:
     """One measurement as a flat JSON-ready record.
 
-    Schema ``repro-bench/v3``: extends v2 (whose ``scan_seconds`` /
-    ``materialize_seconds`` / ``bytes_materialized`` attribute the time
-    the v1 phase split left invisible) with the cross-query filter
-    cache counters ``filter_cache_hits`` / ``filter_cache_misses``
-    (including pre-stages) and the ``filter_cache_bytes`` occupancy
-    snapshot.  All-zero counters mean the measurement ran uncached, so
-    v3 records compare cleanly against v1/v2 baselines (the comparator
-    only reads per-pair ``seconds``).
+    Schema ``repro-bench/v4``: extends v3 (filter-cache counters over
+    v2's scan/materialize attribution over v1's phase split) with the
+    partition-parallel counters ``partitions_total`` /
+    ``partitions_pruned`` (zone-map scan pruning) and
+    ``parallel_tasks`` (kernel chunks dispatched to the intra-query
+    pool), plus the byte-level result ``digest``.  All-zero counters
+    mean the measurement ran serial/unpruned, so v4 records compare
+    cleanly against v1–v3 baselines (the comparator only reads
+    per-pair ``seconds``).
     """
     t = m.stats.transfer
     return {
@@ -152,6 +162,10 @@ def measurement_to_json(m: Measurement) -> dict:
         "filter_cache_hits": m.stats.filter_cache_hits_total,
         "filter_cache_misses": m.stats.filter_cache_misses_total,
         "filter_cache_bytes": m.stats.filter_cache_bytes,
+        "partitions_total": m.stats.partitions_total_all,
+        "partitions_pruned": m.stats.partitions_pruned_all,
+        "parallel_tasks": m.stats.parallel_tasks_all,
+        "digest": m.digest,
         "output_rows": m.output_rows,
         "prefilter_reduction": t.reduction(),
         "filters_built": t.filters_built,
@@ -164,14 +178,23 @@ def measurement_to_json(m: Measurement) -> dict:
     }
 
 
-def suite_to_json(suite: SuiteResult, repeats: int, seed: int = 0) -> dict:
+def suite_to_json(
+    suite: SuiteResult,
+    repeats: int,
+    seed: int = 0,
+    config: RunConfig | None = None,
+) -> dict:
     """The whole sweep as a JSON document with environment metadata."""
     return {
-        "schema": "repro-bench/v3",
+        "schema": "repro-bench/v4",
         "meta": {
             "sf": suite.sf,
             "seed": seed,
             "repeats": repeats,
+            "threads": 1 if config is None else config.threads,
+            "partition_rows": (
+                None if config is None else config.partition_rows
+            ),
             "python": platform.python_version(),
             "numpy": np.__version__,
             "machine": platform.machine(),
@@ -179,6 +202,106 @@ def suite_to_json(suite: SuiteResult, repeats: int, seed: int = 0) -> dict:
         },
         "measurements": [measurement_to_json(m) for m in suite.measurements],
     }
+
+
+def parallel_comparison(
+    sf: float = 0.05,
+    seed: int = 0,
+    threads: int = 4,
+    repeats: int = 2,
+    tpch_ids: tuple[int | str, ...] = BENCH_QUERY_IDS,
+    ssb_ids: tuple[str, ...] = ALL_SSB_QUERY_IDS,
+    strategies: tuple[str, ...] = STRATEGIES,
+    partition_rows: int | None = None,
+) -> dict:
+    """Serial-vs-parallel sweep over the full TPC-H + SSB suite.
+
+    Runs every (query, strategy) pair twice — ``threads=1`` and
+    ``threads=N`` — and emits one ``repro-bench/v4`` document holding
+    both measurement lists plus a comparison block: suite totals,
+    per-pair speedups, zone-map pruning counters, and a byte-identity
+    verdict over the result digests (the parallel executor's
+    determinism contract, checked on every record this produces).
+    """
+    catalogs = {
+        "tpch": generate_tpch(sf=sf, seed=seed),
+        "ssb": generate_ssb(sf=sf, seed=seed),
+    }
+    jobs = [(get_query(qid, sf=sf), catalogs["tpch"]) for qid in tpch_ids]
+    jobs += [(get_ssb_query(qid), catalogs["ssb"]) for qid in ssb_ids]
+    extra = {} if partition_rows is None else {"partition_rows": partition_rows}
+    serial_config = RunConfig(threads=1, **extra)
+    parallel_config = RunConfig(threads=max(2, threads), **extra)
+
+    serial = SuiteResult(sf=sf)
+    parallel = SuiteResult(sf=sf)
+    per_pair: list[dict] = []
+    identical = True
+    for spec, catalog in jobs:
+        for strategy in strategies:
+            ms = time_query(spec, catalog, strategy, repeats=repeats,
+                            config=serial_config)
+            mp = time_query(spec, catalog, strategy, repeats=repeats,
+                            config=parallel_config)
+            serial.measurements.append(ms)
+            parallel.measurements.append(mp)
+            identical = identical and ms.digest == mp.digest
+            per_pair.append(
+                {
+                    "query": ms.query,
+                    "strategy": strategy,
+                    "serial_seconds": ms.seconds,
+                    "parallel_seconds": mp.seconds,
+                    "speedup": (
+                        ms.seconds / mp.seconds if mp.seconds else float("inf")
+                    ),
+                    "digests_identical": ms.digest == mp.digest,
+                    "partitions_pruned": mp.stats.partitions_pruned_all,
+                    "parallel_tasks": mp.stats.parallel_tasks_all,
+                }
+            )
+    serial_total = sum(m.seconds for m in serial.measurements)
+    parallel_total = sum(m.seconds for m in parallel.measurements)
+    payload = suite_to_json(parallel, repeats, seed, parallel_config)
+    payload["kind"] = "serial-vs-parallel"
+    payload["serial_measurements"] = [
+        measurement_to_json(m) for m in serial.measurements
+    ]
+    payload["comparison"] = {
+        "threads": parallel_config.threads,
+        "serial_seconds": serial_total,
+        "parallel_seconds": parallel_total,
+        "speedup": (
+            serial_total / parallel_total if parallel_total else float("inf")
+        ),
+        "digests_identical": identical,
+        "partitions_total": sum(
+            m.stats.partitions_total_all for m in parallel.measurements
+        ),
+        "partitions_pruned": sum(
+            m.stats.partitions_pruned_all for m in parallel.measurements
+        ),
+        "parallel_tasks": sum(
+            m.stats.parallel_tasks_all for m in parallel.measurements
+        ),
+        "per_pair": per_pair,
+    }
+    return payload
+
+
+def format_parallel_comparison(payload: dict) -> str:
+    """Human-readable summary of a serial-vs-parallel record."""
+    comp = payload["comparison"]
+    lines = [
+        f"serial {comp['serial_seconds']:.4f}s -> "
+        f"{comp['threads']}-thread {comp['parallel_seconds']:.4f}s "
+        f"({comp['speedup']:.2f}x), results identical: "
+        f"{comp['digests_identical']}",
+        f"zone maps pruned {comp['partitions_pruned']}/"
+        f"{comp['partitions_total']} scan partitions; "
+        f"{comp['parallel_tasks']} kernel chunks dispatched",
+    ]
+    return "\n".join(lines)
 
 
 def write_bench_json(path: str, payload: dict) -> None:

@@ -54,6 +54,23 @@ gather-everything joins.  It exists as the equivalence oracle for the
 lazy path (see ``tests/test_late_materialization.py``) and as the
 attribution baseline for ``materialize_seconds``/``bytes_materialized``.
 
+Partition-parallel execution (``RunConfig.threads``)
+----------------------------------------------------
+Every base table carries a lazy, cached partition layout
+(:mod:`repro.storage.partition`): fixed-size row chunks with
+per-partition zone maps.  The scan consults zone maps to skip chunks
+that provably cannot satisfy a local predicate (``partitions_pruned``
+in :class:`~repro.engine.stats.QueryStats`), and with ``threads > 1``
+the chunked kernels — scan predicate evaluation, Bloom build
+(per-chunk filters OR-merged word-wise), Bloom/hash-set probes, and
+hash-join probes against a shared build sort — fan out over the
+process-wide worker pool for that thread count
+(:mod:`repro.engine.parallel`).  Every merge is an ordered
+concatenation or a commutative OR, so results are **byte-identical**
+to the serial executor at any thread count and any
+``partition_rows``; neither knob participates in cache fingerprints.
+``threads=1`` (the default) never touches a pool.
+
 Cross-query caching (``RunConfig.filter_cache``)
 ------------------------------------------------
 When a :class:`~repro.cache.store.FilterCache` is configured, three
@@ -87,12 +104,17 @@ from ..cache.fingerprint import canonical_expr
 from ..cache.store import FilterCache
 from ..engine.aggregate import AggSpec, GroupKey, group_aggregate
 from ..engine.hashjoin import BuildSortCache, cross_join, hash_join
+from ..engine.parallel import (
+    ParallelContext,
+    get_parallel,
+    parallel_bloom_build,
+    parallel_membership,
+)
 from ..engine.sort import limit, sort_table
 from ..engine.stats import QueryStats
 from ..errors import PlanError
 from ..expr.eval import evaluate, evaluate_mask
 from ..expr.nodes import And, Expr
-from ..filters.bloom import BloomFilter
 from ..filters.hashcache import KeyHashCache
 from ..filters.hashing import bloom_keys
 from ..optimizer.cardinality import NdvCache
@@ -102,6 +124,7 @@ from ..plan.pruning import live_columns
 from ..plan.query import Aggregate, Filter, Limit, Project, QuerySpec, Sort
 from ..plan.rewrite import fold_self_edges, resolve_scalars
 from ..storage.catalog import Catalog
+from ..storage.partition import DEFAULT_PARTITION_ROWS, get_layout, slice_table
 from ..storage.table import Table
 from ..storage.view import AnyTable, TableView, materialize
 from .ptgraph import build_pt_graph
@@ -124,6 +147,17 @@ class RunConfig:
     the pre-filter phases — sound because those phases hash only
     immutable base-table columns, keyed by object identity.  Both
     default to ``None`` = the uncached single-query executor.
+
+    ``threads`` switches on intra-query parallelism: chunked kernels
+    (scan predicate evaluation, Bloom build/probe, semi-join probes,
+    hash-join probes) fan out over the process-wide shared worker pool
+    for that thread count and merge deterministically, so results are
+    byte-identical to ``threads=1`` (the default, which never touches
+    a pool).  ``partition_rows`` sets the storage chunk size used for
+    zone-map pruning and kernel morsels; it affects performance only,
+    never results or cache fingerprints.  ``parallel`` lets an owner
+    (the service Engine) inject a specific shared
+    :class:`~repro.engine.parallel.ParallelContext` instead.
     """
 
     strategy: str = "predtrans"
@@ -134,6 +168,9 @@ class RunConfig:
     materialize: str = "lazy"
     filter_cache: FilterCache | None = None
     shared_hashes: KeyHashCache | None = None
+    threads: int = 1
+    partition_rows: int = DEFAULT_PARTITION_ROWS
+    parallel: ParallelContext | None = None
 
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGIES:
@@ -145,6 +182,10 @@ class RunConfig:
                 f"unknown materialize mode {self.materialize!r}; "
                 f"choose from {MATERIALIZE_MODES}"
             )
+        if self.threads < 1:
+            raise PlanError("threads must be >= 1")
+        if self.partition_rows < 1:
+            raise PlanError("partition_rows must be >= 1")
 
 
 @dataclass
@@ -174,6 +215,15 @@ def run_query(
     scoped = catalog.scoped()
     stats = QueryStats(strategy=config.strategy, query=spec.name)
 
+    # Per-query view of the intra-query worker pool: shares the
+    # process-wide executor for this thread count (or the injected
+    # service context) while counting this query's dispatched chunks.
+    base_parallel = (
+        config.parallel if config.parallel is not None
+        else get_parallel(config.threads)
+    )
+    ctx = base_parallel.scoped()
+
     for stage in spec.pre_stages:
         sub = run_query(stage.spec, scoped, config=config)
         scoped.register(sub.table, stage.output)
@@ -195,7 +245,7 @@ def run_query(
     # Scan phase: wrap (pruned) base columns, apply local predicates.
     # ------------------------------------------------------------------
     t0 = time.perf_counter()
-    scanned, rows = _scan(resolved, scoped, config, qcache)
+    scanned, rows = _scan(resolved, scoped, config, qcache, stats, ctx)
     local_sizes = {a: len(r) for a, r in rows.items()}
     stats.scan_seconds = time.perf_counter() - t0
 
@@ -233,7 +283,7 @@ def run_query(
     elif config.strategy == "yannakakis":
         rows, stats.transfer = run_semi_join_rows(
             graph, scanned, rows, config.yannakakis_root,
-            hashes=prefilter_hashes, cache=qcache,
+            hashes=prefilter_hashes, cache=qcache, parallel=ctx,
         )
         if prefilter_fp is not None:
             qcache.put_prefilter(prefilter_fp, rows)
@@ -241,7 +291,7 @@ def run_query(
         ptgraph = build_pt_graph(graph, local_sizes)
         rows, stats.transfer = run_transfer_rows(
             ptgraph, scanned, rows, config.transfer,
-            hashes=prefilter_hashes, cache=qcache,
+            hashes=prefilter_hashes, cache=qcache, parallel=ctx,
         )
         if prefilter_fp is not None:
             qcache.put_prefilter(prefilter_fp, rows)
@@ -258,7 +308,8 @@ def run_query(
     reduced = _reduce(scanned, rows, config, stats)
     order = _choose_order(resolved, graph, reduced, local_sizes, config, join_order)
     current = _execute_join_phase(
-        resolved, graph, reduced, order, config, stats, build_cache, hashes, qcache
+        resolved, graph, reduced, order, config, stats, build_cache, hashes,
+        qcache, ctx,
     )
     stats.join_seconds = time.perf_counter() - t2
 
@@ -279,6 +330,7 @@ def run_query(
         stats.materialize_seconds += time.perf_counter() - t4
         stats.bytes_materialized += _table_nbytes(table)
     stats.output_rows = table.num_rows
+    stats.parallel_tasks = ctx.tasks
     if qcache is not None:
         stats.filter_cache_hits = qcache.hits
         stats.filter_cache_misses = qcache.misses
@@ -362,18 +414,29 @@ def _scan(
     catalog: Catalog,
     config: RunConfig,
     qcache: QueryCache | None = None,
+    stats: QueryStats | None = None,
+    ctx: ParallelContext | None = None,
 ) -> tuple[dict[str, AnyTable], dict[str, np.ndarray]]:
     """Scan every relation and apply local predicates.
 
     Lazy mode wraps only each alias's live columns in a zero-copy
     rename view; eager mode keeps the classical full-width
     ``prefixed()`` table.  Either way the survivors come back as sorted
-    row-index vectors.  With a query cache, the selection vector of a
-    versioned relation's local predicate is served from / stored into
-    the cross-query cache (cached vectors are never mutated downstream).
+    row-index vectors.  Local predicates run through the base table's
+    partition layout: zone maps skip chunks that provably contain no
+    qualifying row, and surviving chunks evaluate (in parallel when
+    configured) into per-chunk index vectors concatenated in partition
+    order — byte-identical to a full-table evaluation.  With a query
+    cache, the selection vector of a versioned relation's local
+    predicate is served from / stored into the cross-query cache
+    (cached vectors are never mutated downstream, and are valid across
+    partition sizes and thread counts because selection vectors never
+    depend on either).
     """
     lazy = config.materialize == "lazy"
     live = live_columns(spec) if lazy else None
+    stats = stats or QueryStats()
+    ctx = ctx or ParallelContext()
     scanned: dict[str, AnyTable] = {}
     rows: dict[str, np.ndarray] = {}
     for relation in spec.relations:
@@ -391,11 +454,64 @@ def _scan(
         cacheable = qcache is not None and qcache.cacheable(relation.alias)
         selected = qcache.get_scan(relation.alias) if cacheable else None
         if selected is None:
-            selected = np.flatnonzero(evaluate_mask(relation.predicate, table))
+            selected = _scan_selection(
+                base, relation.alias, relation.predicate, table, config, ctx, stats
+            )
             if cacheable:
                 qcache.put_scan(relation.alias, selected)
         rows[relation.alias] = selected
     return scanned, rows
+
+
+def _qualified_mapping(base: Table, alias: str) -> dict[str, str]:
+    """Exposed ``alias.column`` name → base column name (scan naming)."""
+    mapping: dict[str, str] = {}
+    for name in base.columns:
+        short = name.split(".", 1)[1] if "." in name else name
+        mapping[f"{alias}.{short}"] = name
+    return mapping
+
+
+def _scan_selection(
+    base: Table,
+    alias: str,
+    predicate: Expr,
+    table: AnyTable,
+    config: RunConfig,
+    ctx: ParallelContext,
+    stats: QueryStats,
+) -> np.ndarray:
+    """Local-predicate survivors via zone-map pruning + chunked eval.
+
+    Consults the base table's (cached) partition layout: chunks whose
+    zone maps prove no row can qualify are skipped before any predicate
+    code runs; the rest evaluate chunk by chunk — fanned out over the
+    intra-query pool when parallel — and the per-chunk index vectors
+    concatenate in partition order.  When nothing prunes and execution
+    is serial, the classical single-pass evaluation runs unchanged.
+    """
+    mapping = _qualified_mapping(base, alias)
+    needed = predicate.columns()
+    if base.num_rows == 0 or not needed <= set(mapping):
+        return np.flatnonzero(evaluate_mask(predicate, table))
+    layout = get_layout(base, config.partition_rows)
+    keep = layout.prune(predicate, mapping)
+    stats.partitions_total += layout.num_partitions
+    pruned = layout.num_partitions - int(keep.sum())
+    stats.partitions_pruned += pruned
+    if pruned == 0 and not (ctx.parallel and layout.num_partitions > 1):
+        return np.flatnonzero(evaluate_mask(predicate, table))
+    live = {name: mapping[name] for name in needed}
+
+    def eval_chunk(part: int) -> np.ndarray:
+        start, stop = layout.bounds(part)
+        chunk = slice_table(base, start, stop, live, name=alias)
+        return start + np.flatnonzero(evaluate_mask(predicate, chunk))
+
+    vectors = ctx.map(eval_chunk, [int(i) for i in np.flatnonzero(keep)])
+    if not vectors:
+        return np.empty(0, dtype=np.intp)
+    return np.concatenate(vectors)
 
 
 def _scan_view(base: Table, alias: str, live: set[str] | None) -> TableView:
@@ -515,6 +631,7 @@ def _execute_join_phase(
     build_cache: BuildSortCache | None = None,
     hashes: KeyHashCache | None = None,
     qcache: QueryCache | None = None,
+    ctx: ParallelContext | None = None,
 ) -> AnyTable:
     """Left-deep joins per connected component, then cross-join combine.
 
@@ -526,6 +643,7 @@ def _execute_join_phase(
     after the cross join that brings both sides together.
     """
     hashes = hashes or KeyHashCache()
+    ctx = ctx or ParallelContext()
     # Only stable base tables go through the query-wide caches:
     # intermediate join results are fresh objects that can never
     # produce a cache hit, and caching them would pin their columns
@@ -563,6 +681,7 @@ def _execute_join_phase(
                 probe_rows = _bloom_prefilter(
                     probe_table, build_table, probe_on, build_on, config, stats,
                     hashes, stable_ids, qcache, alias_of.get(id(build_table)),
+                    ctx,
                 )
 
             join_index += 1
@@ -576,6 +695,7 @@ def _execute_join_phase(
                 label=f"Join {join_index}",
                 probe_rows=probe_rows,
                 build_cache=build_cache if id(build_table) in stable_ids else None,
+                parallel=ctx,
             )
             stats.joins.append(jstat)
             joined.add(alias)
@@ -644,6 +764,7 @@ def _bloom_prefilter(
     stable_ids: set[int],
     qcache: QueryCache | None = None,
     build_alias: str | None = None,
+    ctx: ParallelContext | None = None,
 ) -> np.ndarray:
     """BloomJoin's one-hop filter: build side filters probe side.
 
@@ -655,8 +776,12 @@ def _bloom_prefilter(
     intermediate join results are hashed directly (caching them could
     never hit and would pin their columns until query end).  When the
     build side is a versioned base relation, its filter additionally
-    goes through the cross-query cache.
+    goes through the cross-query cache.  Under a parallel context the
+    build is partition-parallel (per-chunk filters OR-merged word-wise
+    — bit-identical to a serial build, so cached filters stay valid
+    across thread counts) and the probe is chunked.
     """
+    ctx = ctx or ParallelContext()
 
     def side_keys(table: Table, cols: list) -> np.ndarray:
         if id(table) in stable_ids:
@@ -674,13 +799,17 @@ def _bloom_prefilter(
         bloom = qcache.get_filter(build_alias, tuple(build_on), "bloom", params)
     if bloom is None:
         build_cols = [build_table.column(c) for c in build_on]
-        bloom = BloomFilter(capacity=build_table.num_rows, fpp=config.bloom_fpp)
-        bloom.add_hashes(side_keys(build_table, build_cols))
+        bloom = parallel_bloom_build(
+            ctx,
+            side_keys(build_table, build_cols),
+            capacity=build_table.num_rows,
+            fpp=config.bloom_fpp,
+        )
         stats.transfer.bloom_inserts += build_table.num_rows
         if cacheable:
             qcache.put_filter(build_alias, tuple(build_on), "bloom", params, bloom)
     probe_cols = [probe_table.column(c) for c in probe_on]
-    keep = bloom.contains_hashes(side_keys(probe_table, probe_cols))
+    keep = parallel_membership(ctx, bloom, side_keys(probe_table, probe_cols))
     stats.transfer.bloom_probes += len(keep)
     stats.transfer.filters_built += 1
     stats.transfer.filter_bytes += bloom.size_bytes()

@@ -45,6 +45,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..engine.parallel import (
+    ParallelContext,
+    parallel_bloom_build,
+    parallel_membership,
+)
 from ..engine.stats import TransferStats
 from ..errors import FilterError
 from ..filters.bloom import BloomFilter
@@ -151,6 +156,10 @@ class TransferState:
     # still equal the local-predicate survivors (cacheable builds).
     cache: object | None = None
     pristine: set[str] = field(default_factory=set)
+    # Intra-query parallel dispatch (serial by default); chunked
+    # kernels stay byte-identical to serial execution, so the filter
+    # cache's pristine-vertex entries remain valid across thread counts.
+    parallel: ParallelContext = field(default_factory=ParallelContext)
 
     def selected_count(self, alias: str) -> int:
         """Rows currently surviving at ``alias``."""
@@ -175,6 +184,7 @@ def run_transfer_rows(
     config: TransferConfig | None = None,
     hashes: KeyHashCache | None = None,
     cache=None,
+    parallel: ParallelContext | None = None,
 ) -> tuple[dict[str, np.ndarray], TransferStats]:
     """Run the predicate transfer phase on sorted row-index vectors.
 
@@ -200,6 +210,12 @@ def run_transfer_rows(
     cache:
         Optional :class:`~repro.cache.context.QueryCache` enabling
         cross-query reuse of filters built at pristine vertices.
+    parallel:
+        Optional :class:`~repro.engine.parallel.ParallelContext`;
+        Bloom builds run partition-parallel (per-chunk filters
+        OR-merged word-wise) and every filter probe is chunked, with
+        results byte-identical to serial execution.  Omitted = the
+        serial executor.
 
     Returns the reduced row vectors and phase statistics.
     """
@@ -210,6 +226,7 @@ def run_transfer_rows(
         hashes=hashes or KeyHashCache(),
         cache=cache,
         pristine=set(rows) if cache is not None else set(),
+        parallel=parallel or ParallelContext(),
     )
     stats = TransferStats()
     for alias in rows:
@@ -306,11 +323,10 @@ def _apply_incoming(
             break
         columns = [table.column(c) for c in inc.key_columns]
         keys = state.hashes.bloom_keys(columns, gather)
+        keep = parallel_membership(state.parallel, inc.filt, keys)
         if isinstance(inc.filt, BloomFilter):
-            keep = inc.filt.contains_hashes(keys)
             stats.bloom_probes += len(rows)
         else:
-            keep = inc.filt.contains_keys(keys)
             stats.hash_probes += len(rows)
         if not keep.all():
             if gather is None:
@@ -351,8 +367,9 @@ def _build_filter(
     gather = rows if len(rows) < table.num_rows else None
     keys = state.hashes.bloom_keys(columns, gather)
     if config.filter_type == "bloom":
-        filt = BloomFilter(capacity=len(rows), fpp=config.fpp)
-        filt.add_hashes(keys)
+        filt = parallel_bloom_build(
+            state.parallel, keys, capacity=len(rows), fpp=config.fpp
+        )
         stats.bloom_inserts += len(rows)
     else:
         filt = ExactFilter.from_keys(keys)

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 import networkx as nx
 import numpy as np
 
+from ..engine.parallel import ParallelContext, parallel_membership
 from ..engine.stats import TransferStats
 from ..filters.exact import ExactFilter
 from ..filters.hashcache import KeyHashCache
@@ -93,6 +94,7 @@ def _semi_join(
     hashes: KeyHashCache,
     cache=None,
     pristine: set[str] | None = None,
+    parallel: ParallelContext | None = None,
 ) -> None:
     """Filter ``dst`` to rows whose key matches a surviving ``src`` row."""
     keys_src_dst = edge_keys_for(join_graph, src, dst)
@@ -120,7 +122,11 @@ def _semi_join(
         if cacheable:
             cache.put_filter(src, src_key_cols, "exact-semi", "", filt)
     dst_cols = [tables[dst].column(b) for _, b in keys_src_dst]
-    keep = filt.contains_keys(hashes.bloom_keys(dst_cols, dst_rows))
+    keep = parallel_membership(
+        parallel or ParallelContext(),
+        filt,
+        hashes.bloom_keys(dst_cols, dst_rows),
+    )
     stats.hash_probes += len(dst_rows)
     if not keep.all():
         rows[dst] = dst_rows[keep]
@@ -136,6 +142,7 @@ def run_semi_join_rows(
     root: str | None = None,
     hashes: KeyHashCache | None = None,
     cache=None,
+    parallel: ParallelContext | None = None,
 ) -> tuple[dict[str, np.ndarray], TransferStats]:
     """Yannakakis semi-join passes over sorted row-index vectors.
 
@@ -147,11 +154,13 @@ def run_semi_join_rows(
     the forward and backward passes.  ``cache`` (an optional
     :class:`~repro.cache.context.QueryCache`) enables cross-query reuse
     of semi-join filters built while the source vertex is still at its
-    local-predicate survivors.
+    local-predicate survivors.  ``parallel`` chunks the semi-join
+    probes over the intra-query pool (byte-identical merge order).
     """
     rows = dict(rows)
     stats = TransferStats()
     hashes = hashes or KeyHashCache()
+    parallel = parallel or ParallelContext()
     pristine: set[str] | None = set(rows) if cache is not None else None
     for alias in rows:
         stats.rows_before[alias] = len(rows[alias])
@@ -168,7 +177,7 @@ def run_semi_join_rows(
                 if _direction_allowed(join_graph, child, parent):
                     _semi_join(
                         join_graph, tables, rows, child, parent, stats,
-                        hashes, cache, pristine,
+                        hashes, cache, pristine, parallel,
                     )
         # Backward pass (top-down): each child is reduced by its parent.
         for parent in jtree.top_down():
@@ -176,7 +185,7 @@ def run_semi_join_rows(
                 if _direction_allowed(join_graph, parent, child):
                     _semi_join(
                         join_graph, tables, rows, parent, child, stats,
-                        hashes, cache, pristine,
+                        hashes, cache, pristine, parallel,
                     )
         # Residual-edge post-verification (the cyclic fallback): edges
         # the spanning tree skipped still constrain the final join, so
@@ -186,7 +195,7 @@ def run_semi_join_rows(
                 if _direction_allowed(join_graph, src, dst):
                     _semi_join(
                         join_graph, tables, rows, src, dst, stats,
-                        hashes, cache, pristine,
+                        hashes, cache, pristine, parallel,
                     )
                     stats.edges_verified += 1
 

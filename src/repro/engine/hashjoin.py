@@ -50,6 +50,7 @@ from ..storage.column import Column
 from ..storage.table import Table
 from ..storage.view import AnyTable, TableView, join_views
 from .keys import normalize_join_keys
+from .parallel import ParallelContext
 from .stats import JoinStat
 
 _JOIN_KINDS = ("inner", "left", "semi", "anti")
@@ -140,6 +141,40 @@ def join_indices(
     return probe_idx, build_idx, counts
 
 
+def _join_indices_parallel(
+    probe_keys: np.ndarray,
+    build_keys: np.ndarray,
+    build_sort: BuildSort | None,
+    parallel: ParallelContext,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Partitioned probe: chunk the probe keys, share the build sort.
+
+    Each chunk runs the serial matching kernel against the same sorted
+    build side; per-chunk pair lists are offset back to global probe
+    positions and concatenated **in chunk order**.  The kernel
+    enumerates matches in ascending probe position either way, so the
+    merged ``(probe_idx, build_idx, counts)`` triple is byte-identical
+    to one whole-array :func:`join_indices` call.
+    """
+    bounds = parallel.task_bounds(len(probe_keys))
+    if len(bounds) <= 1 or len(build_keys) == 0:
+        return join_indices(probe_keys, build_keys, build_sort)
+    if build_sort is None:
+        # Sort once, outside the fan-out: the build side is shared.
+        build_sort = sort_build_keys(build_keys)
+
+    def probe_chunk(chunk: tuple[int, int]):
+        start, stop = chunk
+        p, b, c = join_indices(probe_keys[start:stop], build_keys, build_sort)
+        return p + start, b, c
+
+    parts = parallel.map(probe_chunk, bounds)
+    probe_idx = np.concatenate([p for p, _, _ in parts])
+    build_idx = np.concatenate([b for _, b, _ in parts])
+    counts = np.concatenate([c for _, _, c in parts])
+    return probe_idx, build_idx, counts
+
+
 def _key_validity(columns: list[Column]) -> np.ndarray | None:
     """Per-row validity of a key tuple: AND of the columns' masks.
 
@@ -198,6 +233,7 @@ def hash_join(
     label: str | None = None,
     probe_rows: np.ndarray | None = None,
     build_cache: BuildSortCache | None = None,
+    parallel: ParallelContext | None = None,
 ) -> tuple[AnyTable, JoinStat]:
     """Join ``probe`` against ``build`` on equality of the key columns.
 
@@ -228,6 +264,11 @@ def hash_join(
     build_cache:
         Optional query-scoped :class:`BuildSortCache`; single-column
         build sides re-serve their sort from it.
+    parallel:
+        Optional :class:`~repro.engine.parallel.ParallelContext`: the
+        probe side is partitioned over the intra-query pool against a
+        shared build sort, with per-chunk results concatenated in
+        chunk order — byte-identical to the serial kernel.
     """
     if how not in _JOIN_KINDS:
         raise ExecutionError(f"unknown join kind {how!r}")
@@ -246,7 +287,14 @@ def hash_join(
     build_sort = None
     if build_cache is not None and len(build_cols) == 1 and len(build_keys):
         build_sort = build_cache.get_or_sort(build_cols[0], build_keys)
-    probe_idx, build_idx, counts = join_indices(probe_keys, build_keys, build_sort)
+    if parallel is not None and parallel.parallel:
+        probe_idx, build_idx, counts = _join_indices_parallel(
+            probe_keys, build_keys, build_sort, parallel
+        )
+    else:
+        probe_idx, build_idx, counts = join_indices(
+            probe_keys, build_keys, build_sort
+        )
     if probe_valid is not None or build_valid is not None:
         # Null-keyed rows never match (SQL semantics); the kernel
         # compared their placeholder values, so drop those pairs here.

@@ -1,0 +1,209 @@
+"""Morsel-style intra-query parallelism.
+
+:class:`ParallelContext` is the execution-side companion of the
+partition layouts in :mod:`repro.storage.partition`: it fans chunked
+kernels (scan predicate evaluation, Bloom build/probe, hash-set probe,
+hash-join probe) out over a thread pool and merges the per-chunk
+results **in chunk order**, so every parallel kernel is byte-identical
+to its serial counterpart.
+
+Determinism guarantees
+----------------------
+* Chunk boundaries depend only on input length and the context's
+  thread count, and every merge is an ordered concatenation (row
+  results) or a commutative word-wise OR (Bloom filters), so results
+  never depend on scheduling.  Different *thread counts* may chunk
+  differently, but each kernel's output is chunking-invariant by
+  construction — the parallel equivalence sweep in
+  ``tests/test_parallel.py`` locks this in byte-for-byte.
+* ``threads=1`` (the default) never touches a pool: ``map`` runs
+  inline and ``task_bounds`` returns a single chunk, preserving the
+  serial executor exactly.
+
+Pool sharing (the service-engine cooperation rule)
+--------------------------------------------------
+Worker pools are **process-wide, shared by thread count** (one pool of
+``N`` threads serves every context created with ``threads=N``).  The
+service :class:`~repro.service.engine.Engine` therefore never
+multiplies workers: any number of concurrent sessions × queries at
+``threads=N`` share the same ``N`` intra-query workers, bounding total
+threads at ``engine workers + N`` instead of ``sessions × N``.
+Deadlock is impossible by construction: tasks submitted through
+``map`` are leaf kernels that never submit further work, so the
+two-level pool hierarchy (inter-query pool → intra-query pool) has no
+circular wait.
+
+NumPy releases the GIL inside its kernels, so chunked execution gives
+real multi-core speedup for the large vectorized operations this
+engine runs; on a single-core host the same code path degrades to a
+small scheduling overhead.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, TypeVar
+
+import numpy as np
+
+from ..filters.bloom import BloomFilter
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Below this many rows a chunk is not worth dispatching to a worker.
+MIN_TASK_ROWS = 8192
+
+#: Absolute upper bound on a context's thread count (a guard against
+#: pathological configs; not a sizing heuristic).
+MAX_THREADS = 64
+
+_POOLS: dict[int, ThreadPoolExecutor] = {}
+_POOLS_LOCK = threading.Lock()
+
+
+def shared_executor(threads: int) -> ThreadPoolExecutor:
+    """The process-wide worker pool for a given thread count.
+
+    Created once per distinct size and reused by every
+    :class:`ParallelContext` (and thereby every engine session) that
+    asks for that size — the total-worker cap described in the module
+    docstring.
+    """
+    with _POOLS_LOCK:
+        pool = _POOLS.get(threads)
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=threads, thread_name_prefix=f"repro-intra{threads}"
+            )
+            _POOLS[threads] = pool
+        return pool
+
+
+class ParallelContext:
+    """Chunked-kernel dispatch with deterministic ordered merging.
+
+    ``threads=1`` is the serial context: everything runs inline and no
+    pool is ever created.  ``tasks`` counts chunks actually dispatched
+    to a pool (the ``QueryStats.parallel_tasks`` source); use
+    :meth:`scoped` to get a per-query view that shares the pool but
+    counts independently.
+    """
+
+    __slots__ = ("threads", "tasks", "_executor")
+
+    def __init__(
+        self, threads: int = 1, executor: ThreadPoolExecutor | None = None
+    ) -> None:
+        self.threads = max(1, min(int(threads), MAX_THREADS))
+        self.tasks = 0
+        self._executor = executor
+
+    # ------------------------------------------------------------------
+    @property
+    def parallel(self) -> bool:
+        """True when this context may dispatch to a worker pool."""
+        return self.threads > 1
+
+    def scoped(self) -> "ParallelContext":
+        """A child sharing the pool with a fresh task counter."""
+        return ParallelContext(self.threads, self._executor)
+
+    def _pool(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = shared_executor(self.threads)
+        return self._executor
+
+    # ------------------------------------------------------------------
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        """Apply ``fn`` to every item, returning results in item order.
+
+        Serial contexts (and single-item inputs) run inline; parallel
+        contexts dispatch to the shared pool.  ``fn`` must be a leaf
+        kernel — it must not call back into ``map`` (see the module
+        docstring's deadlock-freedom argument).
+        """
+        work = list(items)
+        if not self.parallel or len(work) <= 1:
+            return [fn(item) for item in work]
+        self.tasks += len(work)
+        return list(self._pool().map(fn, work))
+
+    def task_bounds(
+        self, n: int, min_rows: int = MIN_TASK_ROWS
+    ) -> list[tuple[int, int]]:
+        """Even half-open chunk bounds over ``n`` rows.
+
+        Serial contexts — and inputs too small to amortize dispatch —
+        get a single chunk.  Chunk count is capped at twice the thread
+        count (mild oversubscription smooths unequal chunk costs).
+        """
+        if n <= 0:
+            return []
+        if not self.parallel or n < 2 * min_rows:
+            return [(0, n)]
+        k = min(self.threads * 2, n // min_rows)
+        if k <= 1:
+            return [(0, n)]
+        edges = [(n * i) // k for i in range(k + 1)]
+        return [(edges[i], edges[i + 1]) for i in range(k)]
+
+
+def get_parallel(threads: int) -> ParallelContext:
+    """A context over the process-wide shared pool for ``threads``."""
+    return ParallelContext(threads)
+
+
+# ----------------------------------------------------------------------
+# Shared chunked filter kernels
+# ----------------------------------------------------------------------
+def parallel_bloom_build(
+    ctx: ParallelContext, hashes: np.ndarray, capacity: int, fpp: float
+) -> BloomFilter:
+    """Build a Bloom filter from pre-mixed hashes, partition-parallel.
+
+    Each chunk populates a private filter of identical geometry
+    (geometry depends only on ``capacity``/``fpp``); the parts are then
+    OR-merged word-wise.  Insertion is a monotone OR-scatter, so the
+    merged word array is bit-identical to a serial single-filter build
+    regardless of chunking — which keeps cross-query cached filters
+    valid across thread counts.
+    """
+    filt = BloomFilter(capacity=capacity, fpp=fpp)
+    bounds = ctx.task_bounds(len(hashes))
+    if len(bounds) <= 1:
+        filt.add_hashes(hashes)
+        return filt
+
+    def build(chunk: tuple[int, int]) -> BloomFilter:
+        part = BloomFilter(capacity=capacity, fpp=fpp)
+        part.add_hashes(hashes[chunk[0] : chunk[1]])
+        return part
+
+    for part in ctx.map(build, bounds):
+        filt.merge_words(part)
+    return filt
+
+
+def parallel_membership(ctx: ParallelContext, filt, keys: np.ndarray) -> np.ndarray:
+    """Chunked membership probe against any transferable filter.
+
+    Bloom filters consume the pre-mixed hash array directly
+    (``contains_hashes``); exact filters probe by key.  Chunk results
+    concatenate in chunk order, byte-identical to one whole-array
+    probe.
+    """
+    bounds = ctx.task_bounds(len(keys))
+    if len(bounds) <= 1:
+        return _membership(filt, keys)
+    parts = ctx.map(
+        lambda chunk: _membership(filt, keys[chunk[0] : chunk[1]]), bounds
+    )
+    return np.concatenate(parts)
+
+
+def _membership(filt, keys: np.ndarray) -> np.ndarray:
+    if isinstance(filt, BloomFilter):
+        return filt.contains_hashes(keys)
+    return filt.contains_keys(keys)

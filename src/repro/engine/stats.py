@@ -77,6 +77,13 @@ class QueryStats:
     lookups against the cross-query filter cache (zero when no cache is
     configured); ``filter_cache_bytes`` snapshots the cache's occupancy
     at query end.
+
+    ``partitions_total`` / ``partitions_pruned`` count the scan phase's
+    partition traffic: chunks considered across all scanned base
+    relations with local predicates, and how many of those zone maps
+    eliminated outright.  ``parallel_tasks`` counts kernel chunks
+    actually dispatched to the intra-query worker pool (0 under the
+    serial ``threads=1`` executor).
     """
 
     strategy: str = ""
@@ -90,6 +97,9 @@ class QueryStats:
     filter_cache_hits: int = 0
     filter_cache_misses: int = 0
     filter_cache_bytes: int = 0
+    partitions_total: int = 0
+    partitions_pruned: int = 0
+    parallel_tasks: int = 0
     joins: list[JoinStat] = field(default_factory=list)
     transfer: TransferStats = field(default_factory=TransferStats)
     output_rows: int = 0
@@ -156,6 +166,27 @@ class QueryStats:
         """Filter-cache misses including pre-stages'."""
         return self.filter_cache_misses + sum(
             s.filter_cache_misses_total for s in self.stage_stats
+        )
+
+    @property
+    def partitions_total_all(self) -> int:
+        """Scan partitions considered, including pre-stages'."""
+        return self.partitions_total + sum(
+            s.partitions_total_all for s in self.stage_stats
+        )
+
+    @property
+    def partitions_pruned_all(self) -> int:
+        """Scan partitions zone-map-pruned, including pre-stages'."""
+        return self.partitions_pruned + sum(
+            s.partitions_pruned_all for s in self.stage_stats
+        )
+
+    @property
+    def parallel_tasks_all(self) -> int:
+        """Pool-dispatched kernel chunks, including pre-stages'."""
+        return self.parallel_tasks + sum(
+            s.parallel_tasks_all for s in self.stage_stats
         )
 
     def all_joins(self) -> list[JoinStat]:

@@ -191,6 +191,26 @@ class BloomFilter(TransferableFilter):
                 result[alive[~ok]] = False
         return result
 
+    def merge_words(self, other: "BloomFilter") -> None:
+        """OR-merge another filter of identical geometry into this one.
+
+        The partition-parallel build path
+        (:func:`repro.engine.parallel.parallel_bloom_build`) populates
+        per-chunk filters and merges them word-wise.  Insertion is a
+        monotone OR of per-key masks, so the merged word array is
+        bit-identical to inserting every key into one filter — in any
+        order, under any chunking.
+        """
+        if (
+            self.num_blocks != other.num_blocks
+            or self.num_hashes != other.num_hashes
+        ):
+            raise FilterError(
+                "cannot merge Bloom filters with different geometry"
+            )
+        self._words |= other._words
+        self.ops.inserts += other.ops.inserts
+
     def contains_keys(self, keys: np.ndarray) -> np.ndarray:
         """Membership mask (no false negatives) for a ``uint64`` array."""
         if len(keys) == 0:

@@ -35,6 +35,21 @@ of threads concurrently:
   a fresh hash cache.  Queries already running keep the old (still
   correct, immutable) snapshot they started with.
 
+Nested intra-query parallelism
+------------------------------
+When the engine's default config asks for ``threads=N``, the engine
+pins **one** shared :class:`~repro.engine.parallel.ParallelContext`
+(backed by the process-wide pool for that thread count) and injects it
+into every query.  This is what makes inter-query and intra-query
+pools cooperate: however many sessions run however many concurrent
+queries, the intra-query worker count stays ``N`` — never ``sessions ×
+N`` — so total threads are bounded by ``workers + N``.  Deadlock is
+structurally impossible: the inter-query pool runs queries, the
+intra-query pool runs only leaf kernels that never submit further
+work, so there is no circular wait even when ``sessions × threads``
+far exceeds the pool (see ``tests/test_parallel.py``'s oversubscribed
+regression test).
+
 Results are byte-identical to the uncached single-query executor and
 to the ``materialize="eager"`` oracle: every cached artifact is a pure
 function of base-table contents and predicate shape.
@@ -50,6 +65,7 @@ from dataclasses import dataclass, field, replace
 
 from ..cache.store import CacheStats, FilterCache
 from ..core.runner import QueryResult, RunConfig, run_query
+from ..engine.parallel import get_parallel
 from ..engine.stats import QueryStats
 from ..filters.hashcache import KeyHashCache
 from ..plan.query import QuerySpec
@@ -120,6 +136,11 @@ class Engine:
         )
         self._hashes = KeyHashCache() if cache_bytes else None
         self._default_config = config or RunConfig()
+        # One shared intra-query context for the engine's configured
+        # thread count (see "Nested intra-query parallelism" above);
+        # queries bringing their own config still resolve through the
+        # same process-wide pool registry, so the cap holds either way.
+        self._parallel = get_parallel(self._default_config.threads)
         self._pool = ThreadPoolExecutor(
             max_workers=max(1, workers), thread_name_prefix="repro-engine"
         )
@@ -132,8 +153,16 @@ class Engine:
     # ------------------------------------------------------------------
     def _effective_config(self, config: RunConfig | None) -> RunConfig:
         base = config or self._default_config
+        parallel = (
+            self._parallel
+            if base.parallel is None and base.threads == self._parallel.threads
+            else base.parallel
+        )
         return replace(
-            base, filter_cache=self.filter_cache, shared_hashes=self._hashes
+            base,
+            filter_cache=self.filter_cache,
+            shared_hashes=self._hashes,
+            parallel=parallel,
         )
 
     def _run(self, spec: QuerySpec, config: RunConfig | None) -> QueryResult:

@@ -335,19 +335,25 @@ def cold_warm(
     workers: int = 1,
     strategy: str = "predtrans",
     cache_bytes: int | None = None,
+    threads: int = 1,
+    partition_rows: int | None = None,
 ) -> dict:
     """Replay one stream cold then warm; return the JSON-ready payload.
 
     The comparison block records suite-wide and per-query cold/warm
     ratios, the final cache snapshot, and whether every warm result was
     byte-identical to its cold counterpart (same stream order, so the
-    check is positional).
+    check is positional).  ``threads`` turns on intra-query
+    parallelism inside each served query (``workers`` stays the
+    inter-query concurrency knob); ``partition_rows`` overrides the
+    storage chunk size.  Neither affects results or digests.
     """
     catalog = build_catalog(sf=sf, seed=seed)
     stream = build_stream(
         sf, tpch_ids, ssb_ids, repeats=repeats, variants=variants, seed=seed
     )
-    config = RunConfig(strategy=strategy)
+    kwargs = {} if partition_rows is None else {"partition_rows": partition_rows}
+    config = RunConfig(strategy=strategy, threads=threads, **kwargs)
     kwargs = {} if cache_bytes is None else {"cache_bytes": cache_bytes}
     with Engine(catalog, config=config, workers=max(1, workers), **kwargs) as engine:
         cold = replay(engine, stream, workers=workers)
@@ -373,7 +379,7 @@ def cold_warm(
         for name in sorted(cold_by_query)
     ]
     return {
-        "schema": "repro-bench/v3",
+        "schema": "repro-bench/v4",
         "kind": "workload-cold-warm",
         "meta": {
             "sf": sf,
@@ -381,6 +387,7 @@ def cold_warm(
             "repeats": repeats,
             "variants": variants,
             "workers": workers,
+            "threads": threads,
             "strategy": strategy,
             "tpch_queries": list(tpch_ids),
             "ssb_queries": list(ssb_ids),

@@ -7,6 +7,13 @@ and epoch-day date handling.
 
 from .catalog import Catalog
 from .column import Column, DType
+from .partition import (
+    DEFAULT_PARTITION_ROWS,
+    PartitionLayout,
+    ZoneMap,
+    get_layout,
+    slice_table,
+)
 from .dates import (
     add_days,
     add_months,
@@ -21,7 +28,12 @@ from .view import TableView, as_view, join_views, materialize
 __all__ = [
     "Catalog",
     "Column",
+    "DEFAULT_PARTITION_ROWS",
     "DType",
+    "PartitionLayout",
+    "ZoneMap",
+    "get_layout",
+    "slice_table",
     "Table",
     "TableView",
     "as_view",

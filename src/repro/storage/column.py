@@ -209,6 +209,15 @@ class Column:
         valid = None if self.valid is None else self.valid[mask]
         return Column(self.data[mask], self.dtype, self.dictionary, valid)
 
+    def slice(self, start: int, stop: int) -> "Column":
+        """Zero-copy row-range slice (NumPy views, no buffer copy).
+
+        The partition kernels use this to evaluate predicates chunk by
+        chunk; slicing shares memory with the parent column.
+        """
+        valid = None if self.valid is None else self.valid[start:stop]
+        return Column(self.data[start:stop], self.dtype, self.dictionary, valid)
+
     def take_nullable(self, indices: np.ndarray) -> "Column":
         """Gather rows by index where ``-1`` produces a null row.
 

@@ -1,0 +1,357 @@
+"""Horizontal partition layouts with per-partition zone maps.
+
+Every base :class:`~repro.storage.table.Table` can be viewed as a
+sequence of fixed-size row chunks (**partitions**).  The layout carries
+one **zone map** per numeric/date column: the per-partition minimum,
+maximum, null count and valid-row count.  Scans consult the zone maps
+to skip entire partitions whose value range provably cannot satisfy a
+local predicate (range, equality, ``BETWEEN``, ``IN``, ``IS [NOT]
+NULL`` and ``YEAR()`` comparisons), and the intra-query parallel
+kernels (:mod:`repro.engine.parallel`) use the same chunk boundaries as
+morsel units.
+
+Determinism and invalidation guarantees
+---------------------------------------
+* Pruning is **conservative**: a partition is skipped only when its
+  zone map proves that *no valid row* in it can satisfy the predicate
+  (null rows never satisfy a value predicate under the engine's SQL
+  WHERE semantics, and float min/max are computed NaN-ignoring via
+  ``fmin``/``fmax`` — a NaN row never satisfies an ordering/equality
+  comparison, while ``!=``, which NaN *does* satisfy, is never pruned
+  on float columns).  The surviving-row selection vector is therefore
+  byte-identical to an unpruned full scan, whatever the partition size
+  or thread count.
+* Layouts are **memoized on the table object** (a private slot, so a
+  layout lives exactly as long as its table).  Tables are immutable:
+  ``concat``/replace-style mutation produces a *new* ``Table`` object,
+  which naturally gets a fresh layout while the old one stays
+  collectable — together with the catalog's monotonic data-version
+  bump (which orphans cached selection vectors), stale zone maps can
+  never be consulted for new data.
+* Zone maps are a pure function of table contents; nothing about the
+  layout (partition size, partition count) participates in cross-query
+  cache fingerprints, so cached artifacts stay valid across partition
+  sizes and thread counts.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from ..expr import nodes as N
+from .column import Column, DType
+from .dates import date_to_days, years_of
+from .table import Table
+
+#: Default partition chunk size (rows).  Small enough that a one-year
+#: date predicate over the ~7-year TPC-H range prunes chunks even at
+#: bench scale factors, large enough that per-chunk kernel dispatch
+#: overhead stays negligible.
+DEFAULT_PARTITION_ROWS = 32768
+
+#: Column types that carry zone maps (min/max are meaningful and cheap).
+_ZONED = (DType.INT64, DType.FLOAT64, DType.DATE)
+
+
+@dataclass(frozen=True)
+class ZoneMap:
+    """Per-partition statistics of one column.
+
+    ``mins``/``maxs`` are computed over **valid** rows only (native
+    dtype; partitions with no valid row hold the dtype's
+    max/min sentinels, so every value-satisfiability test fails and
+    the ``valid_counts > 0`` guard in :meth:`PartitionLayout.prune`
+    makes them prunable for any value predicate).
+    """
+
+    column: str
+    mins: np.ndarray
+    maxs: np.ndarray
+    null_counts: np.ndarray
+    valid_counts: np.ndarray
+
+
+class PartitionLayout:
+    """A fixed-size horizontal chunking of one table, with zone maps.
+
+    Zone maps are built lazily per column on first use and cached on
+    the layout (which is itself cached per table object via
+    :func:`get_layout`); building is O(rows) per column, vectorized
+    with ``reduceat``.
+    """
+
+    __slots__ = ("table", "partition_rows", "starts", "stops", "_zones", "_lock")
+
+    def __init__(self, table: Table, partition_rows: int = DEFAULT_PARTITION_ROWS) -> None:
+        if partition_rows < 1:
+            raise ValueError("partition_rows must be >= 1")
+        self.table = table
+        self.partition_rows = int(partition_rows)
+        n = table.num_rows
+        self.starts = np.arange(0, n, self.partition_rows, dtype=np.int64)
+        self.stops = np.minimum(self.starts + self.partition_rows, n)
+        self._zones: dict[str, ZoneMap | None] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @property
+    def num_partitions(self) -> int:
+        """Number of row chunks (0 for an empty table)."""
+        return len(self.starts)
+
+    def bounds(self, i: int) -> tuple[int, int]:
+        """Half-open row range ``[start, stop)`` of partition ``i``."""
+        return int(self.starts[i]), int(self.stops[i])
+
+    # ------------------------------------------------------------------
+    def zone(self, column: str) -> ZoneMap | None:
+        """The zone map of ``column`` (``None`` for unzoned types)."""
+        with self._lock:
+            if column in self._zones:
+                return self._zones[column]
+        built = self._build_zone(column)
+        with self._lock:
+            return self._zones.setdefault(column, built)
+
+    def _build_zone(self, column: str) -> ZoneMap | None:
+        col = self.table.column(column)
+        if col.dtype not in _ZONED or self.num_partitions == 0:
+            return None
+        data = col.data
+        sizes = self.stops - self.starts
+        if data.dtype.kind == "f":
+            lo_sent, hi_sent = -np.inf, np.inf
+        else:
+            info = np.iinfo(data.dtype)
+            lo_sent, hi_sent = info.min, info.max
+        if col.valid is None:
+            nulls = np.zeros(self.num_partitions, dtype=np.int64)
+            valid_counts = sizes.astype(np.int64)
+            # fmin/fmax skip NaNs (all-NaN chunks yield NaN sentinels,
+            # which fail every satisfiability test — sound, see module
+            # docstring); for integer dtypes they equal minimum/maximum.
+            mins = np.fmin.reduceat(data, self.starts)
+            maxs = np.fmax.reduceat(data, self.starts)
+        else:
+            nulls = np.add.reduceat((~col.valid).astype(np.int64), self.starts)
+            valid_counts = sizes - nulls
+            mins = np.fmin.reduceat(np.where(col.valid, data, hi_sent), self.starts)
+            maxs = np.fmax.reduceat(np.where(col.valid, data, lo_sent), self.starts)
+        return ZoneMap(
+            column=column,
+            mins=mins,
+            maxs=maxs,
+            null_counts=nulls,
+            valid_counts=valid_counts,
+        )
+
+    # ------------------------------------------------------------------
+    # Predicate pruning
+    # ------------------------------------------------------------------
+    def prune(
+        self, predicate: N.Expr, columns: Mapping[str, str] | None = None
+    ) -> np.ndarray:
+        """Keep-mask over partitions for a local predicate.
+
+        ``columns`` maps the predicate's (usually alias-qualified)
+        column references to this table's column names; ``None`` means
+        references are already table-relative.  ``keep[i]`` is False
+        only when partition ``i`` provably contains no qualifying row;
+        unsupported predicate shapes conservatively keep everything.
+        """
+        keep = self._prune_expr(predicate, columns or {})
+        if keep is None:
+            return np.ones(self.num_partitions, dtype=np.bool_)
+        return keep
+
+    def _resolve(self, name: str, columns: Mapping[str, str]) -> ZoneMap | None:
+        resolved = columns.get(name, name)
+        if resolved not in self.table:
+            return None
+        return self.zone(resolved)
+
+    def _prune_expr(
+        self, expr: N.Expr, columns: Mapping[str, str]
+    ) -> np.ndarray | None:
+        """Recursive keep-mask; ``None`` = cannot reason about this node."""
+        if isinstance(expr, N.And):
+            left = self._prune_expr(expr.left, columns)
+            right = self._prune_expr(expr.right, columns)
+            if left is None:
+                return right
+            if right is None:
+                return left
+            return left & right
+        if isinstance(expr, N.Or):
+            left = self._prune_expr(expr.left, columns)
+            right = self._prune_expr(expr.right, columns)
+            if left is None or right is None:
+                return None
+            return left | right
+        if isinstance(expr, N.Comparison):
+            return self._prune_comparison(expr, columns)
+        if isinstance(expr, N.Between):
+            zone, to_years = self._operand_zone(expr.operand, columns)
+            low = _const_value(expr.low)
+            high = _const_value(expr.high)
+            if zone is None or low is None or high is None:
+                return None
+            mins, maxs = _zone_bounds(zone, to_years)
+            return (maxs >= low) & (mins <= high) & (zone.valid_counts > 0)
+        if isinstance(expr, N.InSet):
+            zone, to_years = self._operand_zone(expr.operand, columns)
+            if zone is None:
+                return None
+            values = [_literal_value(v) for v in expr.values]
+            if any(v is None for v in values):
+                return None
+            mins, maxs = _zone_bounds(zone, to_years)
+            keep = np.zeros(self.num_partitions, dtype=np.bool_)
+            for value in values:
+                keep |= (mins <= value) & (value <= maxs)
+            return keep & (zone.valid_counts > 0)
+        if isinstance(expr, N.IsNull):
+            if not isinstance(expr.operand, N.ColumnRef):
+                return None
+            zone = self._resolve(expr.operand.name, columns)
+            if zone is None:
+                return None
+            if expr.negate:
+                return zone.valid_counts > 0
+            return zone.null_counts > 0
+        return None
+
+    def _operand_zone(
+        self, operand: N.Expr, columns: Mapping[str, str]
+    ) -> tuple[ZoneMap | None, bool]:
+        """Zone map of a comparable operand; second item flags YEAR()."""
+        if isinstance(operand, N.ColumnRef):
+            return self._resolve(operand.name, columns), False
+        if isinstance(operand, N.Year) and isinstance(operand.operand, N.ColumnRef):
+            zone = self._resolve(operand.operand.name, columns)
+            if zone is not None and zone.mins.dtype != np.int32:
+                return None, False  # YEAR() only prunes DATE columns
+            return zone, True
+        return None, False
+
+    def _prune_comparison(
+        self, expr: N.Comparison, columns: Mapping[str, str]
+    ) -> np.ndarray | None:
+        op = expr.op
+        zone, to_years = self._operand_zone(expr.left, columns)
+        value = _const_value(expr.right)
+        if zone is None or value is None:
+            # Try the mirrored form (constant op column).
+            zone, to_years = self._operand_zone(expr.right, columns)
+            value = _const_value(expr.left)
+            if zone is None or value is None:
+                return None
+            op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+        mins, maxs = _zone_bounds(zone, to_years)
+        if op == "==":
+            keep = (mins <= value) & (value <= maxs)
+        elif op == "!=":
+            if zone.mins.dtype.kind == "f":
+                # A NaN row *satisfies* ``!=`` under the evaluator's
+                # NumPy semantics, but NaN-skipping fmin/fmax would
+                # report mins == maxs == value for a [value, NaN]
+                # partition — pruning it would drop the NaN survivor.
+                return None
+            keep = ~((mins == value) & (maxs == value))
+        elif op == "<":
+            keep = mins < value
+        elif op == "<=":
+            keep = mins <= value
+        elif op == ">":
+            keep = maxs > value
+        elif op == ">=":
+            keep = maxs >= value
+        else:  # pragma: no cover - defensive
+            return None
+        return keep & (zone.valid_counts > 0)
+
+
+def _zone_bounds(zone: ZoneMap, to_years: bool) -> tuple[np.ndarray, np.ndarray]:
+    """Min/max arrays, optionally mapped day-counts → calendar years.
+
+    The day→year mapping is monotonic, so per-partition year bounds are
+    exactly the years of the day bounds.  All-null sentinel partitions
+    are excluded by the callers' ``valid_counts > 0`` guard before the
+    (meaningless) sentinel years could matter.
+    """
+    if not to_years:
+        return zone.mins, zone.maxs
+    return years_of(zone.mins.astype(np.int64)), years_of(zone.maxs.astype(np.int64))
+
+
+def _literal_value(value) -> int | float | None:
+    """A comparable numeric constant, or ``None`` when not prunable."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return value
+
+
+def _const_value(expr: N.Expr) -> int | float | None:
+    """Numeric/date constant of an expression leaf (``None`` otherwise)."""
+    if isinstance(expr, N.Literal):
+        return _literal_value(expr.value)
+    if isinstance(expr, N.DateLiteral):
+        return date_to_days(expr.iso)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Chunk slicing
+# ----------------------------------------------------------------------
+def slice_table(
+    table: Table,
+    start: int,
+    stop: int,
+    columns: Mapping[str, str] | None = None,
+    name: str | None = None,
+) -> Table:
+    """Zero-copy row-range slice of a table.
+
+    ``columns`` maps exposed name → source column name (pruning and
+    renaming in one step, mirroring scan views); ``None`` keeps every
+    column under its own name.  Column buffers are NumPy slices of the
+    originals — no data is copied.
+    """
+    if columns is None:
+        columns = {n: n for n in table.columns}
+    sliced = {
+        exposed: table.column(src).slice(start, stop)
+        for exposed, src in columns.items()
+    }
+    return Table(name or table.name, sliced)
+
+
+# ----------------------------------------------------------------------
+# Per-table layout cache
+# ----------------------------------------------------------------------
+# Layouts memoize directly on the table object (a private slot, like a
+# view's gathered-column memo): the layout lives exactly as long as its
+# table, so a replaced/concat-extended table — a *new* object, tables
+# being immutable — carries a fresh empty memo and the old table's
+# layouts are collected with it.  No global registry exists to pin
+# retired tables.
+_LAYOUTS_LOCK = threading.Lock()
+
+
+def get_layout(
+    table: Table, partition_rows: int = DEFAULT_PARTITION_ROWS
+) -> PartitionLayout:
+    """The (cached) partition layout of a table at a given chunk size."""
+    with _LAYOUTS_LOCK:
+        per_table = table._layouts
+        if per_table is None:
+            per_table = table._layouts = {}
+        layout = per_table.get(partition_rows)
+        if layout is None:
+            layout = PartitionLayout(table, partition_rows)
+            per_table[partition_rows] = layout
+        return layout

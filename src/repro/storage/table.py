@@ -22,7 +22,10 @@ from .column import Column, DType
 class Table:
     """An immutable bag of named, equal-length columns."""
 
-    __slots__ = ("name", "columns", "_num_rows")
+    # ``_layouts`` memoizes partition layouts per chunk size (see
+    # :func:`repro.storage.partition.get_layout`) — private caching
+    # only, never part of logical table state.
+    __slots__ = ("name", "columns", "_num_rows", "_layouts")
 
     def __init__(self, name: str, columns: Mapping[str, Column]) -> None:
         lengths = {len(col) for col in columns.values()}
@@ -31,6 +34,7 @@ class Table:
         self.name = name
         self.columns: dict[str, Column] = dict(columns)
         self._num_rows = lengths.pop() if lengths else 0
+        self._layouts: dict[int, object] | None = None
 
     # ------------------------------------------------------------------
     # Constructors

@@ -122,7 +122,7 @@ def test_suite_to_json_roundtrip(suite):
     from repro.bench.harness import suite_to_json, write_bench_json
 
     doc = suite_to_json(suite, repeats=1, seed=0)
-    assert doc["schema"] == "repro-bench/v3"
+    assert doc["schema"] == "repro-bench/v4"
     assert doc["meta"]["sf"] == TINY_SF
     assert len(doc["measurements"]) == len(suite.measurements)
     record = doc["measurements"][0]
@@ -143,4 +143,50 @@ def test_write_bench_json(tmp_path, suite):
 
     path = tmp_path / "out.json"
     write_bench_json(str(path), suite_to_json(suite, repeats=1))
-    assert json.loads(path.read_text())["schema"] == "repro-bench/v3"
+    assert json.loads(path.read_text())["schema"] == "repro-bench/v4"
+
+
+def test_compare_accepts_v1_through_v4_and_rejects_unknown():
+    from repro.bench.compare import compare_payloads
+
+    def doc(schema, seconds):
+        payload = {
+            "meta": {"sf": 0.01},
+            "measurements": [
+                {"query": "q5", "strategy": "predtrans", "seconds": seconds}
+            ],
+        }
+        if schema is not None:
+            payload["schema"] = schema
+        return payload
+
+    # Any v1..v4 mix (and schema-less pre-v1 drafts) compares cleanly.
+    for old_schema in (None, "repro-bench/v1", "repro-bench/v3"):
+        block = compare_payloads(doc(old_schema, 1.0), doc("repro-bench/v4", 0.5))
+        assert block["pairs_compared"] == 1
+        assert block["speedup_over_baseline"]["predtrans"] == 2.0
+    # Unknown future generations are refused, not silently misread.
+    import pytest
+
+    with pytest.raises(ValueError, match="unknown schema"):
+        compare_payloads(doc("repro-bench/v9", 1.0), doc("repro-bench/v4", 1.0))
+
+
+def test_parallel_comparison_payload():
+    from repro.bench.harness import parallel_comparison
+
+    payload = parallel_comparison(
+        sf=TINY_SF,
+        threads=2,
+        repeats=1,
+        tpch_ids=(6,),
+        ssb_ids=("1.1",),
+        strategies=("predtrans",),
+        partition_rows=2048,
+    )
+    assert payload["schema"] == "repro-bench/v4"
+    comp = payload["comparison"]
+    assert comp["digests_identical"] is True
+    assert comp["threads"] == 2
+    assert len(comp["per_pair"]) == 2
+    assert all(p["digests_identical"] for p in comp["per_pair"])

@@ -117,7 +117,7 @@ def test_bench_json_smoke(tmp_path, capsys):
     import json
 
     doc = json.loads(out_path.read_text())
-    assert doc["schema"] == "repro-bench/v3"
+    assert doc["schema"] == "repro-bench/v4"
     assert doc["meta"]["sf"] == 0.003
     strategies = {m["strategy"] for m in doc["measurements"]}
     assert strategies == {"predtrans", "nopredtrans"}
@@ -213,3 +213,48 @@ def test_tpch_cyclic_query_runs(capsys):
                  "predtrans", "--repeats", "1"]) == 0
     out = capsys.readouterr().out
     assert "qc1" in out
+
+
+def test_parallel_args_accepted_on_run_commands():
+    parser = build_parser()
+    for argv in (
+        ["tpch", "--threads", "4", "--partition-rows", "8192"],
+        ["ssb", "--threads", "2"],
+        ["bench", "--threads", "4", "--partition-rows", "4096"],
+        ["workload", "--threads", "4"],
+    ):
+        args = parser.parse_args(argv)
+        assert args.threads == int(argv[2])
+
+
+def test_tpch_runs_with_threads(capsys):
+    code = main(
+        [
+            "tpch", "--sf", "0.003", "--query", "6",
+            "--strategy", "predtrans", "--repeats", "1",
+            "--threads", "2", "--partition-rows", "2048",
+        ]
+    )
+    assert code == 0
+    assert "q6" in capsys.readouterr().out
+
+
+def test_bench_parallel_compare_writes_v4_record(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "parallel.json"
+    code = main(
+        [
+            "bench", "--sf", "0.003", "--queries", "6",
+            "--strategies", "predtrans", "--repeats", "1",
+            "--parallel-compare", "2", "--json", str(path),
+        ]
+    )
+    assert code == 0
+    doc = json.loads(path.read_text())
+    assert doc["schema"] == "repro-bench/v4"
+    assert doc["kind"] == "serial-vs-parallel"
+    assert doc["comparison"]["digests_identical"] is True
+    assert len(doc["serial_measurements"]) == len(doc["measurements"])
+    out = capsys.readouterr().out
+    assert "results identical: True" in out

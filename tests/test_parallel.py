@@ -1,0 +1,292 @@
+"""Intra-query parallel execution: determinism, kernels, pool sharing.
+
+The headline contract: for every strategy × materialization × thread
+count, query results are **byte-identical** to the eager serial oracle
+— parallel merges are ordered concatenations or commutative ORs, so
+scheduling can never leak into results.  Plus kernel-level equivalence
+(parallel Bloom build / chunked membership / partitioned join probe),
+cross-thread-count filter-cache validity, and the service engine's
+shared-intra-pool regression (sessions × threads must not multiply
+workers or deadlock).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.runner import RunConfig, run_query
+from repro.engine.hashjoin import hash_join
+from repro.engine.parallel import (
+    MAX_THREADS,
+    ParallelContext,
+    parallel_bloom_build,
+    parallel_membership,
+    shared_executor,
+)
+from repro.cache.store import FilterCache
+from repro.core.runner import STRATEGIES
+from repro.errors import PlanError
+from repro.filters.bloom import BloomFilter
+from repro.filters.exact import ExactFilter
+from repro.filters.hashing import mix64
+from repro.service.engine import Engine
+from repro.service.workload import result_digest
+from repro.storage import Column, Table
+from repro.tpch.queries import get_query
+
+SF = 0.01
+#: Small chunks so the sweep exercises real fan-out at test scale.
+PARTITION_ROWS = 4096
+
+SWEEP_QUERIES = (5, 12, "c1", "c2", "c3")
+
+
+# ----------------------------------------------------------------------
+# ParallelContext basics
+# ----------------------------------------------------------------------
+def test_serial_context_runs_inline():
+    ctx = ParallelContext(1)
+    assert not ctx.parallel
+    assert ctx.map(lambda x: x * 2, [1, 2, 3]) == [2, 4, 6]
+    assert ctx.tasks == 0
+    assert ctx.task_bounds(1_000_000) == [(0, 1_000_000)]
+
+
+def test_task_bounds_cover_range_in_order():
+    ctx = ParallelContext(4)
+    for n in (0, 1, 8191, 16384, 100_000, 1_000_001):
+        bounds = ctx.task_bounds(n)
+        assert bounds == sorted(bounds)
+        covered = sum(stop - start for start, stop in bounds)
+        assert covered == n
+        if bounds:
+            assert bounds[0][0] == 0 and bounds[-1][1] == n
+        assert len(bounds) <= ctx.threads * 2
+
+
+def test_small_inputs_stay_single_chunk():
+    ctx = ParallelContext(4)
+    assert ctx.task_bounds(100) == [(0, 100)]
+
+
+def test_map_counts_dispatched_tasks_and_preserves_order():
+    ctx = ParallelContext(2)
+    out = ctx.map(lambda x: x + 1, list(range(64)))
+    assert out == list(range(1, 65))
+    assert ctx.tasks == 64
+    child = ctx.scoped()
+    assert child.tasks == 0 and child.threads == ctx.threads
+
+
+def test_thread_count_is_clamped():
+    assert ParallelContext(10_000).threads == MAX_THREADS
+    assert ParallelContext(0).threads == 1
+    with pytest.raises(PlanError):
+        RunConfig(threads=0)
+    with pytest.raises(PlanError):
+        RunConfig(partition_rows=0)
+
+
+def test_shared_executor_reused_per_size():
+    assert shared_executor(3) is shared_executor(3)
+
+
+# ----------------------------------------------------------------------
+# Kernel-level equivalence
+# ----------------------------------------------------------------------
+def test_parallel_bloom_build_is_bit_identical():
+    rng = np.random.default_rng(1)
+    hashes = mix64(rng.integers(0, 2**63, size=50_000).astype(np.uint64))
+    serial = BloomFilter(capacity=len(hashes), fpp=0.01)
+    serial.add_hashes(hashes)
+    parallel = parallel_bloom_build(
+        ParallelContext(4), hashes, capacity=len(hashes), fpp=0.01
+    )
+    assert np.array_equal(serial._words, parallel._words)
+
+
+def test_bloom_merge_rejects_geometry_mismatch():
+    from repro.errors import FilterError
+
+    a = BloomFilter(capacity=1000, fpp=0.01)
+    b = BloomFilter(capacity=100_000, fpp=0.01)
+    with pytest.raises(FilterError):
+        a.merge_words(b)
+
+
+@pytest.mark.parametrize("kind", ["bloom", "exact"])
+def test_chunked_membership_matches_serial(kind):
+    rng = np.random.default_rng(2)
+    build = mix64(rng.integers(0, 2**20, size=30_000).astype(np.uint64))
+    probe = mix64(rng.integers(0, 2**20, size=80_000).astype(np.uint64))
+    if kind == "bloom":
+        filt = BloomFilter(capacity=len(build), fpp=0.01)
+        filt.add_hashes(build)
+        expected = filt.contains_hashes(probe)
+    else:
+        filt = ExactFilter.from_keys(build)
+        expected = filt.contains_keys(probe)
+    got = parallel_membership(ParallelContext(4), filt, probe)
+    assert np.array_equal(got, expected)
+
+
+@pytest.mark.parametrize("how", ["inner", "left", "semi", "anti"])
+def test_partitioned_hash_join_matches_serial(how):
+    rng = np.random.default_rng(3)
+    n_probe, n_build = 60_000, 5_000
+    probe = Table(
+        "p",
+        {
+            "p.k": Column.from_ints(rng.integers(0, 4_000, size=n_probe)),
+            "p.v": Column.from_ints(np.arange(n_probe, dtype=np.int64)),
+        },
+    )
+    # Duplicate build keys exercise the repeat-expansion kernel path.
+    build = Table(
+        "b",
+        {
+            "b.k": Column.from_ints(rng.integers(0, 4_000, size=n_build)),
+            "b.w": Column.from_ints(np.arange(n_build, dtype=np.int64)),
+        },
+    )
+    serial, _ = hash_join(probe, build, ["p.k"], ["b.k"], how=how)
+    parallel, _ = hash_join(
+        probe, build, ["p.k"], ["b.k"], how=how, parallel=ParallelContext(4)
+    )
+    assert result_digest(serial) == result_digest(parallel)
+
+
+def test_partitioned_probe_with_probe_rows_restriction():
+    rng = np.random.default_rng(4)
+    probe = Table(
+        "p", {"p.k": Column.from_ints(rng.integers(0, 500, size=50_000))}
+    )
+    build = Table(
+        "b", {"b.k": Column.from_ints(rng.integers(0, 500, size=1_000))}
+    )
+    probe_rows = np.flatnonzero(probe.column("p.k").data % 3 == 0)
+    serial, _ = hash_join(
+        probe, build, ["p.k"], ["b.k"], how="semi", probe_rows=probe_rows
+    )
+    parallel, _ = hash_join(
+        probe, build, ["p.k"], ["b.k"], how="semi", probe_rows=probe_rows,
+        parallel=ParallelContext(4),
+    )
+    assert result_digest(serial) == result_digest(parallel)
+
+
+# ----------------------------------------------------------------------
+# Whole-query equivalence sweep
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def oracles(small_catalog):
+    """Eager serial reference digests, one per sweep query/strategy."""
+    out = {}
+    for qid in SWEEP_QUERIES:
+        spec = get_query(qid, sf=SF)
+        for strategy in STRATEGIES:
+            result = run_query(
+                spec,
+                small_catalog,
+                config=RunConfig(
+                    strategy=strategy, materialize="eager", threads=1
+                ),
+            )
+            out[(qid, strategy)] = result_digest(result.table)
+    return out
+
+
+@pytest.mark.parametrize("qid", SWEEP_QUERIES)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("materialize", ["lazy", "eager"])
+@pytest.mark.parametrize("threads", [1, 2, 4])
+def test_parallel_equivalence_sweep(
+    small_catalog, oracles, qid, strategy, materialize, threads
+):
+    """All 4 strategies × lazy/eager × threads∈{1,2,4} — including the
+    cyclic/self-join/cross-product shapes — digest-identical to the
+    eager serial oracle."""
+    config = RunConfig(
+        strategy=strategy,
+        materialize=materialize,
+        threads=threads,
+        partition_rows=PARTITION_ROWS,
+    )
+    result = run_query(get_query(qid, sf=SF), small_catalog, config=config)
+    assert result_digest(result.table) == oracles[(qid, strategy)]
+    if threads > 1 and qid in (5, 12):
+        # Lineitem-bearing queries are large enough to fan out at this
+        # scale; the c1–c3 extras touch only sub-chunk tables and
+        # correctly stay inline.
+        assert result.stats.parallel_tasks > 0
+
+
+def test_zone_map_pruning_on_date_filtered_queries(small_catalog):
+    """q6/q12 skip partitions on their date predicates, results intact."""
+    for qid in (6, 12):
+        spec = get_query(qid, sf=SF)
+        oracle = run_query(
+            spec, small_catalog, config=RunConfig(materialize="eager")
+        )
+        pruned = run_query(
+            spec, small_catalog, config=RunConfig(partition_rows=PARTITION_ROWS)
+        )
+        assert pruned.stats.partitions_pruned > 0
+        assert result_digest(pruned.table) == result_digest(oracle.table)
+
+
+def test_filter_cache_entries_valid_across_thread_counts(small_catalog):
+    """Fingerprints carry nothing layout-dependent: a cache warmed at
+    threads=1 serves threads=4 (and different partition sizes), with
+    byte-identical results."""
+    cache = FilterCache()
+    spec = get_query(5, sf=SF)
+    cold = run_query(
+        spec,
+        small_catalog,
+        config=RunConfig(threads=1, filter_cache=cache),
+    )
+    warm = run_query(
+        spec,
+        small_catalog,
+        config=RunConfig(
+            threads=4, partition_rows=PARTITION_ROWS, filter_cache=cache
+        ),
+    )
+    assert warm.stats.filter_cache_hits > 0
+    assert result_digest(warm.table) == result_digest(cold.table)
+
+
+# ----------------------------------------------------------------------
+# Service engine: nested pools cooperate
+# ----------------------------------------------------------------------
+def test_engine_sessions_share_one_intra_query_pool(small_catalog):
+    """sessions × threads must not multiply workers or deadlock.
+
+    Four engine workers × intra-query threads=4 × eight concurrent
+    queries over two sessions: everything completes (no pool
+    deadlock — intra-query tasks are leaf kernels on a separate shared
+    pool), results match the serial oracle, and the intra-query pool
+    for this thread count is the single process-wide executor."""
+    spec5, spec3 = get_query(5, sf=SF), get_query(3, sf=SF)
+    oracle5 = result_digest(
+        run_query(spec5, small_catalog, config=RunConfig()).table
+    )
+    oracle3 = result_digest(
+        run_query(spec3, small_catalog, config=RunConfig()).table
+    )
+    config = RunConfig(threads=4, partition_rows=PARTITION_ROWS)
+    with Engine(small_catalog, config=config, workers=4) as engine:
+        assert engine._parallel._pool() is shared_executor(4)
+        sessions = [engine.session() for _ in range(2)]
+        futures = [
+            engine.submit(spec) for spec in [spec5, spec3] * 4
+        ]
+        digests = [f.result() for f in futures]
+        for result, expected in zip(digests, [oracle5, oracle3] * 4):
+            assert result_digest(result.table) == expected
+        # Sessions go through the same engine pool; spot-check one.
+        assert (
+            result_digest(sessions[0].execute(spec5).table) == oracle5
+        )
