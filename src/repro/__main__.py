@@ -30,6 +30,15 @@ size behind zone-map pruning.  ``bench --parallel-compare N`` runs the
 full TPC-H+SSB suite serial *and* with N threads and embeds the
 comparison (the ``BENCH_PR5.json`` artifact).
 
+The same four commands take the per-query resilience knobs:
+``--timeout-ms`` (deadline; past it the query aborts with a typed
+``QueryTimeout`` at the next cooperative checkpoint) and
+``--memory-budget-mb`` (filter/materialization budget; exact filters
+degrade to Bloom first — results stay byte-identical — then the query
+aborts with ``MemoryBudgetExceeded``).  ``workload`` records aborted
+items as per-item ``outcome`` labels in its ``repro-bench/v5`` JSON
+instead of failing the replay.
+
 Query arguments accept single ids or comma-separated lists everywhere
 (``--query 5``, ``--query 3,5,9``, ``--queries 3,5``).  The cyclic /
 self-join / cross-product extras are addressed by string id: TPC-H
@@ -76,6 +85,7 @@ from .bench.compare import compare_payloads, format_comparison, load_bench
 from .bench.report import format_table
 from .cache import default_filter_cache
 from .core.runner import STRATEGIES, RunConfig
+from .errors import QueryAborted
 from .filters.hashcache import KeyHashCache
 from .service.workload import (
     DEFAULT_SSB_IDS,
@@ -125,18 +135,52 @@ def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
+    """Per-query deadline/memory-budget knobs shared by run commands."""
+    parser.add_argument(
+        "--timeout-ms",
+        type=float,
+        default=None,
+        dest="timeout_ms",
+        help="per-query deadline in milliseconds; a query past it "
+        "aborts with a typed QueryTimeout at the next checkpoint",
+    )
+    parser.add_argument(
+        "--memory-budget-mb",
+        type=float,
+        default=None,
+        dest="memory_budget_mb",
+        help="per-query filter/materialization budget in MiB; exact "
+        "filters degrade to Bloom first, then the query aborts with "
+        "MemoryBudgetExceeded",
+    )
+
+
+def _timeout_seconds(args: argparse.Namespace) -> float | None:
+    ms = getattr(args, "timeout_ms", None)
+    return None if ms is None else ms / 1000.0
+
+
+def _memory_budget_bytes(args: argparse.Namespace) -> int | None:
+    mb = getattr(args, "memory_budget_mb", None)
+    return None if mb is None else int(mb * 2**20)
+
+
 def _run_config(args: argparse.Namespace) -> RunConfig:
     """The command's execution config: cached by default, plain on
     ``--no-filter-cache``; ``--threads`` / ``--partition-rows`` map to
-    the intra-query parallelism knobs.  One per-invocation hash cache
-    is shared by all of the command's queries (it only holds
-    base-column hashes)."""
+    the intra-query parallelism knobs and ``--timeout-ms`` /
+    ``--memory-budget-mb`` to the per-query resilience knobs.  One
+    per-invocation hash cache is shared by all of the command's
+    queries (it only holds base-column hashes)."""
     kwargs: dict = {"threads": max(1, getattr(args, "threads", 1) or 1)}
     partition_rows = getattr(args, "partition_rows", None)
     if partition_rows is not None:
         # Invalid values (0, negatives) surface RunConfig's own
         # validation error rather than being silently dropped.
         kwargs["partition_rows"] = partition_rows
+    kwargs["timeout"] = _timeout_seconds(args)
+    kwargs["memory_budget"] = _memory_budget_bytes(args)
     if not getattr(args, "no_filter_cache", False):
         kwargs.update(
             filter_cache=default_filter_cache(), shared_hashes=KeyHashCache()
@@ -149,18 +193,24 @@ def _cmd_tpch(args: argparse.Namespace) -> int:
     queries = list(args.query) if args.query else list(BENCH_QUERY_IDS)
     strategies = [args.strategy] if args.strategy else list(STRATEGIES)
     config = _run_config(args)
+    aborted = 0
     for qid in queries:
         spec = get_query(qid, sf=args.sf)
         for strategy in strategies:
-            m = time_query(
-                spec, catalog, strategy, repeats=args.repeats, config=config
-            )
+            try:
+                m = time_query(
+                    spec, catalog, strategy, repeats=args.repeats, config=config
+                )
+            except QueryAborted as exc:
+                aborted += 1
+                print(f"{'q' + str(qid):<4s} {strategy:12s} {exc.outcome}: {exc}")
+                continue
             print(
                 f"{'q' + str(qid):<4s} {strategy:12s} {m.seconds:9.4f}s  "
                 f"rows={m.output_rows}  "
                 f"prefiltered={m.stats.transfer.reduction():.1%}"
             )
-    return 0
+    return 1 if aborted else 0
 
 
 def _cmd_ssb(args: argparse.Namespace) -> int:
@@ -168,16 +218,22 @@ def _cmd_ssb(args: argparse.Namespace) -> int:
     queries = list(args.query) if args.query else list(ALL_SSB_QUERY_IDS)
     strategies = [args.strategy] if args.strategy else list(STRATEGIES)
     config = _run_config(args)
+    aborted = 0
     for qid in queries:
         spec = get_ssb_query(qid)
         for strategy in strategies:
-            m = time_query(
-                spec, catalog, strategy, repeats=args.repeats, config=config
-            )
+            try:
+                m = time_query(
+                    spec, catalog, strategy, repeats=args.repeats, config=config
+                )
+            except QueryAborted as exc:
+                aborted += 1
+                print(f"Q{qid:<4s} {strategy:12s} {exc.outcome}: {exc}")
+                continue
             print(
                 f"Q{qid:<4s} {strategy:12s} {m.seconds:9.4f}s  rows={m.output_rows}"
             )
-    return 0
+    return 1 if aborted else 0
 
 
 def _cmd_fig4(args: argparse.Namespace) -> int:
@@ -343,6 +399,8 @@ def _cmd_workload(args: argparse.Namespace) -> int:
         strategy=args.strategy,
         threads=max(1, args.threads or 1),
         partition_rows=args.partition_rows,
+        timeout=_timeout_seconds(args),
+        memory_budget=_memory_budget_bytes(args),
     )
     comp = payload["comparison"]
     print(
@@ -355,6 +413,9 @@ def _cmd_workload(args: argparse.Namespace) -> int:
         f"({comp['speedup']:.2f}x), results identical: "
         f"{comp['results_identical']}"
     )
+    outcomes = comp["outcomes"]
+    if set(outcomes["cold"]) | set(outcomes["warm"]) != {"ok"}:
+        print(f"outcomes: cold={outcomes['cold']} warm={outcomes['warm']}")
     for row in comp["per_query"]:
         print(
             f"  {row['query']:12s} cold={row['cold_seconds']:.4f}s "
@@ -416,6 +477,7 @@ def build_parser() -> argparse.ArgumentParser:
     tpch.add_argument("--repeats", type=int, default=2)
     _add_cache_flag(tpch)
     _add_parallel_args(tpch)
+    _add_resilience_args(tpch)
     tpch.set_defaults(func=_cmd_tpch)
 
     ssb = sub.add_parser("ssb", help="run SSB queries")
@@ -429,6 +491,7 @@ def build_parser() -> argparse.ArgumentParser:
     ssb.add_argument("--repeats", type=int, default=2)
     _add_cache_flag(ssb)
     _add_parallel_args(ssb)
+    _add_resilience_args(ssb)
     ssb.set_defaults(func=_cmd_ssb)
 
     fig4 = sub.add_parser("fig4", help="regenerate Figure 4")
@@ -483,6 +546,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_flag(bench)
     _add_parallel_args(bench)
+    _add_resilience_args(bench)
     bench.set_defaults(func=_cmd_bench)
 
     workload = sub.add_parser(
@@ -518,6 +582,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     workload.add_argument("--json", help="write the cold/warm record here")
     _add_parallel_args(workload)
+    _add_resilience_args(workload)
     workload.set_defaults(func=_cmd_workload)
 
     cache = sub.add_parser(

@@ -1,11 +1,11 @@
 """Bench-record comparison: per-query regression/speedup diffing.
 
 Compares two ``BENCH_*.json`` documents (any mix of ``repro-bench/v1``
-through ``v4`` schemas — only the shared per-pair ``seconds`` field is
-read, so the v3 filter-cache counters and the v4 partition/parallel
-counters never break older baselines; unknown future schemas are
-refused with a clear error) on per-(query, strategy) total wall
-clock.  Used in two places:
+through ``v5`` schemas — only the shared per-pair ``seconds`` field is
+read, so the v3 filter-cache counters, the v4 partition/parallel
+counters and the v5 outcome/resilience fields never break older
+baselines; unknown future schemas are refused with a clear error) on
+per-(query, strategy) total wall clock.  Used in two places:
 
 * ``python -m repro bench --compare OLD.json`` embeds the comparison
   block into the freshly written record, giving the repo's committed
@@ -28,10 +28,10 @@ import sys
 
 #: Schema generations this comparator understands.  Every generation
 #: added fields without renaming the per-pair ``seconds`` the diff
-#: reads, so any v1–v4 mix compares cleanly; anything newer is refused
+#: reads, so any v1–v5 mix compares cleanly; anything newer is refused
 #: rather than silently misread.
 ACCEPTED_SCHEMAS = frozenset(
-    f"repro-bench/v{n}" for n in (1, 2, 3, 4)
+    f"repro-bench/v{n}" for n in (1, 2, 3, 4, 5)
 )
 
 

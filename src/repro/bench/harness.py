@@ -138,20 +138,24 @@ def run_suite(
 def measurement_to_json(m: Measurement) -> dict:
     """One measurement as a flat JSON-ready record.
 
-    Schema ``repro-bench/v4``: extends v3 (filter-cache counters over
-    v2's scan/materialize attribution over v1's phase split) with the
-    partition-parallel counters ``partitions_total`` /
-    ``partitions_pruned`` (zone-map scan pruning) and
-    ``parallel_tasks`` (kernel chunks dispatched to the intra-query
-    pool), plus the byte-level result ``digest``.  All-zero counters
-    mean the measurement ran serial/unpruned, so v4 records compare
-    cleanly against v1–v3 baselines (the comparator only reads
-    per-pair ``seconds``).
+    Schema ``repro-bench/v5``: extends v4 (partition/parallel counters
+    over v3's filter-cache counters over v2's scan/materialize
+    attribution over v1's phase split) with the resilience fields —
+    per-query ``outcome`` (``ok`` | ``degraded`` for completed
+    measurements; failed queries in workload records carry ``timeout``
+    | ``cancelled`` | ``rejected`` | ``budget`` from the typed error),
+    ``filters_degraded`` (exact→Bloom fallbacks under a memory
+    budget), ``memory_budget_bytes`` (0 = unlimited) and
+    ``mem_peak_bytes`` (the charged high-water mark).  All-default
+    fields mean the measurement ran unrestricted, so v5 records
+    compare cleanly against v1–v4 baselines (the comparator only
+    reads per-pair ``seconds``).
     """
     t = m.stats.transfer
     return {
         "query": m.query,
         "strategy": m.strategy,
+        "outcome": m.stats.outcome,
         "seconds": m.seconds,
         "scan_seconds": m.stats.scan_seconds_total,
         "transfer_seconds": m.stats.transfer_seconds,
@@ -165,6 +169,9 @@ def measurement_to_json(m: Measurement) -> dict:
         "partitions_total": m.stats.partitions_total_all,
         "partitions_pruned": m.stats.partitions_pruned_all,
         "parallel_tasks": m.stats.parallel_tasks_all,
+        "filters_degraded": m.stats.filters_degraded,
+        "memory_budget_bytes": m.stats.memory_budget_bytes,
+        "mem_peak_bytes": m.stats.mem_peak_bytes,
         "digest": m.digest,
         "output_rows": m.output_rows,
         "prefilter_reduction": t.reduction(),
@@ -186,7 +193,7 @@ def suite_to_json(
 ) -> dict:
     """The whole sweep as a JSON document with environment metadata."""
     return {
-        "schema": "repro-bench/v4",
+        "schema": "repro-bench/v5",
         "meta": {
             "sf": suite.sf,
             "seed": seed,
@@ -194,6 +201,10 @@ def suite_to_json(
             "threads": 1 if config is None else config.threads,
             "partition_rows": (
                 None if config is None else config.partition_rows
+            ),
+            "timeout_seconds": None if config is None else config.timeout,
+            "memory_budget_bytes": (
+                None if config is None else config.memory_budget
             ),
             "python": platform.python_version(),
             "numpy": np.__version__,
@@ -217,7 +228,7 @@ def parallel_comparison(
     """Serial-vs-parallel sweep over the full TPC-H + SSB suite.
 
     Runs every (query, strategy) pair twice — ``threads=1`` and
-    ``threads=N`` — and emits one ``repro-bench/v4`` document holding
+    ``threads=N`` — and emits one ``repro-bench/v5`` document holding
     both measurement lists plus a comparison block: suite totals,
     per-pair speedups, zone-map pruning counters, and a byte-identity
     verdict over the result digests (the parallel executor's

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import CacheCorruption, QueryAborted, ReproError
 from .fingerprint import (
     canonical_expr,
     filter_fingerprint,
@@ -39,15 +40,24 @@ class AliasKey:
 
 
 class QueryCache:
-    """One query's window onto the shared filter cache."""
+    """One query's window onto the shared filter cache.
 
-    __slots__ = ("cache", "aliases", "hits", "misses")
+    The cache is an accelerator, never a dependency: a failing store
+    degrades to a miss on reads and a no-op on writes (counted in
+    :attr:`errors`), so a broken cache backend costs rebuild time, not
+    query results.  Abort signals (:class:`~repro.errors.QueryAborted`)
+    and strict-mode :class:`~repro.errors.CacheCorruption` still
+    propagate — those are the caller's to handle.
+    """
+
+    __slots__ = ("cache", "aliases", "hits", "misses", "errors")
 
     def __init__(self, cache: FilterCache, aliases: dict[str, AliasKey]) -> None:
         self.cache = cache
         self.aliases = aliases
         self.hits = 0
         self.misses = 0
+        self.errors = 0
 
     # ------------------------------------------------------------------
     def cacheable(self, alias: str) -> bool:
@@ -60,12 +70,26 @@ class QueryCache:
         return all(a in self.aliases for a in aliases)
 
     def _get(self, fp: str) -> object | None:
-        payload = self.cache.get(fp)
+        try:
+            payload = self.cache.get(fp)
+        except (QueryAborted, CacheCorruption):
+            raise
+        except ReproError:
+            self.errors += 1
+            payload = None
         if payload is None:
             self.misses += 1
         else:
             self.hits += 1
         return payload
+
+    def _put(self, fp: str, payload: object, tables: tuple[str, ...]) -> None:
+        try:
+            self.cache.put(fp, payload, tables=tables)
+        except (QueryAborted, CacheCorruption):
+            raise
+        except ReproError:
+            self.errors += 1
 
     # ------------------------------------------------------------------
     # Scan selection vectors
@@ -79,9 +103,7 @@ class QueryCache:
         return self._get(self.scan_fp(alias))
 
     def put_scan(self, alias: str, rows: np.ndarray) -> None:
-        self.cache.put(
-            self.scan_fp(alias), rows, tables=(self.aliases[alias].table,)
-        )
+        self._put(self.scan_fp(alias), rows, (self.aliases[alias].table,))
 
     # ------------------------------------------------------------------
     # Transferable filters from pristine vertices
@@ -109,10 +131,10 @@ class QueryCache:
         params: str,
         filt,
     ) -> None:
-        self.cache.put(
+        self._put(
             self.filter_fp(alias, key_columns, kind, params),
             filt,
-            tables=(self.aliases[alias].table,),
+            (self.aliases[alias].table,),
         )
 
     # ------------------------------------------------------------------
@@ -134,7 +156,7 @@ class QueryCache:
 
     def put_prefilter(self, fp: str, rows: dict[str, np.ndarray]) -> None:
         tables = tuple(sorted({k.table for k in self.aliases.values()}))
-        self.cache.put(fp, dict(rows), tables=tables)
+        self._put(fp, dict(rows), tables)
 
 
 def build_query_cache(spec, catalog, cache: FilterCache) -> QueryCache:

@@ -25,10 +25,14 @@ benign).
 from __future__ import annotations
 
 import threading
+import zlib
 from collections import OrderedDict
 from dataclasses import asdict, dataclass
 
 import numpy as np
+
+from ..errors import CacheCorruption
+from ..testing.faults import _payload_arrays, fault_point
 
 
 @dataclass(frozen=True)
@@ -44,6 +48,7 @@ class CacheStats:
     entries: int
     bytes: int
     max_bytes: int
+    corruptions: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -70,13 +75,33 @@ def payload_nbytes(payload: object) -> int:
     return 64  # opaque payloads: charge a nominal entry cost
 
 
-class _Entry:
-    __slots__ = ("payload", "nbytes", "tables")
+def payload_checksum(payload: object) -> int | None:
+    """CRC32 over the payload's backing arrays (``None`` if opaque).
 
-    def __init__(self, payload: object, nbytes: int, tables: tuple[str, ...]):
+    Covers every mutable ndarray a cached artifact carries (selection
+    vectors, Bloom word arrays, exact-set slot arrays), so any
+    in-place clobbering — a buggy consumer writing through a shared
+    filter, bit rot in a future mmap'd backend — is caught at the next
+    :meth:`FilterCache.get` instead of silently pre-filtering wrong.
+    """
+    arrays = _payload_arrays(payload)
+    if not arrays:
+        return None
+    crc = 0
+    for arr in arrays:
+        crc = zlib.crc32(np.ascontiguousarray(arr).tobytes(), crc)
+    return crc
+
+
+class _Entry:
+    __slots__ = ("payload", "nbytes", "tables", "crc")
+
+    def __init__(self, payload: object, nbytes: int, tables: tuple[str, ...],
+                 crc: int | None = None):
         self.payload = payload
         self.nbytes = nbytes
         self.tables = tables
+        self.crc = crc
 
 
 class FilterCache:
@@ -84,10 +109,18 @@ class FilterCache:
 
     DEFAULT_MAX_BYTES = 256 << 20  # 256 MiB
 
-    def __init__(self, max_bytes: int = DEFAULT_MAX_BYTES) -> None:
+    def __init__(
+        self,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        *,
+        validate: bool = True,
+        strict_corruption: bool = False,
+    ) -> None:
         if max_bytes <= 0:
             raise ValueError("max_bytes must be positive")
         self.max_bytes = max_bytes
+        self.validate = validate
+        self.strict_corruption = strict_corruption
         self._lock = threading.RLock()
         self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
         self._by_table: dict[str, set[str]] = {}
@@ -98,14 +131,39 @@ class FilterCache:
         self._evictions = 0
         self._invalidations = 0
         self._rejected = 0
+        self._corruptions = 0
 
     # ------------------------------------------------------------------
     def get(self, fp: str) -> object | None:
-        """Look up a fingerprint; a hit refreshes LRU recency."""
+        """Look up a fingerprint; a hit refreshes LRU recency.
+
+        Checksum-validated: an entry whose payload no longer matches
+        the CRC recorded at insertion is dropped and reported as a
+        miss — the caller rebuilds, so corruption degrades to a cache
+        miss, never to a wrong answer.  ``strict_corruption=True``
+        raises :class:`~repro.errors.CacheCorruption` instead (for
+        diagnostics and the chaos harness's assertions).
+        """
         with self._lock:
             entry = self._entries.get(fp)
             if entry is None:
                 self._misses += 1
+                return None
+            fault_point("cache.get", entry.payload)
+            if (
+                self.validate
+                and entry.crc is not None
+                and payload_checksum(entry.payload) != entry.crc
+            ):
+                self._entries.pop(fp, None)
+                self._drop_tags(fp, entry)
+                self._bytes -= entry.nbytes
+                self._corruptions += 1
+                self._misses += 1
+                if self.strict_corruption:
+                    raise CacheCorruption(
+                        f"cache entry {fp!r} failed checksum validation"
+                    )
                 return None
             self._entries.move_to_end(fp)
             self._hits += 1
@@ -126,6 +184,8 @@ class FilterCache:
         """
         if nbytes is None:
             nbytes = payload_nbytes(payload)
+        fault_point("cache.put", payload)
+        crc = payload_checksum(payload) if self.validate else None
         with self._lock:
             if nbytes > self.max_bytes:
                 self._rejected += 1
@@ -134,7 +194,7 @@ class FilterCache:
             if old is not None:
                 self._drop_tags(fp, old)
                 self._bytes -= old.nbytes
-            entry = _Entry(payload, nbytes, tables)
+            entry = _Entry(payload, nbytes, tables, crc)
             self._entries[fp] = entry
             self._bytes += nbytes
             for table in tables:
@@ -214,4 +274,5 @@ class FilterCache:
                 entries=len(self._entries),
                 bytes=self._bytes,
                 max_bytes=self.max_bytes,
+                corruptions=self._corruptions,
             )

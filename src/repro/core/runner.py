@@ -102,6 +102,7 @@ import numpy as np
 from ..cache.context import QueryCache, build_query_cache
 from ..cache.fingerprint import canonical_expr
 from ..cache.store import FilterCache
+from ..context import QueryContext
 from ..engine.aggregate import AggSpec, GroupKey, group_aggregate
 from ..engine.hashjoin import BuildSortCache, cross_join, hash_join
 from ..engine.parallel import (
@@ -127,6 +128,7 @@ from ..storage.catalog import Catalog
 from ..storage.partition import DEFAULT_PARTITION_ROWS, get_layout, slice_table
 from ..storage.table import Table
 from ..storage.view import AnyTable, TableView, materialize
+from ..testing.faults import fault_point
 from .ptgraph import build_pt_graph
 from .transfer import TransferConfig, run_transfer_rows
 from .yannakakis import run_semi_join_rows
@@ -158,6 +160,16 @@ class RunConfig:
     never results or cache fingerprints.  ``parallel`` lets an owner
     (the service Engine) inject a specific shared
     :class:`~repro.engine.parallel.ParallelContext` instead.
+
+    Resilience knobs: ``timeout`` (seconds; the deadline starts when
+    :func:`run_query` does) and ``memory_budget`` (bytes charged
+    against query-built filters and materialized output, with
+    exact→Bloom degradation before failure) create a per-query
+    :class:`~repro.context.QueryContext` checked at every phase
+    boundary and between chunk kernels.  ``context`` lets an owner (the
+    service Engine, or a test holding a cancellation token) pass a
+    ready-made context instead — then ``timeout``/``memory_budget``
+    here are ignored in favour of the context's own settings.
     """
 
     strategy: str = "predtrans"
@@ -171,6 +183,9 @@ class RunConfig:
     threads: int = 1
     partition_rows: int = DEFAULT_PARTITION_ROWS
     parallel: ParallelContext | None = None
+    timeout: float | None = None
+    memory_budget: int | None = None
+    context: QueryContext | None = None
 
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGIES:
@@ -186,6 +201,10 @@ class RunConfig:
             raise PlanError("threads must be >= 1")
         if self.partition_rows < 1:
             raise PlanError("partition_rows must be >= 1")
+        if self.timeout is not None and self.timeout < 0:
+            raise PlanError("timeout must be >= 0 seconds")
+        if self.memory_budget is not None and self.memory_budget <= 0:
+            raise PlanError("memory_budget must be positive bytes")
 
 
 @dataclass
@@ -212,19 +231,36 @@ def run_query(
         config = RunConfig(strategy=strategy or "predtrans")
     elif strategy is not None and strategy != config.strategy:
         config = replace(config, strategy=strategy)
+
+    # Resilience context: deadline / cancellation / memory budget.
+    # Built here (deadline starts at query start) unless the owner
+    # passed one in; threaded into ``config`` so pre-stages share the
+    # whole query's deadline and budget instead of restarting them.
+    qctx = config.context
+    if qctx is None and (
+        config.timeout is not None or config.memory_budget is not None
+    ):
+        qctx = QueryContext.start(
+            timeout=config.timeout, memory_budget=config.memory_budget
+        )
+        config = replace(config, context=qctx)
+
     scoped = catalog.scoped()
     stats = QueryStats(strategy=config.strategy, query=spec.name)
 
     # Per-query view of the intra-query worker pool: shares the
     # process-wide executor for this thread count (or the injected
     # service context) while counting this query's dispatched chunks.
+    # The query context rides along so chunk kernels check it too.
     base_parallel = (
         config.parallel if config.parallel is not None
         else get_parallel(config.threads)
     )
-    ctx = base_parallel.scoped()
+    ctx = base_parallel.scoped(qctx)
 
     for stage in spec.pre_stages:
+        if qctx is not None:
+            qctx.check("pre-stage")
         sub = run_query(stage.spec, scoped, config=config)
         scoped.register(sub.table, stage.output)
         stats.stage_stats.append(sub.stats)
@@ -244,6 +280,8 @@ def run_query(
     # ------------------------------------------------------------------
     # Scan phase: wrap (pruned) base columns, apply local predicates.
     # ------------------------------------------------------------------
+    if qctx is not None:
+        qctx.check("scan")
     t0 = time.perf_counter()
     scanned, rows = _scan(resolved, scoped, config, qcache, stats, ctx)
     local_sizes = {a: len(r) for a, r in rows.items()}
@@ -253,6 +291,8 @@ def run_query(
     # Pre-filter phase: strategy-specific whole-graph filtering over
     # sorted row-index vectors.
     # ------------------------------------------------------------------
+    if qctx is not None:
+        qctx.check("pre-filter")
     t1 = time.perf_counter()
     # Query-wide caches: key hashing (shared by transfer / semi-join /
     # BloomJoin prefilters) and build-side sorts (shared by all joins).
@@ -283,7 +323,7 @@ def run_query(
     elif config.strategy == "yannakakis":
         rows, stats.transfer = run_semi_join_rows(
             graph, scanned, rows, config.yannakakis_root,
-            hashes=prefilter_hashes, cache=qcache, parallel=ctx,
+            hashes=prefilter_hashes, cache=qcache, parallel=ctx, qctx=qctx,
         )
         if prefilter_fp is not None:
             qcache.put_prefilter(prefilter_fp, rows)
@@ -291,7 +331,7 @@ def run_query(
         ptgraph = build_pt_graph(graph, local_sizes)
         rows, stats.transfer = run_transfer_rows(
             ptgraph, scanned, rows, config.transfer,
-            hashes=prefilter_hashes, cache=qcache, parallel=ctx,
+            hashes=prefilter_hashes, cache=qcache, parallel=ctx, qctx=qctx,
         )
         if prefilter_fp is not None:
             qcache.put_prefilter(prefilter_fp, rows)
@@ -304,18 +344,22 @@ def run_query(
     # Join phase: selection vectors become the views' row selections
     # (lazy) or full-width filtered copies (eager oracle).
     # ------------------------------------------------------------------
+    if qctx is not None:
+        qctx.check("join")
     t2 = time.perf_counter()
-    reduced = _reduce(scanned, rows, config, stats)
+    reduced = _reduce(scanned, rows, config, stats, qctx)
     order = _choose_order(resolved, graph, reduced, local_sizes, config, join_order)
     current = _execute_join_phase(
         resolved, graph, reduced, order, config, stats, build_cache, hashes,
-        qcache, ctx,
+        qcache, ctx, qctx,
     )
     stats.join_seconds = time.perf_counter() - t2
 
     # ------------------------------------------------------------------
     # Post-operator pipeline (aggregation, having, order by, ...).
     # ------------------------------------------------------------------
+    if qctx is not None:
+        qctx.check("post")
     t3 = time.perf_counter()
     result = _apply_post(resolved, current)
     stats.post_seconds = time.perf_counter() - t3
@@ -324,16 +368,27 @@ def run_query(
     # Output materialization: one gather per output column (no-op when
     # the post pipeline already produced a concrete table).
     # ------------------------------------------------------------------
+    if qctx is not None:
+        qctx.check("materialize")
     t4 = time.perf_counter()
     table = materialize(result)
     if table is not result:
         stats.materialize_seconds += time.perf_counter() - t4
         stats.bytes_materialized += _table_nbytes(table)
+        if qctx is not None:
+            qctx.charge(_table_nbytes(table), "output materialization")
     stats.output_rows = table.num_rows
     stats.parallel_tasks = ctx.tasks
+    if qctx is not None:
+        # Cumulative across pre-stages (which share the context):
+        # reported on the outermost stats consumers actually read.
+        stats.filters_degraded = qctx.filters_degraded
+        stats.mem_peak_bytes = qctx.mem_peak
+        stats.memory_budget_bytes = qctx.memory_budget or 0
     if qcache is not None:
         stats.filter_cache_hits = qcache.hits
         stats.filter_cache_misses = qcache.misses
+        stats.filter_cache_errors = qcache.errors
         stats.filter_cache_bytes = config.filter_cache.total_bytes
     return QueryResult(table, stats)
 
@@ -534,6 +589,7 @@ def _reduce(
     rows: dict[str, np.ndarray],
     config: RunConfig,
     stats: QueryStats,
+    qctx: QueryContext | None = None,
 ) -> dict[str, AnyTable]:
     """Attach pre-filter survivors to the scanned relations.
 
@@ -553,10 +609,15 @@ def _reduce(
     t0 = time.perf_counter()
     reduced: dict[str, AnyTable] = {}
     for alias, r in rows.items():
+        if qctx is not None:
+            qctx.check("reduce")
         mask = np.zeros(scanned[alias].num_rows, dtype=np.bool_)
         mask[r] = True
         reduced[alias] = scanned[alias].filter(mask)
-        stats.bytes_materialized += _table_nbytes(reduced[alias])
+        nbytes = _table_nbytes(reduced[alias])
+        stats.bytes_materialized += nbytes
+        if qctx is not None:
+            qctx.charge(nbytes, f"eager reduction of {alias}")
     stats.materialize_seconds += time.perf_counter() - t0
     return reduced
 
@@ -632,6 +693,7 @@ def _execute_join_phase(
     hashes: KeyHashCache | None = None,
     qcache: QueryCache | None = None,
     ctx: ParallelContext | None = None,
+    qctx: QueryContext | None = None,
 ) -> AnyTable:
     """Left-deep joins per connected component, then cross-join combine.
 
@@ -662,6 +724,8 @@ def _execute_join_phase(
         joined = {comp_order[0]}
         current = _apply_ready_residuals(current, pending)
         for alias in comp_order[1:]:
+            if qctx is not None:
+                qctx.check("join")
             neighbors = sorted(n for n in graph.neighbors(alias) if n in joined)
             if not neighbors:
                 raise PlanError(
@@ -681,7 +745,7 @@ def _execute_join_phase(
                 probe_rows = _bloom_prefilter(
                     probe_table, build_table, probe_on, build_on, config, stats,
                     hashes, stable_ids, qcache, alias_of.get(id(build_table)),
-                    ctx,
+                    ctx, qctx,
                 )
 
             join_index += 1
@@ -765,6 +829,7 @@ def _bloom_prefilter(
     qcache: QueryCache | None = None,
     build_alias: str | None = None,
     ctx: ParallelContext | None = None,
+    qctx: QueryContext | None = None,
 ) -> np.ndarray:
     """BloomJoin's one-hop filter: build side filters probe side.
 
@@ -806,6 +871,12 @@ def _bloom_prefilter(
             fpp=config.bloom_fpp,
         )
         stats.transfer.bloom_inserts += build_table.num_rows
+        # Build-then-commit ordering: an injected build failure (or a
+        # budget overrun) propagates before the cache put, so a
+        # half-trusted filter never lands in the shared cache.
+        fault_point("filter.build")
+        if qctx is not None:
+            qctx.charge(bloom.size_bytes(), "bloomjoin filter")
         if cacheable:
             qcache.put_filter(build_alias, tuple(build_on), "bloom", params, bloom)
     probe_cols = [probe_table.column(c) for c in probe_on]

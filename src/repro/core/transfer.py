@@ -45,6 +45,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..context import QueryContext
 from ..engine.parallel import (
     ParallelContext,
     parallel_bloom_build,
@@ -56,6 +57,7 @@ from ..filters.bloom import BloomFilter
 from ..filters.exact import ExactFilter
 from ..filters.hashcache import KeyHashCache
 from ..storage.table import Table
+from ..testing.faults import fault_point
 from .ptgraph import PTEdge, PTGraph
 
 
@@ -160,6 +162,9 @@ class TransferState:
     # kernels stay byte-identical to serial execution, so the filter
     # cache's pristine-vertex entries remain valid across thread counts.
     parallel: ParallelContext = field(default_factory=ParallelContext)
+    # Resilience: deadline/cancellation checks per vertex, memory-budget
+    # charging (with exact→Bloom degradation) per built filter.
+    qctx: QueryContext | None = None
 
     def selected_count(self, alias: str) -> int:
         """Rows currently surviving at ``alias``."""
@@ -185,6 +190,7 @@ def run_transfer_rows(
     hashes: KeyHashCache | None = None,
     cache=None,
     parallel: ParallelContext | None = None,
+    qctx: QueryContext | None = None,
 ) -> tuple[dict[str, np.ndarray], TransferStats]:
     """Run the predicate transfer phase on sorted row-index vectors.
 
@@ -216,6 +222,10 @@ def run_transfer_rows(
         OR-merged word-wise) and every filter probe is chunked, with
         results byte-identical to serial execution.  Omitted = the
         serial executor.
+    qctx:
+        Optional :class:`~repro.context.QueryContext`: checked per
+        vertex (deadline/cancellation) and charged per built filter
+        (memory budget; exact filters degrade to Bloom before failing).
 
     Returns the reduced row vectors and phase statistics.
     """
@@ -227,6 +237,7 @@ def run_transfer_rows(
         cache=cache,
         pristine=set(rows) if cache is not None else set(),
         parallel=parallel or ParallelContext(),
+        qctx=qctx,
     )
     stats = TransferStats()
     for alias in rows:
@@ -285,6 +296,8 @@ def _run_pass(
     state.pending = {alias: [] for alias in order}
 
     for alias in order:
+        if state.qctx is not None:
+            state.qctx.check("predicate transfer")
         _apply_incoming(state, alias, config, stats)
         emit = out_edges.get(alias, [])
         if not emit:
@@ -341,6 +354,19 @@ def _apply_incoming(
     state.pending[alias] = []
 
 
+def exact_bytes_estimate(n_keys: int) -> int:
+    """Predicted :class:`VectorHashSet` footprint for ``n_keys`` keys.
+
+    Mirrors the set's sizing rule (power-of-two slot array at ≤50%
+    load, 8-byte slots + 1-byte occupancy), so the memory-budget
+    degradation decision can run *before* the allocation it guards.
+    """
+    size = 1
+    while size < max(2 * n_keys, 16):
+        size <<= 1
+    return size * 9
+
+
 def _build_filter(
     state: TransferState,
     alias: str,
@@ -362,11 +388,26 @@ def _build_filter(
         if cached is not None:
             stats.filter_bytes += cached.size_bytes()
             return cached
+    qctx = state.qctx
+    kind = config.filter_type
+    if (
+        kind == "exact"
+        and qctx is not None
+        and qctx.would_exceed(exact_bytes_estimate(len(rows)))
+    ):
+        # Graceful degradation: a Bloom filter at the configured fpp is
+        # ~an order of magnitude smaller and — having no false
+        # negatives — keeps results byte-identical; it just pre-filters
+        # less precisely.  Degraded filters are never cached: they
+        # would poison the exact-kind fingerprint for future queries.
+        kind = "bloom"
+        cacheable = False
+        qctx.note_degraded()
     table = state.tables[alias]
     columns = [table.column(c) for c in key_columns]
     gather = rows if len(rows) < table.num_rows else None
     keys = state.hashes.bloom_keys(columns, gather)
-    if config.filter_type == "bloom":
+    if kind == "bloom":
         filt = parallel_bloom_build(
             state.parallel, keys, capacity=len(rows), fpp=config.fpp
         )
@@ -374,6 +415,12 @@ def _build_filter(
     else:
         filt = ExactFilter.from_keys(keys)
         stats.hash_inserts += len(rows)
+    # The fault point sits between build and commit: an injected build
+    # failure propagates before the put below, so a partially-trusted
+    # filter is never committed to the shared cache.
+    fault_point("filter.build")
+    if qctx is not None:
+        qctx.charge(filt.size_bytes(), f"transfer filter at {alias}")
     stats.filter_bytes += filt.size_bytes()
     if cacheable:
         state.cache.put_filter(alias, key_columns, config.filter_type, params, filt)

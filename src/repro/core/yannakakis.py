@@ -31,14 +31,21 @@ from dataclasses import dataclass, field
 import networkx as nx
 import numpy as np
 
+from ..context import QueryContext
 from ..engine.parallel import ParallelContext, parallel_membership
 from ..engine.stats import TransferStats
+from ..filters.bloom import BloomFilter
 from ..filters.exact import ExactFilter
 from ..filters.hashcache import KeyHashCache
 from ..plan.joingraph import edge_keys_for
 from ..storage.table import Table
+from ..testing.faults import fault_point
 from .ptgraph import allowed_directions
-from .transfer import masks_to_rows, rows_to_masks
+from .transfer import exact_bytes_estimate, masks_to_rows, rows_to_masks
+
+#: Target fpp for semi-join filters degraded exact→Bloom under a
+#: memory budget (the paper's default transfer fpp).
+DEGRADED_FPP = 0.01
 
 
 @dataclass
@@ -95,8 +102,11 @@ def _semi_join(
     cache=None,
     pristine: set[str] | None = None,
     parallel: ParallelContext | None = None,
+    qctx: QueryContext | None = None,
 ) -> None:
     """Filter ``dst`` to rows whose key matches a surviving ``src`` row."""
+    if qctx is not None:
+        qctx.check("semi-join")
     keys_src_dst = edge_keys_for(join_graph, src, dst)
     src_rows = rows[src]
     dst_rows = rows[dst]
@@ -117,8 +127,27 @@ def _semi_join(
         filt = cache.get_filter(src, src_key_cols, "exact-semi", "")
     if filt is None:
         src_cols = [tables[src].column(a) for a, _ in keys_src_dst]
-        filt = ExactFilter.from_keys(hashes.bloom_keys(src_cols, src_rows))
-        stats.hash_inserts += len(src_rows)
+        src_keys = hashes.bloom_keys(src_cols, src_rows)
+        if (
+            qctx is not None
+            and qctx.would_exceed(exact_bytes_estimate(len(src_rows)))
+        ):
+            # Memory-budget degradation: a Bloom filter keeps the
+            # semi-join sound (no false negatives — only extra
+            # survivors the join phase re-checks), at a fraction of the
+            # exact set's footprint.  Never cached: the "exact-semi"
+            # fingerprint promises an exact filter.
+            filt = BloomFilter(capacity=len(src_rows), fpp=DEGRADED_FPP)
+            filt.add_hashes(src_keys)
+            stats.bloom_inserts += len(src_rows)
+            qctx.note_degraded()
+            cacheable = False
+        else:
+            filt = ExactFilter.from_keys(src_keys)
+            stats.hash_inserts += len(src_rows)
+        fault_point("filter.build")
+        if qctx is not None:
+            qctx.charge(filt.size_bytes(), f"semi-join filter at {src}")
         if cacheable:
             cache.put_filter(src, src_key_cols, "exact-semi", "", filt)
     dst_cols = [tables[dst].column(b) for _, b in keys_src_dst]
@@ -127,7 +156,10 @@ def _semi_join(
         filt,
         hashes.bloom_keys(dst_cols, dst_rows),
     )
-    stats.hash_probes += len(dst_rows)
+    if isinstance(filt, BloomFilter):
+        stats.bloom_probes += len(dst_rows)
+    else:
+        stats.hash_probes += len(dst_rows)
     if not keep.all():
         rows[dst] = dst_rows[keep]
         if pristine is not None:
@@ -143,6 +175,7 @@ def run_semi_join_rows(
     hashes: KeyHashCache | None = None,
     cache=None,
     parallel: ParallelContext | None = None,
+    qctx: QueryContext | None = None,
 ) -> tuple[dict[str, np.ndarray], TransferStats]:
     """Yannakakis semi-join passes over sorted row-index vectors.
 
@@ -177,7 +210,7 @@ def run_semi_join_rows(
                 if _direction_allowed(join_graph, child, parent):
                     _semi_join(
                         join_graph, tables, rows, child, parent, stats,
-                        hashes, cache, pristine, parallel,
+                        hashes, cache, pristine, parallel, qctx,
                     )
         # Backward pass (top-down): each child is reduced by its parent.
         for parent in jtree.top_down():
@@ -185,7 +218,7 @@ def run_semi_join_rows(
                 if _direction_allowed(join_graph, parent, child):
                     _semi_join(
                         join_graph, tables, rows, parent, child, stats,
-                        hashes, cache, pristine, parallel,
+                        hashes, cache, pristine, parallel, qctx,
                     )
         # Residual-edge post-verification (the cyclic fallback): edges
         # the spanning tree skipped still constrain the final join, so
@@ -195,7 +228,7 @@ def run_semi_join_rows(
                 if _direction_allowed(join_graph, src, dst):
                     _semi_join(
                         join_graph, tables, rows, src, dst, stats,
-                        hashes, cache, pristine, parallel,
+                        hashes, cache, pristine, parallel, qctx,
                     )
                     stats.edges_verified += 1
 

@@ -47,7 +47,9 @@ from typing import Callable, Iterable, TypeVar
 
 import numpy as np
 
+from ..context import QueryContext
 from ..filters.bloom import BloomFilter
+from ..testing.faults import fault_point
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -91,13 +93,17 @@ class ParallelContext:
     counts independently.
     """
 
-    __slots__ = ("threads", "tasks", "_executor")
+    __slots__ = ("threads", "tasks", "qctx", "_executor")
 
     def __init__(
-        self, threads: int = 1, executor: ThreadPoolExecutor | None = None
+        self,
+        threads: int = 1,
+        executor: ThreadPoolExecutor | None = None,
+        qctx: QueryContext | None = None,
     ) -> None:
         self.threads = max(1, min(int(threads), MAX_THREADS))
         self.tasks = 0
+        self.qctx = qctx
         self._executor = executor
 
     # ------------------------------------------------------------------
@@ -106,9 +112,14 @@ class ParallelContext:
         """True when this context may dispatch to a worker pool."""
         return self.threads > 1
 
-    def scoped(self) -> "ParallelContext":
-        """A child sharing the pool with a fresh task counter."""
-        return ParallelContext(self.threads, self._executor)
+    def scoped(self, qctx: QueryContext | None = None) -> "ParallelContext":
+        """A child sharing the pool with a fresh task counter.
+
+        A :class:`~repro.context.QueryContext` attached here is checked
+        between chunk kernels, so even a single long phase aborts
+        within one morsel of a deadline or cancellation.
+        """
+        return ParallelContext(self.threads, self._executor, qctx)
 
     def _pool(self) -> ThreadPoolExecutor:
         if self._executor is None:
@@ -125,10 +136,27 @@ class ParallelContext:
         docstring's deadlock-freedom argument).
         """
         work = list(items)
+        qctx = self.qctx
         if not self.parallel or len(work) <= 1:
-            return [fn(item) for item in work]
+            out = []
+            for item in work:
+                if qctx is not None:
+                    qctx.check("chunk kernel")
+                fault_point("chunk.kernel")
+                out.append(fn(item))
+            return out
         self.tasks += len(work)
-        return list(self._pool().map(fn, work))
+
+        def kernel(item: T) -> R:
+            # Runs on a pool worker: a failed check raises there and
+            # surfaces through the ordered merge below, so the whole
+            # phase aborts within one morsel.
+            if qctx is not None:
+                qctx.check("chunk kernel")
+            fault_point("chunk.kernel")
+            return fn(item)
+
+        return list(self._pool().map(kernel, work))
 
     def task_bounds(
         self, n: int, min_rows: int = MIN_TASK_ROWS

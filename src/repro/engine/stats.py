@@ -97,13 +97,34 @@ class QueryStats:
     filter_cache_hits: int = 0
     filter_cache_misses: int = 0
     filter_cache_bytes: int = 0
+    # Cache-backend failures degraded to misses (the cache is an
+    # accelerator, never a dependency).
+    filter_cache_errors: int = 0
     partitions_total: int = 0
     partitions_pruned: int = 0
     parallel_tasks: int = 0
+    # Resilience: exact→Bloom filter degradations under a memory
+    # budget, the budget itself (0 = unlimited), and the query's
+    # charged high-water mark.  Cumulative across pre-stages (they
+    # share one QueryContext), so read them on the top-level stats.
+    filters_degraded: int = 0
+    memory_budget_bytes: int = 0
+    mem_peak_bytes: int = 0
     joins: list[JoinStat] = field(default_factory=list)
     transfer: TransferStats = field(default_factory=TransferStats)
     output_rows: int = 0
     stage_stats: list["QueryStats"] = field(default_factory=list)
+
+    @property
+    def outcome(self) -> str:
+        """``repro-bench/v5`` outcome label of a *completed* query.
+
+        ``"degraded"`` when any filter fell back exact→Bloom under the
+        memory budget, else ``"ok"``.  Failed queries never produce a
+        ``QueryStats``; their outcome comes from the typed error's own
+        ``outcome`` attribute (:mod:`repro.errors`).
+        """
+        return "degraded" if self.filters_degraded else "ok"
 
     @property
     def total_seconds(self) -> float:

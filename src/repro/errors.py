@@ -25,3 +25,101 @@ class ExecutionError(ReproError):
 
 class FilterError(ReproError):
     """Invalid configuration or use of a transferable filter."""
+
+
+# ----------------------------------------------------------------------
+# Resilience taxonomy (service-layer per-query failure classes)
+# ----------------------------------------------------------------------
+# Every class below is a *clean, typed* per-query outcome: the engine's
+# invariant is that a query either returns a result byte-identical to
+# the serial eager oracle or raises exactly one of these — never a
+# wrong answer, a deadlock, or a leaked worker slot.  They are raised
+# at cooperative checkpoints, preserved across service futures, and
+# counted in ``EngineStats``/workload digests under the ``outcome``
+# field of ``repro-bench/v5`` records.
+
+
+class QueryAborted(ReproError):
+    """Base class for queries stopped before producing a result
+    (deadline, cancellation, admission control, memory budget)."""
+
+    #: ``repro-bench/v5`` per-query outcome label.
+    outcome = "aborted"
+
+
+class QueryTimeout(QueryAborted):
+    """The query's deadline passed before it finished.
+
+    Raised at the next cooperative checkpoint after the deadline
+    (phase boundaries and chunk-kernel boundaries), so the worker slot
+    is reclaimed promptly and no partially-built artifact is ever
+    committed to a shared cache.
+    """
+
+    outcome = "timeout"
+
+    def __init__(self, message: str = "query deadline exceeded",
+                 *, elapsed: float | None = None) -> None:
+        if elapsed is not None:
+            message = f"{message} (after {elapsed:.3f}s)"
+        super().__init__(message)
+        self.elapsed = elapsed
+
+
+class QueryCancelled(QueryAborted):
+    """The query's cancellation token was triggered
+    (``Session.cancel()`` or an engine shutdown)."""
+
+    outcome = "cancelled"
+
+
+class EngineSaturated(QueryAborted):
+    """Admission control rejected the query: the engine's pending
+    queue is full.
+
+    ``retry_after`` is the server's backoff hint in seconds (an
+    estimate of when a slot should free up); the client-side retry
+    helper (:meth:`repro.service.engine.Session.execute_with_retry`)
+    honours it.
+    """
+
+    outcome = "rejected"
+
+    def __init__(self, message: str = "engine saturated",
+                 *, retry_after: float = 0.1) -> None:
+        super().__init__(f"{message} (retry_after={retry_after:.3f}s)")
+        self.retry_after = retry_after
+
+
+class MemoryBudgetExceeded(QueryAborted):
+    """The query's memory budget is exhausted even after graceful
+    degradation (exact-set filters already fell back to Bloom)."""
+
+    outcome = "budget"
+
+
+class CacheCorruption(ReproError):
+    """A checksum-validated cache entry failed verification.
+
+    The shared :class:`~repro.cache.store.FilterCache` never lets a
+    corrupt payload reach a query — a failed checksum is handled as a
+    miss (drop + rebuild) and counted in
+    :class:`~repro.cache.store.CacheStats`.  This error is raised only
+    by ``FilterCache(strict_corruption=True)`` diagnostics runs and by
+    the fault-injection harness's assertions.
+    """
+
+
+class FaultInjected(ExecutionError):
+    """An induced failure from the deterministic fault-injection
+    harness (:mod:`repro.testing.faults`).
+
+    Derives from :class:`ExecutionError` so chaos tests exercise the
+    exact propagation path of a real runtime failure while remaining
+    distinguishable from organic errors.
+    """
+
+    def __init__(self, point: str, hit: int) -> None:
+        super().__init__(f"injected fault at {point!r} (hit #{hit})")
+        self.point = point
+        self.hit = hit

@@ -12,7 +12,7 @@ The serving layer grown on top of the single-query executor:
 
 from __future__ import annotations
 
-from .engine import Engine, EngineStats, Session
+from .engine import Engine, EngineStats, RetryPolicy, Session
 from .workload import (
     ReplayResult,
     build_catalog,
@@ -26,6 +26,7 @@ __all__ = [
     "Engine",
     "EngineStats",
     "ReplayResult",
+    "RetryPolicy",
     "Session",
     "build_catalog",
     "build_stream",

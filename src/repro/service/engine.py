@@ -57,6 +57,7 @@ function of base-table contents and predicate shape.
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from collections import deque
@@ -64,18 +65,29 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 
 from ..cache.store import CacheStats, FilterCache
+from ..context import CancelToken, QueryContext
 from ..core.runner import QueryResult, RunConfig, run_query
 from ..engine.parallel import get_parallel
 from ..engine.stats import QueryStats
+from ..errors import EngineSaturated, QueryCancelled
 from ..filters.hashcache import KeyHashCache
 from ..plan.query import QuerySpec
 from ..storage.catalog import Catalog
 from ..storage.table import Table
+from ..testing.faults import fault_point
 
 
 @dataclass
 class EngineStats:
-    """Aggregate serving statistics across all executed queries."""
+    """Aggregate serving statistics across all executed queries.
+
+    Failed queries are counted by typed outcome (the resilience
+    taxonomy of :mod:`repro.errors`): ``rejected`` at admission,
+    ``timeouts`` / ``cancellations`` / ``budget_exceeded`` at
+    execution, ``failures`` for everything else.  ``degraded`` counts
+    *successful* queries that fell back exact→Bloom under a memory
+    budget.
+    """
 
     queries: int = 0
     seconds: float = 0.0
@@ -83,6 +95,12 @@ class EngineStats:
     filter_cache_hits: int = 0
     filter_cache_misses: int = 0
     by_strategy: dict[str, int] = field(default_factory=dict)
+    rejected: int = 0
+    timeouts: int = 0
+    cancellations: int = 0
+    budget_exceeded: int = 0
+    failures: int = 0
+    degraded: int = 0
 
     def record(self, stats: QueryStats, seconds: float, rows: int) -> None:
         self.queries += 1
@@ -93,6 +111,20 @@ class EngineStats:
         self.by_strategy[stats.strategy] = (
             self.by_strategy.get(stats.strategy, 0) + 1
         )
+        if stats.filters_degraded:
+            self.degraded += 1
+
+    def record_error(self, exc: BaseException) -> None:
+        """Count a failed query under its typed outcome."""
+        outcome = getattr(exc, "outcome", None)
+        if outcome == "timeout":
+            self.timeouts += 1
+        elif outcome == "cancelled":
+            self.cancellations += 1
+        elif outcome == "budget":
+            self.budget_exceeded += 1
+        else:
+            self.failures += 1
 
     def snapshot(self) -> "EngineStats":
         return EngineStats(
@@ -102,7 +134,73 @@ class EngineStats:
             filter_cache_hits=self.filter_cache_hits,
             filter_cache_misses=self.filter_cache_misses,
             by_strategy=dict(self.by_strategy),
+            rejected=self.rejected,
+            timeouts=self.timeouts,
+            cancellations=self.cancellations,
+            budget_exceeded=self.budget_exceeded,
+            failures=self.failures,
+            degraded=self.degraded,
         )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side jittered exponential backoff for retryable errors.
+
+    ``attempts`` bounds total tries; delay ``k`` is ``base_delay *
+    multiplier**k`` capped at ``max_delay``, scaled by a uniform jitter
+    in ``[1-jitter, 1+jitter]`` drawn from a ``seed``-able RNG (so
+    tests are deterministic), and floored by the server's
+    ``retry_after`` hint when the error carries one.  Only error types
+    in ``retry_on`` are retried — by default just
+    :class:`~repro.errors.EngineSaturated`; timeouts and budget errors
+    would fail identically on a plain retry.
+    """
+
+    attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    seed: int | None = None
+    retry_on: tuple = (EngineSaturated,)
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delays(self) -> list[float]:
+        """The deterministic pre-hint backoff schedule (attempts-1 waits)."""
+        rng = random.Random(self.seed)
+        out = []
+        delay = self.base_delay
+        for _ in range(self.attempts - 1):
+            scale = 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+            out.append(min(delay, self.max_delay) * scale)
+            delay *= self.multiplier
+        return out
+
+
+class _Job:
+    """An admitted query: its outer future + resilience context.
+
+    The engine hands callers a future *it* owns (not the pool's):
+    pool futures cannot have an exception set externally once queued,
+    but shutdown must be able to resolve never-started queries with a
+    typed :class:`~repro.errors.QueryCancelled` instead of hanging or
+    leaking ``CancelledError``.  ``started``/``done`` transitions are
+    guarded by the engine lock.
+    """
+
+    __slots__ = ("future", "context", "started", "done")
+
+    def __init__(self, context: QueryContext) -> None:
+        self.future: Future[QueryResult] = Future()
+        self.context = context
+        self.started = False
+        self.done = False
 
 
 class Engine:
@@ -120,6 +218,11 @@ class Engine:
         Filter-cache byte budget (``None`` disables caching entirely).
     workers:
         Worker-pool size bounding concurrent query execution.
+    max_pending:
+        Admission control: beyond ``workers + max_pending``
+        unfinished queries, :meth:`submit` raises
+        :class:`~repro.errors.EngineSaturated` (with a ``retry_after``
+        hint) instead of queueing unboundedly.
     """
 
     def __init__(
@@ -129,6 +232,7 @@ class Engine:
         config: RunConfig | None = None,
         cache_bytes: int | None = FilterCache.DEFAULT_MAX_BYTES,
         workers: int = 4,
+        max_pending: int = 256,
     ) -> None:
         self.catalog = catalog
         self.filter_cache = (
@@ -141,11 +245,17 @@ class Engine:
         # queries bringing their own config still resolve through the
         # same process-wide pool registry, so the cap holds either way.
         self._parallel = get_parallel(self._default_config.threads)
+        self._workers = max(1, workers)
+        if max_pending < 0:
+            raise ValueError("max_pending must be >= 0")
+        self._admission_limit = self._workers + max_pending
         self._pool = ThreadPoolExecutor(
-            max_workers=max(1, workers), thread_name_prefix="repro-engine"
+            max_workers=self._workers, thread_name_prefix="repro-engine"
         )
         self._lock = threading.Lock()
         self._stats = EngineStats()
+        self._jobs: set[_Job] = set()
+        self._pending = 0
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -165,27 +275,135 @@ class Engine:
             parallel=parallel,
         )
 
-    def _run(self, spec: QuerySpec, config: RunConfig | None) -> QueryResult:
+    def _build_context(
+        self,
+        config: RunConfig | None,
+        timeout: float | None,
+        token: CancelToken | None,
+    ) -> QueryContext:
+        """The per-query resilience context for one submission.
+
+        An explicit ``context`` on the config wins (the caller manages
+        it); otherwise a fresh one is opened from the ``timeout``
+        argument (falling back to the config's) and the config's
+        memory budget.  Every admitted job has a context, so shutdown
+        can always cancel it.
+        """
+        base = config or self._default_config
+        if base.context is not None:
+            return base.context
+        eff_timeout = timeout if timeout is not None else base.timeout
+        return QueryContext.start(
+            timeout=eff_timeout, token=token, memory_budget=base.memory_budget
+        )
+
+    def _retry_hint_locked(self) -> float:
+        """Seconds until a slot should free up (call under the lock)."""
+        avg = self._stats.seconds / self._stats.queries if self._stats.queries else 0.05
+        queued = max(1, self._pending - self._workers + 1)
+        return min(5.0, max(0.01, avg * queued / self._workers))
+
+    def _run(
+        self,
+        spec: QuerySpec,
+        config: RunConfig | None,
+        qctx: QueryContext | None = None,
+    ) -> QueryResult:
+        effective = self._effective_config(config)
+        if qctx is not None:
+            effective = replace(effective, context=qctx)
         t0 = time.perf_counter()
-        result = run_query(spec, self.catalog, config=self._effective_config(config))
+        result = run_query(spec, self.catalog, config=effective)
         elapsed = time.perf_counter() - t0
         with self._lock:
             self._stats.record(result.stats, elapsed, result.table.num_rows)
         return result
 
+    def _resolve(
+        self,
+        job: _Job,
+        *,
+        result: QueryResult | None = None,
+        exc: BaseException | None = None,
+    ) -> bool:
+        """Resolve a job's future exactly once, releasing its slot."""
+        with self._lock:
+            if job.done:
+                return False
+            job.done = True
+            self._pending -= 1
+            self._jobs.discard(job)
+            if exc is not None:
+                self._stats.record_error(exc)
+        if exc is not None:
+            job.future.set_exception(exc)
+        else:
+            job.future.set_result(result)
+        return True
+
+    def _task(self, job: _Job, spec: QuerySpec, config: RunConfig | None) -> None:
+        """Pool-side body: skip if shutdown already resolved the job."""
+        with self._lock:
+            if job.done:
+                return
+            job.started = True
+        try:
+            result = self._run(spec, config, job.context)
+        except BaseException as exc:
+            self._resolve(job, exc=exc)
+        else:
+            self._resolve(job, result=result)
+
     def submit(
-        self, spec: QuerySpec, config: RunConfig | None = None
+        self,
+        spec: QuerySpec,
+        config: RunConfig | None = None,
+        *,
+        timeout: float | None = None,
+        token: CancelToken | None = None,
     ) -> "Future[QueryResult]":
-        """Enqueue a query on the worker pool; returns its future."""
-        if self._closed:
-            raise RuntimeError("engine is closed")
-        return self._pool.submit(self._run, spec, config)
+        """Admit a query to the worker pool; returns its future.
+
+        ``timeout`` (seconds, from now) and ``token`` open this
+        query's :class:`~repro.context.QueryContext`.  Raises
+        :class:`~repro.errors.EngineSaturated` when ``workers +
+        max_pending`` queries are already unfinished; the error's
+        ``retry_after`` estimates when to try again.  Typed errors
+        raised by the query are preserved through the returned future.
+        """
+        qctx = self._build_context(config, timeout, token)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("engine is closed")
+            if self._pending >= self._admission_limit:
+                self._stats.rejected += 1
+                raise EngineSaturated(retry_after=self._retry_hint_locked())
+            job = _Job(qctx)
+            self._pending += 1
+            self._jobs.add(job)
+        try:
+            fault_point("worker.submit")
+            self._pool.submit(self._task, job, spec, config)
+        except BaseException:
+            # Slot-leak-free admission: an injected submit fault (or a
+            # pool shutdown race) releases the slot before propagating.
+            with self._lock:
+                job.done = True
+                self._pending -= 1
+                self._jobs.discard(job)
+            raise
+        return job.future
 
     def execute(
-        self, spec: QuerySpec, config: RunConfig | None = None
+        self,
+        spec: QuerySpec,
+        config: RunConfig | None = None,
+        *,
+        timeout: float | None = None,
+        token: CancelToken | None = None,
     ) -> QueryResult:
         """Run a query through the worker pool and wait for its result."""
-        return self.submit(spec, config).result()
+        return self.submit(spec, config, timeout=timeout, token=token).result()
 
     def run_many(
         self, specs: list[QuerySpec], config: RunConfig | None = None
@@ -234,10 +452,38 @@ class Engine:
             return self._stats.snapshot()
 
     # ------------------------------------------------------------------
+    def shutdown(self, *, wait: bool = True, cancel: bool = False) -> None:
+        """Stop the engine; every in-flight future resolves (idempotent).
+
+        ``cancel=False`` (graceful): no new admissions, queued and
+        running queries finish and their futures carry real results.
+        ``cancel=True``: running queries abort at their next
+        cooperative checkpoint and queries still waiting for a worker
+        are resolved immediately — either way with a typed
+        :class:`~repro.errors.QueryCancelled`, never a hang and never
+        a bare ``CancelledError``.
+        """
+        with self._lock:
+            self._closed = True
+            jobs = list(self._jobs)
+        if cancel:
+            for job in jobs:
+                job.context.cancel()
+            for job in jobs:
+                with self._lock:
+                    unstarted = not job.started and not job.done
+                if unstarted:
+                    self._resolve(
+                        job,
+                        exc=QueryCancelled(
+                            "engine shut down before the query started"
+                        ),
+                    )
+        self._pool.shutdown(wait=wait)
+
     def close(self) -> None:
-        """Shut down the worker pool (idempotent)."""
-        self._closed = True
-        self._pool.shutdown(wait=True)
+        """Graceful :meth:`shutdown` (in-flight queries finish)."""
+        self.shutdown(wait=True, cancel=False)
 
     def __enter__(self) -> "Engine":
         return self
@@ -266,19 +512,80 @@ class Session:
         self._queries = 0
         self._hits = 0
         self._misses = 0
+        self._active_tokens: set[CancelToken] = set()
 
     def execute(
-        self, spec: QuerySpec, config: RunConfig | None = None
+        self,
+        spec: QuerySpec,
+        config: RunConfig | None = None,
+        *,
+        timeout: float | None = None,
     ) -> QueryResult:
         """Execute through the engine's worker pool; records counters
-        and the bounded recent-stats window."""
-        result = self.engine.execute(spec, config or self.config)
+        and the bounded recent-stats window.  Each call gets a private
+        cancellation token, registered while in flight so
+        :meth:`cancel` can abort it."""
+        token = CancelToken()
+        with self._lock:
+            self._active_tokens.add(token)
+        try:
+            result = self.engine.execute(
+                spec, config or self.config, timeout=timeout, token=token
+            )
+        finally:
+            with self._lock:
+                self._active_tokens.discard(token)
         with self._lock:
             self._queries += 1
             self._hits += result.stats.filter_cache_hits_total
             self._misses += result.stats.filter_cache_misses_total
             self.history.append(result.stats)
         return result
+
+    def cancel(self) -> int:
+        """Abort this session's in-flight queries at their next
+        cooperative checkpoint; returns how many were signalled.
+
+        Each aborted query's caller gets a typed
+        :class:`~repro.errors.QueryCancelled`; queries submitted after
+        this call are unaffected (tokens are per-execute)."""
+        with self._lock:
+            tokens = list(self._active_tokens)
+        for token in tokens:
+            token.cancel()
+        return len(tokens)
+
+    def execute_with_retry(
+        self,
+        spec: QuerySpec,
+        config: RunConfig | None = None,
+        *,
+        timeout: float | None = None,
+        policy: RetryPolicy | None = None,
+        sleep=time.sleep,
+    ) -> QueryResult:
+        """:meth:`execute` with jittered exponential backoff.
+
+        Retries only the types in ``policy.retry_on`` (by default
+        admission rejections), waiting the larger of the policy's
+        seeded-jitter schedule and the server's ``retry_after`` hint
+        between attempts; after ``policy.attempts`` tries the last
+        typed error is re-raised.  ``sleep`` is injectable for
+        deterministic tests.
+        """
+        policy = policy or RetryPolicy()
+        delays = policy.delays()
+        last: BaseException | None = None
+        for attempt in range(policy.attempts):
+            try:
+                return self.execute(spec, config, timeout=timeout)
+            except policy.retry_on as exc:
+                last = exc
+                if attempt == policy.attempts - 1:
+                    break
+                hint = float(getattr(exc, "retry_after", 0.0) or 0.0)
+                sleep(max(delays[attempt], hint))
+        raise last
 
     @property
     def queries_executed(self) -> int:

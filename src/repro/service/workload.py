@@ -31,6 +31,7 @@ from dataclasses import dataclass, replace as dc_replace
 import numpy as np
 
 from ..core.runner import RunConfig
+from ..errors import QueryAborted
 from ..expr.nodes import (
     And,
     Arithmetic,
@@ -282,6 +283,13 @@ class ReplayResult:
             out[item["query"]] = out.get(item["query"], 0.0) + item["seconds"]
         return out
 
+    def outcome_counts(self) -> dict[str, int]:
+        """Per-item outcome histogram (``ok``/``degraded``/``timeout``/...)."""
+        out: dict[str, int] = {}
+        for item in self.items:
+            out[item["outcome"]] = out.get(item["outcome"], 0) + 1
+        return out
+
 
 def replay(
     engine: Engine,
@@ -296,21 +304,61 @@ def replay(
     ``workers > 1`` submits everything to the engine's pool (which
     bounds actual parallelism); wall time then measures the whole
     batch.  Per-item records keep stats-attributed seconds, cache
-    counters, and (optionally) a result digest for identity checks.
+    counters, the ``repro-bench/v5`` ``outcome`` label, and
+    (optionally) a result digest for identity checks.
+
+    A per-query :class:`~repro.errors.QueryAborted` (timeout,
+    cancellation, admission rejection, memory budget) is a clean,
+    recorded outcome — the replay keeps going and the item carries the
+    error's ``outcome``/message instead of stats.  Anything else
+    (a genuine execution bug) still propagates.
     """
     t0 = time.perf_counter()
+    outcomes: list[object] = []
     if workers <= 1:
-        results = [engine.execute(spec, config) for spec in stream]
+        for spec in stream:
+            try:
+                outcomes.append(engine.execute(spec, config))
+            except QueryAborted as exc:
+                outcomes.append(exc)
     else:
-        futures = [engine.submit(spec, config) for spec in stream]
-        results = [f.result() for f in futures]
+        futures: list[object] = []
+        for spec in stream:
+            try:
+                futures.append(engine.submit(spec, config))
+            except QueryAborted as exc:  # synchronous admission rejection
+                futures.append(exc)
+        for f in futures:
+            if isinstance(f, QueryAborted):
+                outcomes.append(f)
+                continue
+            try:
+                outcomes.append(f.result())
+            except QueryAborted as exc:
+                outcomes.append(exc)
     wall = time.perf_counter() - t0
     items = []
-    for spec, result in zip(stream, results):
+    for spec, result in zip(stream, outcomes):
+        if isinstance(result, QueryAborted):
+            items.append(
+                {
+                    "query": spec.name,
+                    "strategy": None,
+                    "outcome": result.outcome,
+                    "error": str(result),
+                    "seconds": 0.0,
+                    "output_rows": 0,
+                    "filter_cache_hits": 0,
+                    "filter_cache_misses": 0,
+                    "digest": None,
+                }
+            )
+            continue
         items.append(
             {
                 "query": spec.name,
                 "strategy": result.stats.strategy,
+                "outcome": result.stats.outcome,
                 "seconds": result.stats.total_seconds,
                 "output_rows": result.table.num_rows,
                 "filter_cache_hits": result.stats.filter_cache_hits_total,
@@ -337,23 +385,35 @@ def cold_warm(
     cache_bytes: int | None = None,
     threads: int = 1,
     partition_rows: int | None = None,
+    timeout: float | None = None,
+    memory_budget: int | None = None,
 ) -> dict:
     """Replay one stream cold then warm; return the JSON-ready payload.
 
     The comparison block records suite-wide and per-query cold/warm
-    ratios, the final cache snapshot, and whether every warm result was
-    byte-identical to its cold counterpart (same stream order, so the
-    check is positional).  ``threads`` turns on intra-query
-    parallelism inside each served query (``workers`` stays the
-    inter-query concurrency knob); ``partition_rows`` overrides the
-    storage chunk size.  Neither affects results or digests.
+    ratios, the final cache snapshot, an outcome histogram per pass,
+    and whether every warm result was byte-identical to its cold
+    counterpart (same stream order, so the check is positional; items
+    that aborted in either pass are excluded — they have no digest).
+    ``threads`` turns on intra-query parallelism inside each served
+    query (``workers`` stays the inter-query concurrency knob);
+    ``partition_rows`` overrides the storage chunk size.  Neither
+    affects results or digests.  ``timeout`` (seconds) and
+    ``memory_budget`` (bytes) apply per query; queries they abort are
+    recorded as typed outcomes, not crashes.
     """
     catalog = build_catalog(sf=sf, seed=seed)
     stream = build_stream(
         sf, tpch_ids, ssb_ids, repeats=repeats, variants=variants, seed=seed
     )
     kwargs = {} if partition_rows is None else {"partition_rows": partition_rows}
-    config = RunConfig(strategy=strategy, threads=threads, **kwargs)
+    config = RunConfig(
+        strategy=strategy,
+        threads=threads,
+        timeout=timeout,
+        memory_budget=memory_budget,
+        **kwargs,
+    )
     kwargs = {} if cache_bytes is None else {"cache_bytes": cache_bytes}
     with Engine(catalog, config=config, workers=max(1, workers), **kwargs) as engine:
         cold = replay(engine, stream, workers=workers)
@@ -361,7 +421,9 @@ def cold_warm(
         cache_snapshot = engine.cache_stats()
 
     identical = all(
-        c["digest"] == w["digest"] for c, w in zip(cold.items, warm.items)
+        c["digest"] == w["digest"]
+        for c, w in zip(cold.items, warm.items)
+        if c["digest"] is not None and w["digest"] is not None
     )
     cold_by_query = cold.per_query_seconds()
     warm_by_query = warm.per_query_seconds()
@@ -379,7 +441,7 @@ def cold_warm(
         for name in sorted(cold_by_query)
     ]
     return {
-        "schema": "repro-bench/v4",
+        "schema": "repro-bench/v5",
         "kind": "workload-cold-warm",
         "meta": {
             "sf": sf,
@@ -389,6 +451,8 @@ def cold_warm(
             "workers": workers,
             "threads": threads,
             "strategy": strategy,
+            "timeout_seconds": timeout,
+            "memory_budget_bytes": memory_budget,
             "tpch_queries": list(tpch_ids),
             "ssb_queries": list(ssb_ids),
             "stream_length": len(stream),
@@ -408,6 +472,10 @@ def cold_warm(
                 else float("inf")
             ),
             "results_identical": identical,
+            "outcomes": {
+                "cold": cold.outcome_counts(),
+                "warm": warm.outcome_counts(),
+            },
             "per_query": per_query,
             "cache": None if cache_snapshot is None else cache_snapshot.to_dict(),
         },

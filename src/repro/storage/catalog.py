@@ -20,11 +20,22 @@ Scoped child catalogs do **not** version their registrations: a derived
 table exists for one query execution only, so stamping it would let a
 never-hittable fingerprint churn the cache.  :meth:`data_version`
 returns ``None`` for such tables and the cache layer skips them.
+
+Concurrency
+-----------
+``register`` and ``scoped`` are atomic under an internal lock, so a
+query snapshotting the catalog mid-append can never pair a *new* table
+with an *old* version (or vice versa).  Without the lock that torn
+snapshot would mint cache fingerprints claiming the old version for
+the new contents — poisoning every later warm run.  The version-pinned
+snapshot each query takes (:meth:`scoped`) is then immutable from the
+query's point of view: concurrent appends only touch the parent.
 """
 
 from __future__ import annotations
 
 import itertools
+import threading
 from typing import Iterator
 
 from ..errors import SchemaError
@@ -49,6 +60,9 @@ class Catalog:
         self._tables: dict[str, Table] = dict(tables or {})
         self._track_versions = track_versions
         self._versions: dict[str, int] = dict(versions or {})
+        # Guards the table/version pair so register() and scoped() are
+        # atomic with respect to each other (see module docstring).
+        self._lock = threading.Lock()
         if track_versions:
             for name in self._tables:
                 self._versions.setdefault(name, next(_VERSION_COUNTER))
@@ -63,20 +77,23 @@ class Catalog:
         produce cacheable fingerprints.
         """
         key = name or table.name
-        self._tables[key] = table
-        if self._track_versions:
-            self._versions[key] = next(_VERSION_COUNTER)
-        else:
-            self._versions.pop(key, None)
+        with self._lock:
+            self._tables[key] = table
+            if self._track_versions:
+                self._versions[key] = next(_VERSION_COUNTER)
+            else:
+                self._versions.pop(key, None)
 
     def get(self, name: str) -> Table:
         """Look up a table, raising :class:`SchemaError` when absent."""
-        try:
-            return self._tables[name]
-        except KeyError:
-            raise SchemaError(
-                f"no table {name!r} in catalog; available: {sorted(self._tables)}"
-            ) from None
+        with self._lock:
+            try:
+                return self._tables[name]
+            except KeyError:
+                raise SchemaError(
+                    f"no table {name!r} in catalog; "
+                    f"available: {sorted(self._tables)}"
+                ) from None
 
     def data_version(self, name: str) -> int | None:
         """The monotonic data version of ``name``.
@@ -84,7 +101,8 @@ class Catalog:
         ``None`` for unknown names and for derived tables registered on
         a scoped child (the "do not cache" signal).
         """
-        return self._versions.get(name)
+        with self._lock:
+            return self._versions.get(name)
 
     def __contains__(self, name: str) -> bool:
         return name in self._tables
@@ -103,8 +121,16 @@ class Catalog:
         objects themselves are immutable so sharing is safe.  The child
         inherits the parent's data versions but does not version its own
         registrations (see :meth:`register`).
+
+        The snapshot is taken atomically with respect to concurrent
+        :meth:`register` calls — a query pinned to this child sees one
+        consistent (contents, version) pair per table for its whole
+        lifetime, even if the parent is appended to mid-flight.
         """
-        return Catalog(self._tables, self._versions, track_versions=False)
+        with self._lock:
+            return Catalog(
+                self._tables, self._versions, track_versions=False
+            )
 
     def total_rows(self) -> int:
         """Sum of row counts over all registered tables."""

@@ -1,0 +1,417 @@
+"""Deterministic chaos sweep: fault injection across the strategy grid.
+
+The resilience invariant this module exists to check, on every case:
+
+    Under any injected fault a query either returns a result
+    **byte-identical** to the clean serial eager oracle, or raises
+    exactly one **clean typed error** (a :class:`~repro.errors.ReproError`
+    subclass) — never a wrong answer, a deadlock, or a leaked worker
+    slot.
+
+The sweep runs every fault case against the full grid — all four
+strategies × lazy/eager materialization × threads {1, 4} — through a
+real service :class:`~repro.service.engine.Engine`, and after every
+faulted run demands that the *same* engine serves a clean run with the
+oracle digest (proving admission slots and the shared cache recovered).
+A warm-then-corrupt case additionally asserts the checksum-validated
+cache detected the flipped byte (``corruptions > 0``) and rebuilt an
+identical result, and a concurrency block replays a small stream at
+4 workers (with and without faults) against the serial digests.
+
+CLI (the CI chaos job)::
+
+    python -m repro.testing.chaos --json bench-chaos.json
+
+exits non-zero iff any case violated the invariant, and writes a
+``repro-bench/v5`` JSON record of every case either way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from concurrent.futures import TimeoutError as FutureTimeout
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.runner import MATERIALIZE_MODES, STRATEGIES, RunConfig
+from ..errors import ReproError
+from ..plan.query import QuerySpec
+from ..service.engine import Engine
+from ..service.workload import result_digest
+from ..storage.catalog import Catalog
+from ..tpch import generate_tpch
+from ..tpch.queries import get_query
+from .faults import FaultPlan, FaultRule, inject
+
+#: Small enough that the full grid sweeps in seconds, large enough
+#: that every strategy builds real filters and multiple chunks exist.
+CHAOS_SF = 0.002
+CHAOS_QUERY = 3
+#: Forces several storage chunks at CHAOS_SF so ``chunk.kernel`` fires
+#: even under the serial executor.
+CHAOS_PARTITION_ROWS = 64
+#: A faulted future not resolving within this window counts as a hang
+#: (the invariant's "never a deadlock" clause).
+HANG_SECONDS = 60.0
+
+
+@dataclass(frozen=True)
+class ChaosCase:
+    """One named fault scenario.
+
+    ``warm`` runs a clean warm-up query through the engine *before*
+    injection so cache-read points (``cache.get``) have entries to
+    fire on; cold cases leave the cache empty so build/put points fire.
+    """
+
+    name: str
+    rule: FaultRule
+    warm: bool = False
+
+
+#: The sweep's fault scenarios: every named fault point, raise + delay
+#: flavours, first and later hits, plus the warm corruption case.
+CHAOS_CASES: tuple[ChaosCase, ...] = (
+    ChaosCase("filter-build-raise", FaultRule("filter.build", "raise")),
+    ChaosCase(
+        "filter-build-raise-2nd", FaultRule("filter.build", "raise", nth=2)
+    ),
+    ChaosCase(
+        "filter-build-delay",
+        FaultRule("filter.build", "delay", delay=0.002),
+    ),
+    ChaosCase("cache-put-raise", FaultRule("cache.put", "raise")),
+    ChaosCase("cache-get-raise", FaultRule("cache.get", "raise"), warm=True),
+    ChaosCase(
+        "cache-get-corrupt", FaultRule("cache.get", "corrupt"), warm=True
+    ),
+    ChaosCase("chunk-kernel-raise", FaultRule("chunk.kernel", "raise")),
+    ChaosCase(
+        "chunk-kernel-raise-3rd", FaultRule("chunk.kernel", "raise", nth=3)
+    ),
+    ChaosCase("worker-submit-raise", FaultRule("worker.submit", "raise")),
+)
+
+
+def oracle_digest(
+    spec: QuerySpec, catalog: Catalog, strategy: str = "predtrans"
+) -> str:
+    """Digest of the clean serial eager baseline (the repo's oracle).
+
+    The oracle is per *strategy*: output row order legitimately differs
+    between pre-filtering and non-pre-filtering strategies (same rows,
+    different join-input order), so each grid cell compares against the
+    eager serial run of its own strategy — the identity contract the
+    lazy/parallel/cached paths all promise.
+    """
+    from ..core.runner import run_query
+
+    result = run_query(
+        spec,
+        catalog,
+        config=RunConfig(
+            strategy=strategy,
+            materialize="eager",
+            threads=1,
+            partition_rows=CHAOS_PARTITION_ROWS,
+        ),
+    )
+    return result_digest(result.table)
+
+
+def _classify(engine: Engine, spec: QuerySpec, oracle: str) -> str:
+    """Submit one query and classify what came back.
+
+    ``identical`` / ``error:<Type>`` are the two clean outcomes; the
+    upper-case labels are invariant violations.
+    """
+    try:
+        future = engine.submit(spec)
+    except ReproError as exc:
+        return f"error:{type(exc).__name__}"
+    try:
+        result = future.result(timeout=HANG_SECONDS)
+    except ReproError as exc:
+        return f"error:{type(exc).__name__}"
+    except FutureTimeout:
+        return "HANG"
+    except Exception as exc:  # untyped leakage is a violation
+        return f"UNTYPED:{type(exc).__name__}"
+    if result_digest(result.table) != oracle:
+        return "WRONG_ANSWER"
+    return "identical"
+
+
+def run_case(
+    case: ChaosCase,
+    spec: QuerySpec,
+    catalog: Catalog,
+    oracle: str,
+    strategy: str,
+    materialize: str,
+    threads: int,
+    seed: int,
+) -> dict:
+    """One (fault, strategy, materialize, threads) cell of the sweep."""
+    config = RunConfig(
+        strategy=strategy,
+        materialize=materialize,
+        threads=threads,
+        partition_rows=CHAOS_PARTITION_ROWS,
+    )
+    plan = FaultPlan([case.rule], seed=seed)
+    corruptions = 0
+    with Engine(catalog, config=config, workers=2) as engine:
+        if case.warm:
+            warm_outcome = _classify(engine, spec, oracle)
+            if warm_outcome != "identical":
+                return {
+                    "case": case.name,
+                    "strategy": strategy,
+                    "materialize": materialize,
+                    "threads": threads,
+                    "outcome": f"WARMUP_{warm_outcome}",
+                    "faults_triggered": 0,
+                    "recovered": False,
+                    "ok": False,
+                }
+        with inject(plan):
+            outcome = _classify(engine, spec, oracle)
+        # Recovery: the same engine must serve a clean, identical run
+        # after the fault — no leaked admission slot, no poisoned
+        # cache entry, no wedged pool.
+        recovered = _classify(engine, spec, oracle) == "identical"
+        slots_clean = engine._pending == 0
+        if engine.filter_cache is not None:
+            corruptions = engine.filter_cache.stats().corruptions
+    clean = outcome == "identical" or outcome.startswith("error:")
+    ok = clean and recovered and slots_clean
+    if case.rule.action == "corrupt" and plan.triggered:
+        # The corrupted entry must have been *detected*, not served.
+        ok = ok and corruptions > 0 and outcome == "identical"
+    return {
+        "case": case.name,
+        "strategy": strategy,
+        "materialize": materialize,
+        "threads": threads,
+        "outcome": outcome,
+        "faults_triggered": len(plan.triggered),
+        "cache_corruptions": corruptions,
+        "recovered": recovered,
+        "slots_clean": slots_clean,
+        "ok": ok,
+    }
+
+
+def concurrency_block(
+    catalog: Catalog, oracle_by_query: dict[str, str], seed: int
+) -> dict:
+    """Digest-identity of a 4-worker replay, clean and under faults.
+
+    Every item must individually be byte-identical to its serial
+    oracle or (in the faulted pass) a typed error; the engine must
+    drain back to zero pending slots both times.
+    """
+    specs = [
+        get_query(qid, sf=CHAOS_SF) for qid in (3, 5, 10) for _ in range(2)
+    ]
+    config = RunConfig(
+        strategy="predtrans",
+        threads=1,
+        partition_rows=CHAOS_PARTITION_ROWS,
+    )
+
+    def replay_classified(engine: Engine, plan: FaultPlan | None) -> list[str]:
+        if plan is None:
+            return [
+                _classify(engine, spec, oracle_by_query[spec.name])
+                for spec in specs
+            ]
+        with inject(plan):
+            futures = []
+            for spec in specs:
+                try:
+                    futures.append(engine.submit(spec))
+                except ReproError as exc:
+                    futures.append(exc)
+            outcomes = []
+            for spec, f in zip(specs, futures):
+                if isinstance(f, ReproError):
+                    outcomes.append(f"error:{type(f).__name__}")
+                    continue
+                try:
+                    result = f.result(timeout=HANG_SECONDS)
+                except ReproError as exc:
+                    outcomes.append(f"error:{type(exc).__name__}")
+                except FutureTimeout:
+                    outcomes.append("HANG")
+                except Exception as exc:
+                    outcomes.append(f"UNTYPED:{type(exc).__name__}")
+                else:
+                    digest = result_digest(result.table)
+                    outcomes.append(
+                        "identical"
+                        if digest == oracle_by_query[spec.name]
+                        else "WRONG_ANSWER"
+                    )
+            return outcomes
+
+    with Engine(catalog, config=config, workers=4) as engine:
+        clean = replay_classified(engine, None)
+        clean_slots = engine._pending == 0
+    plan = FaultPlan(
+        [FaultRule("chunk.kernel", "raise", nth=3, count=2)], seed=seed
+    )
+    with Engine(catalog, config=config, workers=4) as engine:
+        faulted = replay_classified(engine, plan)
+        faulted_slots = engine._pending == 0
+    ok = (
+        all(o == "identical" for o in clean)
+        and clean_slots
+        and all(o == "identical" or o.startswith("error:") for o in faulted)
+        and faulted_slots
+    )
+    return {
+        "stream_length": len(specs),
+        "workers": 4,
+        "clean_outcomes": clean,
+        "faulted_outcomes": faulted,
+        "faults_triggered": len(plan.triggered),
+        "slots_clean": clean_slots and faulted_slots,
+        "ok": ok,
+    }
+
+
+def run_sweep(
+    sf: float = CHAOS_SF,
+    seed: int = 0,
+    strategies: tuple[str, ...] = STRATEGIES,
+    threads_grid: tuple[int, ...] = (1, 4),
+) -> dict:
+    """The full chaos record: grid cases + concurrency block + summary."""
+    catalog = generate_tpch(sf=sf, seed=seed)
+    spec = get_query(CHAOS_QUERY, sf=sf)
+    oracles = {s: oracle_digest(spec, catalog, s) for s in strategies}
+    cases = []
+    for case in CHAOS_CASES:
+        for strategy in strategies:
+            for materialize in MATERIALIZE_MODES:
+                for threads in threads_grid:
+                    cases.append(
+                        run_case(
+                            case,
+                            spec,
+                            catalog,
+                            oracles[strategy],
+                            strategy,
+                            materialize,
+                            threads,
+                            seed,
+                        )
+                    )
+    oracle_by_query = {
+        q.name: oracle_digest(q, catalog, "predtrans")
+        for q in (get_query(qid, sf=sf) for qid in (3, 5, 10))
+    }
+    concurrency = concurrency_block(catalog, oracle_by_query, seed)
+    violations = [c for c in cases if not c["ok"]]
+    return {
+        "schema": "repro-bench/v5",
+        "kind": "chaos-sweep",
+        "meta": {
+            "sf": sf,
+            "seed": seed,
+            "query": CHAOS_QUERY,
+            "partition_rows": CHAOS_PARTITION_ROWS,
+            "strategies": list(strategies),
+            "threads_grid": list(threads_grid),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "timestamp_unix": int(time.time()),
+        },
+        "oracle_digests": oracles,
+        "cases": cases,
+        "concurrency": concurrency,
+        "summary": {
+            "cases": len(cases),
+            "identical": sum(
+                1 for c in cases if c["outcome"] == "identical"
+            ),
+            "typed_errors": sum(
+                1 for c in cases if c["outcome"].startswith("error:")
+            ),
+            "faults_triggered": sum(c["faults_triggered"] for c in cases),
+            "violations": len(violations) + (0 if concurrency["ok"] else 1),
+        },
+    }
+
+
+def format_sweep(payload: dict) -> str:
+    """Human-readable one-screen summary of a chaos record."""
+    s = payload["summary"]
+    lines = [
+        f"chaos sweep: {s['cases']} cases "
+        f"({len(payload['meta']['strategies'])} strategies x "
+        f"{len(MATERIALIZE_MODES)} materialize x "
+        f"{len(payload['meta']['threads_grid'])} thread counts x "
+        f"{len(CHAOS_CASES)} faults)",
+        f"  byte-identical results: {s['identical']}",
+        f"  clean typed errors:     {s['typed_errors']}",
+        f"  faults triggered:       {s['faults_triggered']}",
+        f"  concurrency block ok:   {payload['concurrency']['ok']}",
+        f"  violations:             {s['violations']}",
+    ]
+    for case in payload["cases"]:
+        if not case["ok"]:
+            lines.append(
+                f"  VIOLATION {case['case']} {case['strategy']}/"
+                f"{case['materialize']}/t{case['threads']}: "
+                f"{case['outcome']} (recovered={case['recovered']})"
+            )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: run the sweep, optionally write the JSON record.
+
+    Exit status is the invariant verdict: 0 iff no case violated it.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro.testing.chaos",
+        description="Deterministic fault-injection sweep over the "
+        "strategy grid (byte-identical-or-typed-error invariant)",
+    )
+    parser.add_argument("--sf", type=float, default=CHAOS_SF)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", help="write the chaos record here")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="sweep only predtrans/nopredtrans at threads=1",
+    )
+    args = parser.parse_args(argv)
+    strategies = ("nopredtrans", "predtrans") if args.quick else STRATEGIES
+    threads_grid = (1,) if args.quick else (1, 4)
+    payload = run_sweep(
+        sf=args.sf,
+        seed=args.seed,
+        strategies=strategies,
+        threads_grid=threads_grid,
+    )
+    print(format_sweep(payload))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 0 if payload["summary"]["violations"] == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,248 @@
+"""Deterministic fault injection for resilience testing.
+
+Production modules expose **named injection points** — one-line
+:func:`fault_point` calls at the places where a real deployment fails:
+
+===================  ====================================================
+point                fires
+===================  ====================================================
+``filter.build``     after a transferable filter is built, *before* it
+                     is committed to any cache or applied
+``cache.get``        on a shared :class:`~repro.cache.store.FilterCache`
+                     lookup that found an entry, before validation
+``cache.put``        on a shared cache insertion, before the entry is
+                     stored (a failed backend write)
+``chunk.kernel``     before every chunk kernel dispatched by
+                     :class:`~repro.engine.parallel.ParallelContext`
+``worker.submit``    when the service engine hands a query to its pool
+===================  ====================================================
+
+When no plan is active (the default, always in production) a fault
+point is a single ``is None`` check.  Tests activate a seeded
+:class:`FaultPlan` with :func:`inject`; each :class:`FaultRule` then
+*raises* a typed :class:`~repro.errors.FaultInjected`, *delays* (to
+widen race windows deterministically), or *corrupts* the payload
+(cache reads only — see below) on the Nth hit of its point.
+
+Determinism: hits are counted per point under a lock, rules trigger on
+exact hit indices, and the corruption bytes come from a
+``numpy`` generator seeded by ``FaultPlan.seed`` — the same plan over
+the same workload produces the same failures.
+
+Why ``corrupt`` is restricted to ``cache.get``: cache payloads are
+shared in-process by reference, so flipping bits in a filter that a
+query is *currently using* would manufacture an undetectable wrong
+answer — precisely what the harness asserts can never happen.
+Corrupting at read time models bit rot / a clobbered backend entry at
+the one place the store can detect it (checksum validation runs right
+after the hook), and the store drops the entry on detection so no
+other reader ever sees it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import FaultInjected, PlanError
+
+#: Registered injection-point names → actions allowed there.
+FAULT_POINTS: dict[str, frozenset[str]] = {
+    "filter.build": frozenset({"raise", "delay"}),
+    "cache.get": frozenset({"raise", "delay", "corrupt"}),
+    "cache.put": frozenset({"raise", "delay"}),
+    "chunk.kernel": frozenset({"raise", "delay"}),
+    "worker.submit": frozenset({"raise", "delay"}),
+}
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One induced failure: ``action`` at ``point`` on the Nth hit.
+
+    Parameters
+    ----------
+    point:
+        A name from :data:`FAULT_POINTS`.
+    action:
+        ``"raise"`` (typed :class:`FaultInjected`), ``"delay"``
+        (sleep ``delay`` seconds), or ``"corrupt"`` (flip bytes of the
+        payload in place; ``cache.get`` only).
+    nth:
+        1-based hit index of ``point`` at which the rule first fires.
+    count:
+        How many consecutive hits fire (``None`` = every hit from
+        ``nth`` on).
+    delay:
+        Sleep duration for ``action="delay"``.
+    """
+
+    point: str
+    action: str = "raise"
+    nth: int = 1
+    count: int | None = 1
+    delay: float = 0.01
+
+    def __post_init__(self) -> None:
+        allowed = FAULT_POINTS.get(self.point)
+        if allowed is None:
+            raise PlanError(
+                f"unknown fault point {self.point!r}; "
+                f"known: {sorted(FAULT_POINTS)}"
+            )
+        if self.action not in allowed:
+            raise PlanError(
+                f"action {self.action!r} not allowed at {self.point!r} "
+                f"(allowed: {sorted(allowed)})"
+            )
+        if self.nth < 1:
+            raise PlanError("nth is 1-based and must be >= 1")
+        if self.count is not None and self.count < 1:
+            raise PlanError("count must be >= 1 (or None for unbounded)")
+
+    def fires_on(self, hit: int) -> bool:
+        """Does this rule trigger on the given 1-based hit index?"""
+        if hit < self.nth:
+            return False
+        return self.count is None or hit < self.nth + self.count
+
+
+@dataclass
+class FaultPlan:
+    """A seeded, thread-safe set of fault rules plus trigger log.
+
+    ``triggered`` records ``(point, hit, action)`` for every rule
+    firing, so tests can assert a fault actually happened (a sweep
+    case whose fault never fired proves nothing).
+    """
+
+    rules: list[FaultRule] = field(default_factory=list)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+        self._hits: dict[str, int] = {}
+        self._rng = np.random.default_rng(self.seed)
+        self.triggered: list[tuple[str, int, str]] = []
+
+    def hits(self, point: str) -> int:
+        with self._lock:
+            return self._hits.get(point, 0)
+
+    def on_hit(self, point: str, payload: object) -> None:
+        """Advance the point's hit counter and apply any firing rule."""
+        with self._lock:
+            hit = self._hits.get(point, 0) + 1
+            self._hits[point] = hit
+            firing = [r for r in self.rules
+                      if r.point == point and r.fires_on(hit)]
+            for rule in firing:
+                self.triggered.append((point, hit, rule.action))
+            # Draw corruption randomness under the lock for determinism
+            # even if two threads hit the same point concurrently.
+            corrupt_draws = [
+                self._rng.integers(0, 2**63 - 1)
+                for r in firing if r.action == "corrupt"
+            ]
+        delay = 0.0
+        raised: FaultInjected | None = None
+        for rule in firing:
+            if rule.action == "delay":
+                delay = max(delay, rule.delay)
+            elif rule.action == "corrupt":
+                _corrupt_payload(payload, int(corrupt_draws.pop(0)))
+            elif rule.action == "raise":
+                raised = FaultInjected(point, hit)
+        if delay:
+            time.sleep(delay)
+        if raised is not None:
+            raise raised
+
+
+def _corrupt_payload(payload: object, seed: int) -> None:
+    """Flip bytes of the payload's backing arrays in place.
+
+    Understands the shapes the filter cache stores: a bare ndarray, a
+    dict of ndarrays, and Bloom/exact filter objects.  Silently does
+    nothing for opaque payloads (the checksum layer skips those too).
+    """
+    arrays = _payload_arrays(payload)
+    if not arrays:
+        return
+    rng = np.random.default_rng(seed)
+    target = arrays[int(rng.integers(0, len(arrays)))]
+    if target.size == 0:
+        return
+    flat = target.reshape(-1).view(np.uint8)
+    pos = int(rng.integers(0, flat.size))
+    flat[pos] ^= np.uint8(0xFF)
+
+
+def _payload_arrays(payload: object) -> list[np.ndarray]:
+    """The mutable ndarrays backing a cache payload (checksum scope)."""
+    if isinstance(payload, np.ndarray):
+        return [payload]
+    if isinstance(payload, dict):
+        return [v for _, v in sorted(payload.items())
+                if isinstance(v, np.ndarray)]
+    out = []
+    for attr in ("_words",):  # BloomFilter
+        arr = getattr(payload, attr, None)
+        if isinstance(arr, np.ndarray):
+            out.append(arr)
+    backing = getattr(payload, "_set", None)  # ExactFilter (hash backend)
+    if backing is not None:
+        for attr in ("_slots", "_occupied"):
+            arr = getattr(backing, attr, None)
+            if isinstance(arr, np.ndarray):
+                out.append(arr)
+    arr = getattr(payload, "_sorted_keys", None)  # ExactFilter (sorted)
+    if isinstance(arr, np.ndarray):
+        out.append(arr)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Module-level activation
+# ----------------------------------------------------------------------
+_ACTIVE: FaultPlan | None = None
+_ACTIVATION_LOCK = threading.Lock()
+
+
+def active_plan() -> FaultPlan | None:
+    """The currently-injected plan, if any."""
+    return _ACTIVE
+
+
+def fault_point(point: str, payload: object = None) -> None:
+    """Production-side hook: apply the active plan's rules, if any.
+
+    A no-op single ``is None`` test when no plan is injected, so the
+    hooks are safe on hot paths.
+    """
+    plan = _ACTIVE
+    if plan is not None:
+        plan.on_hit(point, payload)
+
+
+@contextmanager
+def inject(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Activate ``plan`` process-wide for the duration of the block.
+
+    Plans do not nest or stack: activation is exclusive (a second
+    concurrent ``inject`` raises), keeping hit counting deterministic.
+    """
+    global _ACTIVE
+    with _ACTIVATION_LOCK:
+        if _ACTIVE is not None:
+            raise PlanError("a fault plan is already active")
+        _ACTIVE = plan
+    try:
+        yield plan
+    finally:
+        _ACTIVE = None

@@ -122,7 +122,7 @@ def test_suite_to_json_roundtrip(suite):
     from repro.bench.harness import suite_to_json, write_bench_json
 
     doc = suite_to_json(suite, repeats=1, seed=0)
-    assert doc["schema"] == "repro-bench/v4"
+    assert doc["schema"] == "repro-bench/v5"
     assert doc["meta"]["sf"] == TINY_SF
     assert len(doc["measurements"]) == len(suite.measurements)
     record = doc["measurements"][0]
@@ -143,7 +143,7 @@ def test_write_bench_json(tmp_path, suite):
 
     path = tmp_path / "out.json"
     write_bench_json(str(path), suite_to_json(suite, repeats=1))
-    assert json.loads(path.read_text())["schema"] == "repro-bench/v4"
+    assert json.loads(path.read_text())["schema"] == "repro-bench/v5"
 
 
 def test_compare_accepts_v1_through_v4_and_rejects_unknown():
@@ -162,14 +162,14 @@ def test_compare_accepts_v1_through_v4_and_rejects_unknown():
 
     # Any v1..v4 mix (and schema-less pre-v1 drafts) compares cleanly.
     for old_schema in (None, "repro-bench/v1", "repro-bench/v3"):
-        block = compare_payloads(doc(old_schema, 1.0), doc("repro-bench/v4", 0.5))
+        block = compare_payloads(doc(old_schema, 1.0), doc("repro-bench/v5", 0.5))
         assert block["pairs_compared"] == 1
         assert block["speedup_over_baseline"]["predtrans"] == 2.0
     # Unknown future generations are refused, not silently misread.
     import pytest
 
     with pytest.raises(ValueError, match="unknown schema"):
-        compare_payloads(doc("repro-bench/v9", 1.0), doc("repro-bench/v4", 1.0))
+        compare_payloads(doc("repro-bench/v9", 1.0), doc("repro-bench/v5", 1.0))
 
 
 def test_parallel_comparison_payload():
@@ -184,7 +184,7 @@ def test_parallel_comparison_payload():
         strategies=("predtrans",),
         partition_rows=2048,
     )
-    assert payload["schema"] == "repro-bench/v4"
+    assert payload["schema"] == "repro-bench/v5"
     comp = payload["comparison"]
     assert comp["digests_identical"] is True
     assert comp["threads"] == 2

@@ -117,7 +117,7 @@ def test_bench_json_smoke(tmp_path, capsys):
     import json
 
     doc = json.loads(out_path.read_text())
-    assert doc["schema"] == "repro-bench/v4"
+    assert doc["schema"] == "repro-bench/v5"
     assert doc["meta"]["sf"] == 0.003
     strategies = {m["strategy"] for m in doc["measurements"]}
     assert strategies == {"predtrans", "nopredtrans"}
@@ -252,7 +252,7 @@ def test_bench_parallel_compare_writes_v4_record(tmp_path, capsys):
     )
     assert code == 0
     doc = json.loads(path.read_text())
-    assert doc["schema"] == "repro-bench/v4"
+    assert doc["schema"] == "repro-bench/v5"
     assert doc["kind"] == "serial-vs-parallel"
     assert doc["comparison"]["digests_identical"] is True
     assert len(doc["serial_measurements"]) == len(doc["measurements"])

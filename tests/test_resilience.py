@@ -1,0 +1,382 @@
+"""Resilience: deadlines, cancellation, admission control, memory
+budgets, graceful degradation, engine shutdown, catalog version-pinning.
+
+The invariant every test here circles: a query either returns a result
+byte-identical to the clean run or raises exactly one clean typed
+error — never a wrong answer, a hang, or a leaked worker slot.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.context import CancelToken, QueryContext
+from repro.core.runner import RunConfig, run_query
+from repro.errors import (
+    EngineSaturated,
+    MemoryBudgetExceeded,
+    PlanError,
+    QueryCancelled,
+    QueryTimeout,
+)
+from repro.service import Engine, RetryPolicy
+from repro.service.workload import replay, result_digest
+from repro.storage.catalog import Catalog
+from repro.testing import FaultPlan, FaultRule, inject
+from repro.tpch import generate_tpch
+from repro.tpch.queries import get_query
+
+SF = 0.003
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return generate_tpch(sf=SF, seed=0)
+
+
+@pytest.fixture(scope="module")
+def q5():
+    return get_query(5, sf=SF)
+
+
+@pytest.fixture(scope="module")
+def q3():
+    return get_query(3, sf=SF)
+
+
+# ----------------------------------------------------------------------
+# QueryContext primitives
+# ----------------------------------------------------------------------
+def test_context_deadline(catalog, q5):
+    with pytest.raises(QueryTimeout) as err:
+        run_query(q5, catalog, config=RunConfig(timeout=1e-9))
+    assert "at" in str(err.value)  # names the checkpoint it fired at
+
+
+def test_context_cancellation_wins_over_timeout():
+    token = CancelToken()
+    token.cancel()
+    ctx = QueryContext.start(timeout=1e-9, token=token)
+    with pytest.raises(QueryCancelled):
+        ctx.check("test")
+
+
+def test_precancelled_token_aborts_at_first_checkpoint(catalog, q5):
+    token = CancelToken()
+    token.cancel()
+    ctx = QueryContext.start(token=token)
+    with pytest.raises(QueryCancelled):
+        run_query(q5, catalog, config=RunConfig(context=ctx))
+
+
+def test_config_validation():
+    with pytest.raises(PlanError):
+        RunConfig(timeout=-1.0)
+    with pytest.raises(PlanError):
+        RunConfig(memory_budget=0)
+
+
+# ----------------------------------------------------------------------
+# Memory budget: degrade, then fail typed
+# ----------------------------------------------------------------------
+def test_tiny_budget_fails_typed(catalog, q5):
+    with pytest.raises(MemoryBudgetExceeded) as err:
+        run_query(q5, catalog, config=RunConfig(memory_budget=100))
+    assert "100" in str(err.value)  # reports the budget
+
+
+def test_degradation_keeps_results_byte_identical(catalog, q5):
+    # A huge budget tracks the true peak without ever binding.
+    free = run_query(
+        q5,
+        catalog,
+        config=RunConfig(strategy="yannakakis", memory_budget=1 << 40),
+    )
+    budget = 100_000
+    assert free.stats.mem_peak_bytes > budget  # budget actually binds
+    tight = run_query(
+        q5,
+        catalog,
+        config=RunConfig(strategy="yannakakis", memory_budget=budget),
+    )
+    assert tight.stats.filters_degraded >= 1
+    assert tight.stats.outcome == "degraded"
+    assert tight.stats.mem_peak_bytes <= budget
+    # Bloom fallback has no false negatives: same bytes out.
+    assert result_digest(tight.table) == result_digest(free.table)
+    assert free.stats.outcome == "ok"
+
+
+def test_degraded_filters_are_not_cached(catalog, q5):
+    # A degraded (Bloom) filter must never be committed under the
+    # exact-kind fingerprint: the next unrestricted run would serve it.
+    config = RunConfig(strategy="yannakakis", memory_budget=100_000)
+    with Engine(catalog, config=config) as engine:
+        engine.execute(q5)
+        assert engine.filter_cache is not None
+        cached_after_degraded = len(engine.filter_cache)
+        free = engine.execute(q5, RunConfig(strategy="yannakakis"))
+    assert free.stats.filters_degraded == 0
+    assert free.stats.filter_cache_hits_total <= cached_after_degraded
+
+
+# ----------------------------------------------------------------------
+# Engine-level deadline / cancellation / stats
+# ----------------------------------------------------------------------
+def test_engine_timeout_counts_and_recovers(catalog, q5):
+    with Engine(catalog, workers=1) as engine:
+        with pytest.raises(QueryTimeout):
+            engine.execute(q5, timeout=1e-9)
+        # Slot reclaimed: the same single-worker engine serves on.
+        result = engine.execute(q5)
+        stats = engine.stats()
+    assert stats.timeouts == 1
+    assert stats.queries == 1  # only the success recorded as a query
+    assert result.table.num_rows > 0
+
+
+def test_session_cancel_aborts_in_flight_query(catalog, q5):
+    plan = FaultPlan(
+        [FaultRule("chunk.kernel", "delay", nth=1, count=10_000, delay=0.01)]
+    )
+    # Small partitions guarantee many chunk kernels, so the injected
+    # per-kernel delay keeps the query in flight until cancel lands.
+    config = RunConfig(partition_rows=64)
+    with Engine(catalog, workers=1, config=config) as engine:
+        session = engine.session()
+        errors: list[BaseException] = []
+
+        def client() -> None:
+            try:
+                session.execute(q5)
+            except BaseException as exc:  # noqa: BLE001 - recorded for assert
+                errors.append(exc)
+
+        with inject(plan):
+            t = threading.Thread(target=client)
+            t.start()
+            deadline = time.monotonic() + 30
+            while not plan.triggered and time.monotonic() < deadline:
+                time.sleep(0.001)  # wait for the first chunk kernel
+            assert plan.triggered, "query never reached a chunk kernel"
+            session.cancel()
+            t.join(timeout=30)
+            assert not t.is_alive(), "cancelled query failed to abort"
+        assert len(errors) == 1
+        assert isinstance(errors[0], QueryCancelled)
+        assert engine.stats().cancellations == 1
+        # Post-cancel queries are unaffected (tokens are per-execute).
+        assert session.execute(q5).table.num_rows > 0
+
+
+# ----------------------------------------------------------------------
+# Admission control + retry/backoff
+# ----------------------------------------------------------------------
+def _saturate(engine: Engine, release: threading.Event) -> None:
+    """Occupy every pool worker with a blocking task."""
+    for _ in range(engine._workers):
+        engine._pool.submit(release.wait)
+
+
+def test_saturation_rejects_with_retry_hint(catalog, q3):
+    release = threading.Event()
+    with Engine(catalog, workers=1, max_pending=1) as engine:
+        _saturate(engine, release)
+        futures = [engine.submit(q3), engine.submit(q3)]  # fills limit 2
+        with pytest.raises(EngineSaturated) as err:
+            engine.submit(q3)
+        assert err.value.retry_after > 0
+        release.set()
+        for f in futures:
+            assert f.result(timeout=30).table.num_rows > 0
+        # Slots drained: admission is open again.
+        assert engine.submit(q3).result(timeout=30).table.num_rows > 0
+        assert engine.stats().rejected == 1
+
+
+def test_retry_policy_schedule_is_seeded():
+    a = RetryPolicy(attempts=5, seed=42)
+    b = RetryPolicy(attempts=5, seed=42)
+    assert a.delays() == b.delays()
+    assert len(a.delays()) == 4
+    assert a.delays() != RetryPolicy(attempts=5, seed=43).delays()
+    for k, d in enumerate(a.delays()):
+        base = min(0.05 * 2.0**k, 2.0)
+        assert base * 0.5 <= d <= base * 1.5  # jitter window
+
+
+def test_retry_gives_up_with_last_typed_error(catalog, q3):
+    release = threading.Event()
+    sleeps: list[float] = []
+    policy = RetryPolicy(attempts=3, base_delay=0.01, seed=7)
+    try:
+        with Engine(catalog, workers=1, max_pending=0) as engine:
+            _saturate(engine, release)
+            blocked = engine.submit(q3)  # occupies the single slot
+            session = engine.session()
+            with pytest.raises(EngineSaturated):
+                session.execute_with_retry(
+                    q3, policy=policy, sleep=sleeps.append
+                )
+            # One wait per non-final attempt, each >= the jitter
+            # schedule (the server hint can only lengthen them).
+            schedule = policy.delays()
+            assert len(sleeps) == 2
+            assert all(s >= d for s, d in zip(sleeps, schedule))
+            release.set()
+            assert blocked.result(timeout=30).table.num_rows > 0
+    finally:
+        release.set()
+
+
+def test_retry_succeeds_after_slot_frees(catalog, q3):
+    release = threading.Event()
+    with Engine(catalog, workers=1, max_pending=0) as engine:
+        _saturate(engine, release)
+        blocked = engine.submit(q3)
+        session = engine.session()
+        result = session.execute_with_retry(
+            q3,
+            policy=RetryPolicy(attempts=10, base_delay=0.02, seed=1),
+            sleep=lambda s: (release.set(), time.sleep(s)),
+        )
+        assert result.table.num_rows > 0
+        assert blocked.result(timeout=30).table.num_rows > 0
+
+
+# ----------------------------------------------------------------------
+# Shutdown: futures always resolve
+# ----------------------------------------------------------------------
+def test_shutdown_resolves_every_pending_future(catalog, q3):
+    release = threading.Event()
+    engine = Engine(catalog, workers=1, max_pending=64)
+    _saturate(engine, release)
+    futures = [engine.submit(q3) for _ in range(8)]
+    shutdown_done = threading.Event()
+
+    def closer() -> None:
+        engine.shutdown(wait=True, cancel=True)
+        shutdown_done.set()
+
+    t = threading.Thread(target=closer)
+    t.start()
+    release.set()
+    t.join(timeout=30)
+    assert shutdown_done.is_set(), "shutdown hung"
+    for f in futures:
+        # Regression contract: every future resolves — a result or a
+        # typed QueryCancelled — never a hang or CancelledError.
+        assert f.done()
+        exc = f.exception(timeout=0)
+        if exc is not None:
+            assert isinstance(exc, QueryCancelled)
+    with pytest.raises(RuntimeError):
+        engine.submit(q3)  # closed engines refuse new work
+
+
+def test_graceful_shutdown_completes_inflight_work(catalog, q3):
+    engine = Engine(catalog, workers=2)
+    futures = [engine.submit(q3) for _ in range(4)]
+    engine.shutdown(wait=True, cancel=False)
+    for f in futures:
+        assert f.result(timeout=0).table.num_rows > 0
+
+
+# ----------------------------------------------------------------------
+# Catalog version-pinning under concurrent appends
+# ----------------------------------------------------------------------
+def test_catalog_snapshot_never_tears(catalog):
+    region = catalog.get("region")
+    doubled = region.concat(region)
+    parent = Catalog({"r": region})
+    vmap = {parent.data_version("r"): region.num_rows}
+    stop = threading.Event()
+    observed: list[tuple[int, int]] = []
+
+    def writer() -> None:
+        variants = (region, doubled)
+        for i in range(400):
+            parent.register(variants[i % 2], "r")
+            # Single writer: data_version right after register is the
+            # version that register just assigned.
+            vmap[parent.data_version("r")] = variants[i % 2].num_rows
+        stop.set()
+
+    def reader() -> None:
+        while not stop.is_set():
+            snap = parent.scoped()
+            observed.append((snap.data_version("r"), snap.get("r").num_rows))
+
+    readers = [threading.Thread(target=reader) for _ in range(2)]
+    w = threading.Thread(target=writer)
+    for t in readers:
+        t.start()
+    w.start()
+    w.join(timeout=60)
+    for t in readers:
+        t.join(timeout=60)
+    assert observed, "readers never snapshotted"
+    for version, rows in observed:
+        # A torn snapshot pairs new contents with an old version (or
+        # vice versa) — exactly what would poison cache fingerprints.
+        assert vmap[version] == rows, (
+            f"torn snapshot: version {version} paired with {rows} rows"
+        )
+
+
+def test_append_during_execute_does_not_poison_cache(catalog, q3):
+    lineitem = catalog.get("lineitem")
+    engine = Engine(Catalog({n: catalog.get(n) for n in catalog.names()}))
+    stop = threading.Event()
+    failures: list[BaseException] = []
+
+    def appender() -> None:
+        grown = lineitem
+        for _ in range(5):
+            grown = grown.concat(lineitem)
+            engine.register(grown, "lineitem")
+            time.sleep(0.002)
+        stop.set()
+
+    def runner() -> None:
+        try:
+            while not stop.is_set():
+                engine.execute(q3)
+        except BaseException as exc:  # noqa: BLE001 - recorded for assert
+            failures.append(exc)
+
+    threads = [threading.Thread(target=appender)] + [
+        threading.Thread(target=runner) for _ in range(2)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert not failures, failures
+    # The cache must not have been poisoned by the appends: a warm run
+    # on the final catalog matches a fresh uncached run exactly.
+    warm = engine.execute(q3)
+    fresh = run_query(q3, engine.catalog.scoped())
+    assert result_digest(warm.table) == result_digest(fresh.table)
+    engine.close()
+
+
+# ----------------------------------------------------------------------
+# Workload replay records typed outcomes
+# ----------------------------------------------------------------------
+def test_replay_records_timeouts_as_outcomes(catalog, q3, q5):
+    with Engine(catalog) as engine:
+        out = replay(
+            engine,
+            [q3, q5],
+            config=RunConfig(timeout=1e-9),
+        )
+        ok = replay(engine, [q3])
+    assert [i["outcome"] for i in out.items] == ["timeout", "timeout"]
+    assert all(i["digest"] is None for i in out.items)
+    assert out.outcome_counts() == {"timeout": 2}
+    assert ok.items[0]["outcome"] == "ok"
+    assert ok.items[0]["digest"] is not None

@@ -204,7 +204,7 @@ def test_replay_and_cold_warm_payload(serving_catalog):
         sf=SF, seed=1, tpch_ids=(3, 5), ssb_ids=("1.1",), repeats=2,
         variants=1, workers=1,
     )
-    assert payload["schema"] == "repro-bench/v4"
+    assert payload["schema"] == "repro-bench/v5"
     assert payload["kind"] == "workload-cold-warm"
     comp = payload["comparison"]
     assert comp["results_identical"] is True
