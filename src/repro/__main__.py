@@ -12,6 +12,14 @@ Commands
 ``workload`` Cold/warm replay of a mixed TPC-H+SSB stream through the
              service Engine (the ``BENCH_PR3.json`` artifact).
 ``cache``    ``stats`` / ``clear`` on the process-wide filter cache.
+``serve``    Serve the stock query registry over TCP (length-prefixed
+             JSON frames) until SIGTERM, then drain gracefully.
+``client``   One query / ping / stats against a running server, with
+             typed errors and saturation backoff.
+``loadtest`` Closed-loop concurrent driver against a server (or a
+             ``--spawn``ed in-process one); p50/p95/p99 + outcome
+             histogram + digest verdict (the ``BENCH_PR7.json``
+             artifact via ``--spawn --cold-warm``).
 
 ``tpch``, ``ssb`` and ``bench`` execute through the process-wide
 cross-query filter cache by default — repeated queries within one
@@ -57,6 +65,9 @@ Examples::
     python -m repro workload --sf 0.02 --repeats 2 --threads 4 \
         --json BENCH_PR3.json
     python -m repro cache stats
+    python -m repro serve --sf 0.02 --port 7531 --workers 4
+    python -m repro client --query 5 --strategy predtrans --timeout-ms 5000
+    python -m repro loadtest --spawn --sf 0.02 --cold-warm --json BENCH_PR7.json
 """
 
 from __future__ import annotations
@@ -433,6 +444,177 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service.protocol import DEFAULT_MAX_FRAME_BYTES
+    from .service.server import ServerConfig, run_server
+
+    max_frame = (
+        int(args.max_frame_mb * 2**20)
+        if args.max_frame_mb is not None
+        else DEFAULT_MAX_FRAME_BYTES
+    )
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_frame_bytes=max_frame,
+        max_timeout_ms=args.max_timeout_ms,
+        default_timeout_ms=args.timeout_ms,
+    )
+    return run_server(
+        sf=args.sf,
+        seed=args.seed,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_pending=args.max_pending,
+        threads=max(1, args.threads or 1),
+        config=config,
+    )
+
+
+def _normalize_query_name(name: str) -> str:
+    """``5`` → ``q5`` convenience; registered names pass through."""
+    return f"q{name}" if name.isdigit() else name
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from .errors import ReproError
+    from .service.client import ReproClient
+
+    try:
+        with ReproClient(
+            args.host, args.port, io_timeout=args.io_timeout
+        ) as client:
+            if args.ping:
+                print(json.dumps(client.ping(), indent=1))
+                return 0
+            if args.stats:
+                print(json.dumps(client.stats(), indent=1))
+                return 0
+            if not args.query:
+                print("client: one of --query/--ping/--stats is required")
+                return 2
+            frame = client.query(
+                _normalize_query_name(args.query),
+                strategy=args.strategy,
+                materialize=args.materialize,
+                timeout_ms=args.timeout_ms,
+                include_data=args.include_data,
+            )
+    except ReproError as exc:
+        print(f"{type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    if args.client_json:
+        print(json.dumps(frame, indent=1))
+        return 0
+    stats = frame.get("stats") or {}
+    print(
+        f"{frame['query'] if 'query' in frame else args.query}: "
+        f"{frame['rows']} rows in {stats.get('seconds', 0.0):.4f}s "
+        f"[{stats.get('strategy', '?')}] digest={frame['digest'][:16]}…"
+    )
+    if args.include_data and frame.get("columns"):
+        print("  " + " | ".join(frame["columns"]))
+        for row in frame.get("data") or []:
+            print("  " + " | ".join(str(v) for v in row))
+        if frame.get("data_truncated"):
+            print("  … (truncated)")
+    return 0
+
+
+def _parse_query_names(text: str) -> list[str]:
+    names = [_normalize_query_name(part) for part in _parse_list(text)]
+    if not names:
+        raise argparse.ArgumentTypeError("empty query list")
+    return names
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    from .errors import ReproError
+    from .service.loadtest import (
+        SCHEMA_V6,
+        format_loadtest,
+        loadtest_violations,
+        run_loadtest,
+    )
+
+    def one_pass(host: str, port: int) -> dict:
+        return run_loadtest(
+            host,
+            port,
+            connections=args.connections,
+            requests=args.requests,
+            queries=args.queries,
+            strategy=args.strategy,
+            timeout_ms=args.timeout_ms,
+            io_timeout=args.io_timeout,
+            seed=args.seed,
+            check_digests=args.check_digests,
+        )
+
+    if args.spawn:
+        from .core.runner import RunConfig
+        from .service.engine import Engine
+        from .service.server import ServerThread, build_default_registry
+
+        catalog, specs = build_default_registry(args.sf, args.seed)
+        engine = Engine(
+            catalog,
+            config=RunConfig(threads=max(1, args.threads or 1)),
+            workers=args.workers,
+        )
+        try:
+            with ServerThread(
+                engine, specs, meta={"sf": args.sf, "seed": args.seed}
+            ) as st:
+                if args.cold_warm:
+                    cold = one_pass(st.host, st.port)
+                    warm = one_pass(st.host, st.port)
+                    payload = {
+                        "schema": SCHEMA_V6,
+                        "kind": "loadtest-cold-warm",
+                        "meta": dict(
+                            cold["meta"],
+                            workers=args.workers,
+                            spawned=True,
+                        ),
+                        "cold": cold,
+                        "warm": warm,
+                        "warm_speedup_p50": (
+                            cold["latency"]["p50_ms"]
+                            / warm["latency"]["p50_ms"]
+                            if cold["latency"]["p50_ms"]
+                            and warm["latency"]["p50_ms"]
+                            else None
+                        ),
+                    }
+                    print("— cold —")
+                    print(format_loadtest(cold))
+                    print("— warm —")
+                    print(format_loadtest(warm))
+                    violations = loadtest_violations(cold) + loadtest_violations(warm)
+                else:
+                    payload = one_pass(st.host, st.port)
+                    print(format_loadtest(payload))
+                    violations = loadtest_violations(payload)
+        finally:
+            engine.shutdown(wait=True, cancel=True)
+    else:
+        try:
+            payload = one_pass(args.host, args.port)
+        except ReproError as exc:
+            print(f"{type(exc).__name__}: {exc}", file=sys.stderr)
+            return 1
+        print(format_loadtest(payload))
+        violations = loadtest_violations(payload)
+    if args.json:
+        write_bench_json(args.json, payload)
+        print(f"wrote {args.json}")
+    for violation in violations:
+        print(f"VIOLATION: {violation}", file=sys.stderr)
+    return 1 if violations else 0
+
+
 def _format_cache_stats(stats) -> str:
     lines = ["filter cache:"]
     for key, value in stats.to_dict().items():
@@ -584,6 +766,154 @@ def build_parser() -> argparse.ArgumentParser:
     _add_parallel_args(workload)
     _add_resilience_args(workload)
     workload.set_defaults(func=_cmd_workload)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve the stock query registry over TCP until SIGTERM",
+    )
+    _add_common(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7531)
+    serve.add_argument(
+        "--workers", type=int, default=4, help="engine worker threads"
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=256,
+        dest="max_pending",
+        help="admission-control queue bound (beyond it clients get "
+        "RETRY frames with a retry_after hint)",
+    )
+    serve.add_argument(
+        "--max-frame-mb",
+        type=float,
+        default=None,
+        dest="max_frame_mb",
+        help="frame-size limit in MiB (default 4)",
+    )
+    serve.add_argument(
+        "--timeout-ms",
+        type=float,
+        default=None,
+        dest="timeout_ms",
+        help="deadline applied to queries whose client sent none",
+    )
+    serve.add_argument(
+        "--max-timeout-ms",
+        type=float,
+        default=60_000.0,
+        dest="max_timeout_ms",
+        help="ceiling client-supplied timeout_ms is clamped to",
+    )
+    serve.add_argument(
+        "--threads",
+        type=int,
+        default=1,
+        help="intra-query worker threads per query",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    client = sub.add_parser(
+        "client", help="query / ping / stats against a running server"
+    )
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, default=7531)
+    client.add_argument(
+        "--query",
+        help='registered query name ("q3", "5", "c1", "ssb_q2_1")',
+    )
+    client.add_argument("--strategy", choices=STRATEGIES)
+    client.add_argument(
+        "--materialize", choices=("lazy", "eager"), default=None
+    )
+    client.add_argument(
+        "--timeout-ms", type=float, default=None, dest="timeout_ms"
+    )
+    client.add_argument(
+        "--io-timeout",
+        type=float,
+        default=60.0,
+        dest="io_timeout",
+        help="seconds to wait for any response before ConnectionLost",
+    )
+    client.add_argument(
+        "--include-data",
+        action="store_true",
+        dest="include_data",
+        help="ship result rows inline (server caps the row count)",
+    )
+    client.add_argument("--ping", action="store_true", help="liveness probe")
+    client.add_argument(
+        "--stats", action="store_true", help="engine/cache/server snapshot"
+    )
+    client.add_argument(
+        "--json",
+        dest="client_json",
+        action="store_true",
+        help="print the raw response frame as JSON",
+    )
+    client.set_defaults(func=_cmd_client)
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="closed-loop concurrent load against a server "
+        "(p50/p95/p99, outcomes, digest verdict)",
+    )
+    _add_common(loadtest)
+    loadtest.add_argument("--host", default="127.0.0.1")
+    loadtest.add_argument("--port", type=int, default=7531)
+    loadtest.add_argument("--connections", type=int, default=4)
+    loadtest.add_argument(
+        "--requests", type=int, default=40, help="total across connections"
+    )
+    loadtest.add_argument(
+        "--queries",
+        type=_parse_query_names,
+        default=None,
+        help='comma-separated registered names, e.g. "q3,q5,c1"',
+    )
+    loadtest.add_argument("--strategy", choices=STRATEGIES, default=None)
+    loadtest.add_argument(
+        "--timeout-ms", type=float, default=None, dest="timeout_ms"
+    )
+    loadtest.add_argument(
+        "--io-timeout", type=float, default=60.0, dest="io_timeout"
+    )
+    loadtest.add_argument(
+        "--check-digests",
+        action="store_true",
+        dest="check_digests",
+        help="verify every remote digest against an in-process oracle "
+        "built at the server's reported sf/seed",
+    )
+    loadtest.add_argument(
+        "--spawn",
+        action="store_true",
+        help="spawn an in-process server at --sf/--seed instead of "
+        "targeting --host/--port",
+    )
+    loadtest.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="engine workers for --spawn",
+    )
+    loadtest.add_argument(
+        "--threads",
+        type=int,
+        default=1,
+        help="intra-query threads for --spawn",
+    )
+    loadtest.add_argument(
+        "--cold-warm",
+        action="store_true",
+        dest="cold_warm",
+        help="with --spawn: run the pass twice (cold then warm cache) "
+        "and embed both (the BENCH_PR7.json shape)",
+    )
+    loadtest.add_argument("--json", help="write the v6 record here")
+    loadtest.set_defaults(func=_cmd_loadtest)
 
     cache = sub.add_parser(
         "cache", help="inspect/clear the process-wide filter cache"

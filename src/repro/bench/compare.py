@@ -28,10 +28,12 @@ import sys
 
 #: Schema generations this comparator understands.  Every generation
 #: added fields without renaming the per-pair ``seconds`` the diff
-#: reads, so any v1–v5 mix compares cleanly; anything newer is refused
-#: rather than silently misread.
+#: reads, so any v1–v6 mix compares cleanly; anything newer is refused
+#: rather than silently misread.  Note that not every v5/v6 *kind*
+#: carries per-(query, strategy) measurements — loadtest and chaos
+#: records are rejected with a pointed error below, not compared.
 ACCEPTED_SCHEMAS = frozenset(
-    f"repro-bench/v{n}" for n in (1, 2, 3, 4, 5)
+    f"repro-bench/v{n}" for n in (1, 2, 3, 4, 5, 6)
 )
 
 
@@ -72,6 +74,14 @@ def compare_payloads(
             f"cannot compare bench records at different scale factors "
             f"(old sf={old_sf}, new sf={new_sf})"
         )
+    for doc, label in ((old, "baseline"), (new, "fresh")):
+        if "measurements" not in doc:
+            raise ValueError(
+                f"{label} record (kind={doc.get('kind', 'bench')!r}) has "
+                "no 'measurements'; loadtest / workload / chaos records "
+                "are not comparable by this tool — pass per-query bench "
+                "records"
+            )
     old_by_key = {(m["query"], m["strategy"]): m for m in old["measurements"]}
     new_by_key = {(m["query"], m["strategy"]): m for m in new["measurements"]}
     shared = sorted(set(old_by_key) & set(new_by_key))

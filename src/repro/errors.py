@@ -73,20 +73,32 @@ class QueryCancelled(QueryAborted):
     outcome = "cancelled"
 
 
+#: Hard floor (seconds) on every ``retry_after`` hint.  The Engine's
+#: load-derived estimate can race to ~0 when the recorded average query
+#: time is tiny; a zero hint turns every retrying client into a
+#: hot-spin loop against an already-saturated engine.  The engine's own
+#: (configurable) floor is higher; this constant only guards direct
+#: constructions that pass a degenerate value.
+MIN_RETRY_AFTER = 0.001
+
+
 class EngineSaturated(QueryAborted):
     """Admission control rejected the query: the engine's pending
     queue is full.
 
     ``retry_after`` is the server's backoff hint in seconds (an
-    estimate of when a slot should free up); the client-side retry
-    helper (:meth:`repro.service.engine.Session.execute_with_retry`)
-    honours it.
+    estimate of when a slot should free up), clamped to at least
+    :data:`MIN_RETRY_AFTER` so a degenerate ~0 hint can never drive a
+    hot-spin retry loop; the client-side retry helpers
+    (:meth:`repro.service.engine.Session.execute_with_retry` and the
+    network client) honour it.
     """
 
     outcome = "rejected"
 
     def __init__(self, message: str = "engine saturated",
                  *, retry_after: float = 0.1) -> None:
+        retry_after = max(float(retry_after), MIN_RETRY_AFTER)
         super().__init__(f"{message} (retry_after={retry_after:.3f}s)")
         self.retry_after = retry_after
 
@@ -108,6 +120,71 @@ class CacheCorruption(ReproError):
     by ``FilterCache(strict_corruption=True)`` diagnostics runs and by
     the fault-injection harness's assertions.
     """
+
+
+# ----------------------------------------------------------------------
+# Wire taxonomy (network serving layer)
+# ----------------------------------------------------------------------
+# The asyncio server and the bundled client extend the per-query
+# invariant across the network: every failure at the wire — a malformed
+# or oversized frame, a peer that vanished, a server that is draining —
+# maps to exactly one of the typed classes below (or to one of the
+# per-query classes above, reconstructed client-side from the ERROR
+# frame's code).  See ``repro/service/protocol.py`` for the
+# code ↔ exception mapping.
+
+
+class TransportError(ReproError):
+    """Base class for wire-level failures (framing, connection)."""
+
+
+class ProtocolError(TransportError):
+    """The peer sent bytes that do not form a valid protocol frame
+    (bad JSON, missing/unknown ``type``, wrong field types).
+
+    Server-side this is answered with a typed ``ERROR`` frame and the
+    connection loop keeps serving — framing stays intact because the
+    length prefix lets the reader skip a bad body."""
+
+
+class FrameTooLarge(ProtocolError):
+    """A frame's declared length exceeds the configured limit."""
+
+    def __init__(self, length: int, limit: int) -> None:
+        super().__init__(
+            f"frame of {length} bytes exceeds the {limit}-byte limit"
+        )
+        self.length = length
+        self.limit = limit
+
+
+class ConnectionLost(TransportError):
+    """The connection died mid-exchange (peer reset, EOF before a
+    response, or an I/O timeout waiting for one).
+
+    Raised client-side; a request that ended here may or may not have
+    executed server-side — the server cancels work for vanished
+    clients, but the response can be lost after commit.  Idempotent
+    reads (every query here) are safe to re-issue on a fresh
+    connection."""
+
+
+class ServiceUnavailable(QueryAborted):
+    """The server is draining (graceful shutdown) and no longer
+    admits new queries; in-flight responses still resolve."""
+
+    outcome = "unavailable"
+
+
+class RemoteError(ReproError):
+    """A server-side failure relayed over the wire whose code has no
+    richer local reconstruction (``internal`` and unknown codes)."""
+
+    def __init__(self, message: str, *, code: str = "internal",
+                 remote_type: str | None = None) -> None:
+        super().__init__(message)
+        self.code = code
+        self.remote_type = remote_type
 
 
 class FaultInjected(ExecutionError):

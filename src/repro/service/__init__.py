@@ -7,12 +7,31 @@ The serving layer grown on top of the single-query executor:
   :class:`Session` (per-client handle with history);
 * :mod:`.workload` — mixed TPC-H/SSB stream construction (repeated,
   shuffled, parameter-varied) and cold/warm replay, backing the
-  ``repro workload`` CLI and the ``BENCH_PR3.json`` artifact.
+  ``repro workload`` CLI and the ``BENCH_PR3.json`` artifact;
+* :mod:`.protocol` — the length-prefixed JSON wire protocol (frame
+  codecs, request/response constructors, error-code ↔ exception
+  mapping);
+* :mod:`.server` — the fault-tolerant :mod:`asyncio` network server
+  (:class:`QueryServer`, the test/tool-friendly :class:`ServerThread`,
+  and the blocking :func:`run_server` CLI entrypoint);
+* :mod:`.client` — the resilient blocking :class:`ReproClient`
+  (typed errors, saturation backoff via :class:`RetryPolicy`);
+* :mod:`.loadtest` — the closed-loop :func:`run_loadtest` driver
+  behind ``repro loadtest`` and the ``BENCH_PR7.json`` artifact.
 """
 
 from __future__ import annotations
 
+from .client import ReproClient
 from .engine import Engine, EngineStats, RetryPolicy, Session
+from .loadtest import format_loadtest, loadtest_violations, run_loadtest
+from .server import (
+    QueryServer,
+    ServerConfig,
+    ServerThread,
+    build_default_registry,
+    run_server,
+)
 from .workload import (
     ReplayResult,
     build_catalog,
@@ -25,12 +44,21 @@ from .workload import (
 __all__ = [
     "Engine",
     "EngineStats",
+    "QueryServer",
     "ReplayResult",
+    "ReproClient",
     "RetryPolicy",
+    "ServerConfig",
+    "ServerThread",
     "Session",
     "build_catalog",
+    "build_default_registry",
     "build_stream",
     "cold_warm",
+    "format_loadtest",
+    "loadtest_violations",
     "replay",
+    "run_loadtest",
+    "run_server",
     "vary_spec",
 ]

@@ -1,0 +1,238 @@
+"""Resilient blocking client for the network serving layer.
+
+:class:`ReproClient` speaks the length-prefixed JSON protocol of
+:mod:`.protocol` over a plain stdlib socket.  Its robustness contract
+mirrors the server's:
+
+* every failure is **typed** — ``ERROR`` frames are reconstructed into
+  the same exception classes the in-process engine raises
+  (``QueryTimeout``, ``QueryCancelled``, ``MemoryBudgetExceeded``, …),
+  transport failures (reset, EOF, an I/O timeout waiting for a
+  response the network swallowed) raise
+  :class:`~repro.errors.ConnectionLost`;
+* ``RETRY`` frames (admission control) are honoured by
+  :meth:`ReproClient.query` with the same seeded-jitter exponential
+  backoff :class:`~repro.service.engine.RetryPolicy` the in-process
+  retry helper uses, waiting at least the server's ``retry_after``
+  hint between attempts;
+* the client never hangs: every socket operation is bounded by
+  ``io_timeout``.
+
+One client drives one connection and one request at a time; open one
+client per concurrent caller (the loadtest driver does exactly that).
+Responses are nevertheless matched by request id, so a server that
+interleaves responses with other traffic on the connection is handled
+correctly.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+from ..errors import ConnectionLost, ProtocolError, ReproError
+from .engine import RetryPolicy
+from .protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    exception_for_response,
+    ping_request,
+    query_request,
+    recv_frame,
+    send_frame,
+    stats_request,
+)
+
+
+class ReproClient:
+    """A blocking protocol client for one server connection.
+
+    Parameters
+    ----------
+    host, port:
+        The server address.
+    connect_timeout:
+        Bound on establishing the TCP connection.
+    io_timeout:
+        Bound on every subsequent send/receive.  A response that does
+        not arrive within it raises
+        :class:`~repro.errors.ConnectionLost` — the typed outcome for
+        a blackholed response (the connection is closed; re-issue on a
+        fresh client if desired).
+    max_frame_bytes:
+        Frame-size limit applied in both directions.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7531,
+        *,
+        connect_timeout: float = 5.0,
+        io_timeout: float = 60.0,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.io_timeout = io_timeout
+        self.max_frame_bytes = max_frame_bytes
+        self._next_id = 0
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=connect_timeout
+            )
+        except OSError as exc:
+            raise ConnectionLost(
+                f"cannot connect to {host}:{port}: {exc}"
+            ) from None
+        self._sock.settimeout(io_timeout)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ReproClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._sock is None
+
+    # ------------------------------------------------------------------
+    def _fresh_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    def request(self, body: dict) -> dict:
+        """One request/response exchange, matched by id.
+
+        Frames answering *other* ids (possible when a caller pipelines
+        requests manually) are skipped; a response without our id that
+        carries an error for the connection as a whole (the server
+        answers unattributable protocol errors with ``id=null``) is
+        raised directly.
+        """
+        if self._sock is None:
+            raise ConnectionLost("client is closed")
+        rid = body.get("id")
+        send_frame(self._sock, body, self.max_frame_bytes)
+        deadline = time.monotonic() + self.io_timeout
+        while True:
+            if time.monotonic() > deadline:
+                self.close()
+                raise ConnectionLost(
+                    f"no response for request {rid!r} within "
+                    f"{self.io_timeout}s"
+                )
+            try:
+                frame = recv_frame(self._sock, self.max_frame_bytes)
+            except ConnectionLost:
+                self.close()
+                raise
+            except ProtocolError:
+                self.close()
+                raise
+            got = frame.get("id")
+            if got == rid:
+                return frame
+            if got is None and frame.get("type") == "ERROR":
+                # Connection-scoped error (malformed/oversized frame
+                # we sent): ours to raise even without an id echo.
+                raise exception_for_response(frame)
+            # A frame for someone else (pipelined caller): not ours.
+            continue
+
+    # ------------------------------------------------------------------
+    def ping(self) -> dict:
+        """Liveness/readiness probe: the raw ``PONG`` body."""
+        frame = self.request(ping_request(self._fresh_id()))
+        if frame.get("type") != "PONG":
+            raise ProtocolError(f"expected PONG, got {frame.get('type')!r}")
+        return frame
+
+    def stats(self) -> dict:
+        """Engine/cache/server snapshots: the raw ``STATS`` body."""
+        frame = self.request(stats_request(self._fresh_id()))
+        if frame.get("type") != "STATS":
+            raise ProtocolError(f"expected STATS, got {frame.get('type')!r}")
+        return frame
+
+    def query_once(
+        self,
+        query: str,
+        *,
+        strategy: str | None = None,
+        materialize: str | None = None,
+        timeout_ms: float | None = None,
+        include_data: bool = False,
+    ) -> dict:
+        """One query attempt: the ``RESULT`` body, or a typed raise.
+
+        ``RETRY`` surfaces as :class:`~repro.errors.EngineSaturated`
+        (carrying the server's ``retry_after``); use :meth:`query` for
+        automatic backoff.
+        """
+        frame = self.request(
+            query_request(
+                self._fresh_id(),
+                query,
+                strategy=strategy,
+                materialize=materialize,
+                timeout_ms=timeout_ms,
+                include_data=include_data,
+            )
+        )
+        kind = frame.get("type")
+        if kind == "RESULT":
+            return frame
+        if kind in ("ERROR", "RETRY"):
+            raise exception_for_response(frame)
+        raise ProtocolError(f"unexpected response type {kind!r}")
+
+    def query(
+        self,
+        query: str,
+        *,
+        strategy: str | None = None,
+        materialize: str | None = None,
+        timeout_ms: float | None = None,
+        include_data: bool = False,
+        policy: RetryPolicy | None = None,
+        sleep=time.sleep,
+    ) -> dict:
+        """:meth:`query_once` with saturation backoff.
+
+        Retries only the types in ``policy.retry_on`` (by default
+        admission rejections relayed as ``RETRY`` frames), waiting the
+        larger of the policy's seeded-jitter schedule and the server's
+        floored ``retry_after`` hint; after ``policy.attempts`` tries
+        the last typed error is re-raised.  ``sleep`` is injectable
+        for deterministic tests.
+        """
+        policy = policy or RetryPolicy()
+        delays = policy.delays()
+        last: ReproError | None = None
+        for attempt in range(policy.attempts):
+            try:
+                return self.query_once(
+                    query,
+                    strategy=strategy,
+                    materialize=materialize,
+                    timeout_ms=timeout_ms,
+                    include_data=include_data,
+                )
+            except policy.retry_on as exc:
+                last = exc
+                if attempt == policy.attempts - 1:
+                    break
+                hint = float(getattr(exc, "retry_after", 0.0) or 0.0)
+                sleep(max(delays[attempt], hint))
+        raise last

@@ -223,7 +223,17 @@ class Engine:
         unfinished queries, :meth:`submit` raises
         :class:`~repro.errors.EngineSaturated` (with a ``retry_after``
         hint) instead of queueing unboundedly.
+    retry_after_floor:
+        Lower bound (seconds) on the load-derived ``retry_after``
+        hint.  The estimate is ``avg_query_seconds × queue_depth /
+        workers``; under races (e.g. the recorded average collapsing
+        towards zero) it can be ~0, which would turn every retrying
+        client into a hot-spin loop against an already-saturated
+        engine.  Must be positive.
     """
+
+    #: Default lower bound on admission-control backoff hints.
+    RETRY_AFTER_FLOOR = 0.05
 
     def __init__(
         self,
@@ -233,6 +243,7 @@ class Engine:
         cache_bytes: int | None = FilterCache.DEFAULT_MAX_BYTES,
         workers: int = 4,
         max_pending: int = 256,
+        retry_after_floor: float = RETRY_AFTER_FLOOR,
     ) -> None:
         self.catalog = catalog
         self.filter_cache = (
@@ -248,6 +259,9 @@ class Engine:
         self._workers = max(1, workers)
         if max_pending < 0:
             raise ValueError("max_pending must be >= 0")
+        if retry_after_floor <= 0:
+            raise ValueError("retry_after_floor must be positive")
+        self._retry_after_floor = retry_after_floor
         self._admission_limit = self._workers + max_pending
         self._pool = ThreadPoolExecutor(
             max_workers=self._workers, thread_name_prefix="repro-engine"
@@ -298,10 +312,15 @@ class Engine:
         )
 
     def _retry_hint_locked(self) -> float:
-        """Seconds until a slot should free up (call under the lock)."""
+        """Seconds until a slot should free up (call under the lock).
+
+        Clamped to ``[retry_after_floor, 5.0]``: the load-derived
+        estimate can race towards zero (tiny recorded average query
+        time), and a ~0 hint would make retrying clients hot-spin.
+        """
         avg = self._stats.seconds / self._stats.queries if self._stats.queries else 0.05
         queued = max(1, self._pending - self._workers + 1)
-        return min(5.0, max(0.01, avg * queued / self._workers))
+        return min(5.0, max(self._retry_after_floor, avg * queued / self._workers))
 
     def _run(
         self,
@@ -450,6 +469,22 @@ class Engine:
         """Aggregate serving statistics snapshot."""
         with self._lock:
             return self._stats.snapshot()
+
+    @property
+    def pending(self) -> int:
+        """Unfinished admitted queries (queued + running).
+
+        Zero means every worker slot has been reclaimed — the leak
+        check the chaos harnesses assert after every fault storm.
+        """
+        with self._lock:
+            return self._pending
+
+    @property
+    def default_config(self) -> RunConfig:
+        """The engine's default :class:`RunConfig` (shared caches not
+        yet injected; :meth:`submit` applies those per query)."""
+        return self._default_config
 
     # ------------------------------------------------------------------
     def shutdown(self, *, wait: bool = True, cancel: bool = False) -> None:

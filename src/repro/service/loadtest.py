@@ -1,0 +1,360 @@
+"""Closed-loop load test for the network serving layer.
+
+Drives N concurrent client connections against a running server (or a
+self-hosted in-process one), each issuing queries back-to-back from a
+deterministic per-connection schedule, and records per-request latency
+and the typed outcome of every request.  Emits a ``repro-bench/v6``
+JSON record: latency percentiles (p50/p95/p99), an outcome histogram,
+per-query digest consistency, and — when asked — a digest verdict
+against an in-process engine oracle built at the server's reported
+scale factor and seed.
+
+Invariants the record makes checkable (the CI ``serve`` job fails on
+either):
+
+* ``digest_check.identical`` — every remote result byte-matched the
+  in-process oracle for its query;
+* ``server.pending_jobs == 0`` in the final stats snapshot — the storm
+  left no leaked worker slot behind.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import random
+import threading
+import time
+
+import numpy as np
+
+from ..errors import ReproError
+from .engine import RetryPolicy
+from .client import ReproClient
+
+#: Schema generation of loadtest / network-chaos records.
+SCHEMA_V6 = "repro-bench/v6"
+
+
+def _percentiles(latencies_ms: list[float]) -> dict:
+    if not latencies_ms:
+        return {
+            "p50_ms": None, "p95_ms": None, "p99_ms": None,
+            "mean_ms": None, "max_ms": None,
+        }
+    arr = np.asarray(latencies_ms, dtype=np.float64)
+    return {
+        "p50_ms": float(np.percentile(arr, 50)),
+        "p95_ms": float(np.percentile(arr, 95)),
+        "p99_ms": float(np.percentile(arr, 99)),
+        "mean_ms": float(arr.mean()),
+        "max_ms": float(arr.max()),
+    }
+
+
+def _worker(
+    host: str,
+    port: int,
+    schedule: list[str],
+    *,
+    timeout_ms: float | None,
+    strategy: str | None,
+    io_timeout: float,
+    policy: RetryPolicy,
+    records: list[dict],
+) -> None:
+    """One closed-loop connection: issue the schedule, record outcomes."""
+    try:
+        client = ReproClient(host, port, io_timeout=io_timeout)
+    except ReproError as exc:
+        for name in schedule:
+            records.append(
+                {
+                    "query": name,
+                    "outcome": f"error:{type(exc).__name__}",
+                    "latency_ms": None,
+                    "digest": None,
+                }
+            )
+        return
+    with client:
+        for name in schedule:
+            t0 = time.perf_counter()
+            try:
+                frame = client.query(
+                    name,
+                    strategy=strategy,
+                    timeout_ms=timeout_ms,
+                    policy=policy,
+                )
+            except ReproError as exc:
+                records.append(
+                    {
+                        "query": name,
+                        "outcome": f"error:{type(exc).__name__}",
+                        "latency_ms": (time.perf_counter() - t0) * 1e3,
+                        "digest": None,
+                    }
+                )
+                if client.closed:
+                    # Transport gone: the remaining schedule cannot run
+                    # on this connection; record it as unreached.
+                    for rest in schedule[schedule.index(name) + 1:]:
+                        records.append(
+                            {
+                                "query": rest,
+                                "outcome": "unreached",
+                                "latency_ms": None,
+                                "digest": None,
+                            }
+                        )
+                    return
+                continue
+            records.append(
+                {
+                    "query": name,
+                    "outcome": "ok",
+                    "latency_ms": (time.perf_counter() - t0) * 1e3,
+                    "digest": frame["digest"],
+                    "rows": frame["rows"],
+                }
+            )
+
+
+def oracle_digests(
+    queries: list[str], sf: float, seed: int, strategy: str | None = None
+) -> dict[str, str]:
+    """In-process oracle digests for the served queries.
+
+    Rebuilds the server's stock registry at the same ``sf``/``seed``
+    and runs each query through the plain engine path — the digest a
+    correct remote execution must reproduce byte-for-byte.
+    """
+    from ..core.runner import RunConfig, run_query
+    from .server import build_default_registry
+    from .workload import result_digest
+
+    catalog, specs = build_default_registry(sf, seed)
+    config = RunConfig(strategy=strategy) if strategy else RunConfig()
+    out: dict[str, str] = {}
+    for name in queries:
+        result = run_query(specs[name], catalog, config=config)
+        out[name] = result_digest(result.table)
+    return out
+
+
+def run_loadtest(
+    host: str,
+    port: int,
+    *,
+    connections: int = 4,
+    requests: int = 40,
+    queries: list[str] | None = None,
+    strategy: str | None = None,
+    timeout_ms: float | None = None,
+    io_timeout: float = 60.0,
+    seed: int = 0,
+    retry_policy: RetryPolicy | None = None,
+    check_digests: bool = False,
+    oracle: dict[str, str] | None = None,
+) -> dict:
+    """One closed-loop pass; returns the ``repro-bench/v6`` payload.
+
+    ``requests`` is the total across all connections.  ``queries``
+    defaults to a stock mix read from the server's registry (via
+    ``STATS``): a handful of TPC-H shapes including a cyclic one.
+    ``check_digests`` (or a pre-computed ``oracle`` mapping) verifies
+    every remote digest against the in-process engine at the server's
+    reported ``sf``/``seed``.
+    """
+    policy = retry_policy or RetryPolicy(seed=seed)
+    with ReproClient(host, port, io_timeout=io_timeout) as probe:
+        pong = probe.ping()
+        stats_before = probe.stats()
+    server_meta = stats_before.get("meta", {})
+    registered = set(stats_before["server"]["queries"])
+    if queries is None:
+        queries = [
+            q for q in ("q3", "q5", "q10", "q12", "c1", "ssb_q2_1")
+            if q in registered
+        ] or sorted(registered)[:5]
+    missing = [q for q in queries if q not in registered]
+    if missing:
+        raise ValueError(
+            f"server does not register {missing[0]!r}; "
+            f"registered: {', '.join(sorted(registered))}"
+        )
+
+    # Deterministic per-connection schedules covering `requests` total.
+    rng = random.Random(seed)
+    flat = [queries[i % len(queries)] for i in range(requests)]
+    rng.shuffle(flat)
+    schedules: list[list[str]] = [[] for _ in range(max(1, connections))]
+    for i, name in enumerate(flat):
+        schedules[i % len(schedules)].append(name)
+
+    records_per_conn: list[list[dict]] = [[] for _ in schedules]
+    threads = [
+        threading.Thread(
+            target=_worker,
+            args=(host, port, schedule),
+            kwargs=dict(
+                timeout_ms=timeout_ms,
+                strategy=strategy,
+                io_timeout=io_timeout,
+                policy=policy,
+                records=records,
+            ),
+            name=f"loadtest-{i}",
+        )
+        for i, (schedule, records) in enumerate(
+            zip(schedules, records_per_conn)
+        )
+    ]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+    records = [r for conn in records_per_conn for r in conn]
+
+    with ReproClient(host, port, io_timeout=io_timeout) as probe:
+        stats_after = probe.stats()
+
+    ok = [r for r in records if r["outcome"] == "ok"]
+    outcomes: dict[str, int] = {}
+    for r in records:
+        outcomes[r["outcome"]] = outcomes.get(r["outcome"], 0) + 1
+
+    # Per-query digest consistency: every ok result for one query name
+    # must agree with itself across the whole storm.
+    digests: dict[str, set[str]] = {}
+    for r in ok:
+        digests.setdefault(r["query"], set()).add(r["digest"])
+    per_query = []
+    for name in sorted({r["query"] for r in records}):
+        lat = [r["latency_ms"] for r in ok if r["query"] == name]
+        per_query.append(
+            {
+                "query": name,
+                "requests": sum(1 for r in records if r["query"] == name),
+                "ok": len(lat),
+                "p50_ms": (
+                    float(np.percentile(np.asarray(lat), 50)) if lat else None
+                ),
+                "digest_consistent": len(digests.get(name, set())) <= 1,
+            }
+        )
+
+    digest_check = {"checked": False, "identical": None, "mismatches": []}
+    if check_digests or oracle is not None:
+        if oracle is None:
+            sf = server_meta.get("sf")
+            srv_seed = server_meta.get("seed", 0)
+            if sf is None:
+                raise ValueError(
+                    "server STATS meta carries no 'sf'; pass a "
+                    "pre-computed oracle mapping instead"
+                )
+            oracle = oracle_digests(
+                sorted({r["query"] for r in ok}), sf, srv_seed, strategy
+            )
+        mismatches = sorted(
+            {
+                r["query"]
+                for r in ok
+                if oracle.get(r["query"]) not in (None, r["digest"])
+            }
+        )
+        digest_check = {
+            "checked": True,
+            "identical": not mismatches,
+            "mismatches": mismatches,
+        }
+
+    return {
+        "schema": SCHEMA_V6,
+        "kind": "loadtest",
+        "meta": {
+            "host": host,
+            "port": port,
+            "connections": len(schedules),
+            "requests": requests,
+            "queries": queries,
+            "strategy": strategy,
+            "timeout_ms": timeout_ms,
+            "seed": seed,
+            "server": server_meta,
+            "protocol": pong.get("protocol"),
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "wall_seconds": wall,
+        "throughput_rps": (len(records) / wall) if wall else None,
+        "latency": _percentiles([r["latency_ms"] for r in ok]),
+        "outcomes": outcomes,
+        "per_query": per_query,
+        "digest_check": digest_check,
+        "server_stats": {
+            "engine": stats_after["engine"],
+            "cache": stats_after["cache"],
+            "server": stats_after["server"],
+        },
+        "measurements_raw": records,
+    }
+
+
+def format_loadtest(payload: dict) -> str:
+    """Human-readable one-screen summary of a loadtest record."""
+    lat = payload["latency"]
+    lines = [
+        f"loadtest: {payload['meta']['requests']} requests over "
+        f"{payload['meta']['connections']} connections in "
+        f"{payload['wall_seconds']:.2f}s "
+        f"({payload['throughput_rps']:.1f} req/s)",
+        "  latency: "
+        + (
+            f"p50={lat['p50_ms']:.1f}ms p95={lat['p95_ms']:.1f}ms "
+            f"p99={lat['p99_ms']:.1f}ms max={lat['max_ms']:.1f}ms"
+            if lat["p50_ms"] is not None
+            else "n/a (no successful requests)"
+        ),
+        f"  outcomes: {payload['outcomes']}",
+    ]
+    check = payload["digest_check"]
+    if check["checked"]:
+        lines.append(
+            "  digest check vs in-process oracle: "
+            + ("identical" if check["identical"]
+               else f"MISMATCH {check['mismatches']}")
+        )
+    pending = payload["server_stats"]["server"]["pending_jobs"]
+    lines.append(f"  server pending jobs after storm: {pending}")
+    inconsistent = [
+        p["query"] for p in payload["per_query"]
+        if not p["digest_consistent"]
+    ]
+    if inconsistent:
+        lines.append(f"  INCONSISTENT digests within storm: {inconsistent}")
+    return "\n".join(lines)
+
+
+def loadtest_violations(payload: dict) -> list[str]:
+    """The record's invariant violations (empty = clean)."""
+    out = []
+    if payload["digest_check"]["checked"] and not payload["digest_check"]["identical"]:
+        out.append(
+            f"digest mismatch vs oracle: {payload['digest_check']['mismatches']}"
+        )
+    if payload["server_stats"]["server"]["pending_jobs"] != 0:
+        out.append(
+            "leaked worker slots: pending_jobs="
+            f"{payload['server_stats']['server']['pending_jobs']}"
+        )
+    for p in payload["per_query"]:
+        if not p["digest_consistent"]:
+            out.append(f"inconsistent digests for {p['query']}")
+    return out

@@ -1,0 +1,788 @@
+"""Fault-tolerant asyncio network server over the service Engine.
+
+Pure-stdlib serving layer: an :mod:`asyncio` TCP server speaking the
+length-prefixed JSON frame protocol of :mod:`.protocol`, multiplexing
+any number of client connections (and concurrent requests *per*
+connection — requests carry ids, responses are matched by id) onto the
+existing thread-pool :class:`~repro.service.engine.Engine`.
+
+Robustness is the design center; every wire-level failure mode maps to
+a typed, recoverable outcome:
+
+* **Deadline propagation** — a client's ``timeout_ms`` is clamped to
+  :attr:`ServerConfig.max_timeout_ms` and opens the query's
+  :class:`~repro.context.QueryContext`, so a remote deadline aborts
+  with the same typed ``QueryTimeout`` (answered as an ``ERROR
+  code=timeout`` frame) as a local one.
+* **Disconnect detection** — when a connection drops (EOF, reset, or
+  an injected ``net.read`` fault), every query it still has in flight
+  is cancelled through its :class:`~repro.context.CancelToken`; the
+  engine reclaims the worker slot and counts the cancellation.  An
+  abandoned query never holds a worker.
+* **Admission control** — :class:`~repro.errors.EngineSaturated`
+  becomes a ``RETRY`` frame carrying the engine's (floored)
+  ``retry_after`` hint, which the bundled client honours with
+  seeded-jitter backoff.
+* **Framing defence** — oversized frames are drained and answered
+  with ``ERROR code=frame_too_large``; malformed bodies with ``ERROR
+  code=protocol``; both leave the connection loop serving.  Only a
+  peer that stalls mid-frame (read timeout) or cannot be written to
+  (write timeout) gets its connection closed — after cancelling its
+  in-flight work.
+* **Graceful drain** — :meth:`QueryServer.drain` (wired to
+  SIGTERM/SIGINT by :func:`run_server`) stops accepting, lets
+  in-flight queries finish within a grace period, then cancels the
+  rest cooperatively; every pending request resolves with a real
+  result or a typed error — never a hang, never a bare
+  ``CancelledError``.  ``PING`` reports ``ready=false`` while
+  draining and new ``QUERY`` frames are answered ``ERROR
+  code=unavailable``.
+
+Fault injection: the server's accept/read/write paths are instrumented
+with the ``net.accept`` / ``net.read`` / ``net.write`` points of
+:mod:`repro.testing.faults`, so the chaos harness can inject delays,
+drops and disconnects at the exact seams where real networks fail.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import dataclasses
+import threading
+from collections.abc import Mapping
+from dataclasses import dataclass, replace
+
+from ..core.runner import MATERIALIZE_MODES, STRATEGIES, RunConfig
+from ..context import CancelToken
+from ..errors import (
+    EngineSaturated,
+    FaultInjected,
+    PlanError,
+    ProtocolError,
+    ReproError,
+    ServiceUnavailable,
+)
+from ..plan.query import QuerySpec
+from ..testing.faults import fault_point
+from .engine import Engine
+from .protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    HEADER,
+    PROTOCOL_VERSION,
+    decode_body,
+    encode_frame,
+    error_frame_for,
+    error_response,
+    pong_response,
+    result_response,
+)
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables of one :class:`QueryServer`.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    :attr:`QueryServer.port` after :meth:`~QueryServer.start`).
+    ``read_timeout`` guards *mid-frame* stalls (a slow client that
+    started a frame must finish it); waiting for the *next* frame is
+    governed by ``idle_timeout`` (``None`` = a quiet connection may
+    stay open forever).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+    #: Ceiling for client-supplied ``timeout_ms`` (clamp, not reject).
+    max_timeout_ms: float = 60_000.0
+    #: Deadline applied when the client sends none (``None`` = none).
+    default_timeout_ms: float | None = None
+    read_timeout: float = 10.0
+    write_timeout: float = 10.0
+    idle_timeout: float | None = None
+    drain_grace: float = 10.0
+    #: Cap on inline result rows shipped when a client asks for data.
+    max_result_rows: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.max_frame_bytes < HEADER.size + 2:
+            raise ValueError("max_frame_bytes is too small to frame anything")
+        if self.max_timeout_ms <= 0:
+            raise ValueError("max_timeout_ms must be positive")
+
+
+class _ConnectionClosed(Exception):
+    """Internal: the peer went away (EOF/reset) — close quietly."""
+
+
+class _SlowPeer(Exception):
+    """Internal: mid-frame read or write timed out — close defensively."""
+
+
+class _Oversize(Exception):
+    """Internal: a frame declared more bytes than the limit (body
+    already drained, framing intact — answer and keep serving)."""
+
+    def __init__(self, length: int) -> None:
+        super().__init__(str(length))
+        self.length = length
+
+
+class _Conn:
+    """Per-connection state: writer + in-flight cancellation tokens."""
+
+    __slots__ = ("writer", "write_lock", "tokens", "alive")
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.write_lock = asyncio.Lock()
+        self.tokens: set[CancelToken] = set()
+        self.alive = True
+
+    def abort_inflight(self) -> int:
+        """Cancel every query this connection still has in flight."""
+        tokens = list(self.tokens)
+        for token in tokens:
+            token.cancel()
+        return len(tokens)
+
+
+def _json_value(value):
+    """A JSON-safe rendering of one result cell."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    item = getattr(value, "item", None)
+    if item is not None:  # numpy scalar
+        return item()
+    return str(value)
+
+
+class QueryServer:
+    """The asyncio serving front of one :class:`Engine`.
+
+    Parameters
+    ----------
+    engine:
+        The engine to serve.  The server does **not** own it — callers
+        shut it down after :meth:`drain` (see :func:`run_server` /
+        :class:`ServerThread` for owners that do both).
+    specs:
+        The query registry: request ``query`` names → prepared
+        :class:`~repro.plan.query.QuerySpec` objects (the wire cannot
+        ship arbitrary plan objects; clients name registered queries).
+    config:
+        Wire/robustness tunables (:class:`ServerConfig`).
+    meta:
+        Arbitrary JSON-safe facts echoed in ``STATS`` (e.g. ``sf`` /
+        ``seed`` of the served catalog, so clients can rebuild an
+        in-process oracle for digest verification).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        specs: Mapping[str, QuerySpec],
+        *,
+        config: ServerConfig | None = None,
+        meta: dict | None = None,
+    ) -> None:
+        self.engine = engine
+        self.specs = dict(specs)
+        self.config = config or ServerConfig()
+        self.meta = dict(meta or {})
+        self._server: asyncio.Server | None = None
+        self._conns: set[_Conn] = set()
+        self._inflight: set[asyncio.Task] = set()
+        self._draining = False
+        self._drained = asyncio.Event()
+        self.port: int | None = None
+        # Serving counters (event-loop-thread only).
+        self.connections_total = 0
+        self.queries_total = 0
+        self.protocol_errors = 0
+        self.cancelled_by_disconnect = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._handle, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def drain(self, grace: float | None = None) -> None:
+        """Graceful shutdown: stop accepting, resolve everything.
+
+        1. Close the listener (no new connections) and flip
+           ``draining`` (new ``QUERY`` frames → ``unavailable``).
+        2. Give in-flight queries ``grace`` seconds to finish and send
+           their real responses.
+        3. Cancel whatever is left through its token — each resolves
+           with a typed ``ERROR code=cancelled`` response.
+        4. Close every connection.
+
+        Idempotent; concurrent callers all wait for completion.
+        """
+        if self._draining:
+            await self._drained.wait()
+            return
+        self._draining = True
+        grace = self.config.drain_grace if grace is None else grace
+        if self._server is not None:
+            self._server.close()
+            with contextlib.suppress(Exception):
+                await self._server.wait_closed()
+        if self._inflight:
+            await asyncio.wait(set(self._inflight), timeout=grace)
+        if self._inflight:
+            for conn in list(self._conns):
+                conn.abort_inflight()
+            # Cancelled queries abort at their next cooperative
+            # checkpoint and their tasks send typed ERROR responses;
+            # this wait must therefore terminate (the chaos drain
+            # block asserts it does).
+            await asyncio.wait(set(self._inflight), timeout=grace)
+        for conn in list(self._conns):
+            await self._close_conn(conn)
+        self._drained.set()
+
+    async def wait_drained(self) -> None:
+        await self._drained.wait()
+
+    async def _close_conn(self, conn: _Conn) -> None:
+        conn.alive = False
+        self._conns.discard(conn)
+        conn.abort_inflight()
+        with contextlib.suppress(Exception):
+            conn.writer.close()
+            await conn.writer.wait_closed()
+
+    # ------------------------------------------------------------------
+    # Frame I/O
+    # ------------------------------------------------------------------
+    async def _read_exactly(
+        self, reader: asyncio.StreamReader, n: int, timeout: float | None
+    ) -> bytes:
+        try:
+            if timeout is None:
+                return await reader.readexactly(n)
+            return await asyncio.wait_for(reader.readexactly(n), timeout)
+        except TimeoutError:
+            raise _SlowPeer(f"peer stalled mid-frame ({n} bytes due)") from None
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            raise _ConnectionClosed() from None
+
+    async def _read_frame(self, reader: asyncio.StreamReader) -> bytes:
+        """One frame body; raises the typed internal framing states."""
+        # net.read faults: "disconnect" surfaces the exact exception a
+        # TCP reset would; "delay" models a slow network; "raise" an
+        # unexpected transport bug.
+        fault_point("net.read")
+        header = await self._read_exactly(
+            reader, HEADER.size, self.config.idle_timeout
+        )
+        (length,) = HEADER.unpack(header)
+        if length > self.config.max_frame_bytes:
+            # Drain the declared body in bounded chunks so framing
+            # stays intact and the connection remains serviceable; a
+            # peer that cannot even deliver what it declared stalls
+            # into the read timeout and is closed.
+            remaining = length
+            while remaining:
+                chunk = await self._read_exactly(
+                    reader,
+                    min(remaining, 1 << 16),
+                    self.config.read_timeout,
+                )
+                remaining -= len(chunk)
+            raise _Oversize(length)
+        return await self._read_exactly(reader, length, self.config.read_timeout)
+
+    async def _send(self, conn: _Conn, body: dict) -> None:
+        """Write one response frame (multiplex-safe, fault-instrumented).
+
+        A ``net.write`` drop verdict blackholes the frame (the peer's
+        read times out — their problem to handle, and the bundled
+        client does).  Write failures mark the connection dead and
+        cancel its in-flight work.
+        """
+        if not conn.alive:
+            return
+        try:
+            data = encode_frame(body, self.config.max_frame_bytes)
+        except ReproError as exc:
+            # An oversized *response* (e.g. include_data on a huge
+            # result) degrades to a typed error frame, not a dead
+            # connection.
+            data = encode_frame(
+                error_frame_for(body.get("id"), exc), self.config.max_frame_bytes
+            )
+        if fault_point("net.write", body) == "drop":
+            return
+        try:
+            async with conn.write_lock:
+                conn.writer.write(data)
+                await asyncio.wait_for(
+                    conn.writer.drain(), self.config.write_timeout
+                )
+        except TimeoutError:
+            await self._on_conn_dead(conn)
+            raise _SlowPeer("write timed out") from None
+        except (ConnectionError, OSError):
+            await self._on_conn_dead(conn)
+            raise _ConnectionClosed() from None
+
+    async def _on_conn_dead(self, conn: _Conn) -> None:
+        if conn.alive:
+            self.cancelled_by_disconnect += conn.abort_inflight()
+        await self._close_conn(conn)
+
+    # ------------------------------------------------------------------
+    # Connection handler
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Conn(writer)
+        try:
+            verdict = fault_point("net.accept")
+        except (FaultInjected, ConnectionError):
+            verdict = "drop"
+        if verdict == "drop" or self._draining:
+            with contextlib.suppress(Exception):
+                writer.close()
+            return
+        self._conns.add(conn)
+        self.connections_total += 1
+        try:
+            while conn.alive:
+                try:
+                    body = await self._read_frame(reader)
+                except _Oversize as exc:
+                    self.protocol_errors += 1
+                    await self._send(
+                        conn,
+                        error_response(
+                            None,
+                            "frame_too_large",
+                            f"frame of {exc.length} bytes exceeds the "
+                            f"{self.config.max_frame_bytes}-byte limit",
+                            error_type="FrameTooLarge",
+                        ),
+                    )
+                    continue
+                except (_ConnectionClosed, ConnectionError, OSError):
+                    break
+                except _SlowPeer:
+                    break
+                except FaultInjected:
+                    # An injected transport bug on the read path: the
+                    # connection is in an unknown state — close it (the
+                    # client sees ConnectionLost, a typed error).
+                    break
+                try:
+                    msg = decode_body(body)
+                except ProtocolError as exc:
+                    self.protocol_errors += 1
+                    await self._send(conn, error_frame_for(None, exc))
+                    continue
+                await self._dispatch(conn, msg)
+        except (_ConnectionClosed, _SlowPeer):
+            pass
+        finally:
+            await self._on_conn_dead(conn)
+
+    async def _dispatch(self, conn: _Conn, msg: dict) -> None:
+        kind = msg["type"]
+        rid = msg.get("id")
+        if kind == "PING":
+            await self._send(
+                conn,
+                pong_response(
+                    rid, ready=not self._draining, draining=self._draining
+                ),
+            )
+            return
+        if kind == "STATS":
+            await self._send(conn, self._stats_body(rid))
+            return
+        if kind == "QUERY":
+            if self._draining:
+                await self._send(
+                    conn,
+                    error_frame_for(
+                        rid,
+                        ServiceUnavailable("server is draining"),
+                    ),
+                )
+                return
+            self.queries_total += 1
+            task = asyncio.ensure_future(self._serve_query(conn, msg))
+            self._inflight.add(task)
+            task.add_done_callback(self._inflight.discard)
+            return
+        self.protocol_errors += 1
+        await self._send(
+            conn,
+            error_frame_for(
+                rid, ProtocolError(f"unknown request type {kind!r}")
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # QUERY handling
+    # ------------------------------------------------------------------
+    def _clamp_timeout(self, msg: dict) -> float | None:
+        """The effective deadline (seconds) for one request."""
+        wish = msg.get("timeout_ms", None)
+        if wish is None:
+            wish = self.config.default_timeout_ms
+        elif not isinstance(wish, (int, float)) or isinstance(wish, bool) \
+                or wish <= 0:
+            raise ProtocolError(
+                f"timeout_ms must be a positive number, got {wish!r}"
+            )
+        if wish is None:
+            return None
+        return min(float(wish), self.config.max_timeout_ms) / 1000.0
+
+    def _request_config(self, msg: dict) -> RunConfig | None:
+        """Per-request strategy/materialize overrides on the engine's
+        default config (``None`` = serve with the default as-is)."""
+        strategy = msg.get("strategy")
+        materialize = msg.get("materialize")
+        if strategy is None and materialize is None:
+            return None
+        base = self.engine.default_config
+        if strategy is not None:
+            if strategy not in STRATEGIES:
+                raise PlanError(
+                    f"unknown strategy {strategy!r}; choose from {STRATEGIES}"
+                )
+            base = replace(base, strategy=strategy)
+        if materialize is not None:
+            if materialize not in MATERIALIZE_MODES:
+                raise PlanError(
+                    f"unknown materialize mode {materialize!r}; "
+                    f"choose from {MATERIALIZE_MODES}"
+                )
+            base = replace(base, materialize=materialize)
+        return base
+
+    def _resolve_spec(self, msg: dict) -> QuerySpec:
+        name = msg.get("query")
+        if not isinstance(name, str):
+            raise ProtocolError("QUERY needs a string 'query' field")
+        spec = self.specs.get(name)
+        if spec is None:
+            raise PlanError(
+                f"unknown query {name!r}; registered: "
+                f"{', '.join(sorted(self.specs))}"
+            )
+        return spec
+
+    async def _await_job(self, future):
+        """Await an engine future without cancellation back-propagation.
+
+        ``asyncio.wrap_future`` would try to cancel the engine's
+        future when the awaiting task is cancelled — racing the pool's
+        ``set_result`` into ``InvalidStateError``.  This bridge only
+        *observes*: disconnects abort queries via their CancelToken
+        (the cooperative path the engine guarantees resolves), never
+        by cancelling the future object.
+        """
+        loop = asyncio.get_running_loop()
+        done = loop.create_future()
+
+        def _transfer(f) -> None:
+            exc = f.exception()
+
+            def _set() -> None:
+                if done.cancelled():
+                    return
+                if exc is not None:
+                    done.set_exception(exc)
+                else:
+                    done.set_result(f.result())
+
+            with contextlib.suppress(RuntimeError):  # loop already closed
+                loop.call_soon_threadsafe(_set)
+
+        future.add_done_callback(_transfer)
+        return await done
+
+    async def _serve_query(self, conn: _Conn, msg: dict) -> None:
+        rid = msg.get("id")
+        token = CancelToken()
+        try:
+            spec = self._resolve_spec(msg)
+            config = self._request_config(msg)
+            timeout_s = self._clamp_timeout(msg)
+            conn.tokens.add(token)
+            try:
+                future = self.engine.submit(
+                    spec, config, timeout=timeout_s, token=token
+                )
+            except EngineSaturated as exc:
+                await self._send(conn, error_frame_for(rid, exc))
+                return
+            except RuntimeError as exc:
+                # Engine closed under us (drain race): typed answer.
+                await self._send(
+                    conn, error_frame_for(rid, ServiceUnavailable(str(exc)))
+                )
+                return
+            result = await self._await_job(future)
+            await self._send(conn, self._result_body(rid, msg, result))
+        except (_ConnectionClosed, _SlowPeer):
+            pass  # peer is gone; _on_conn_dead already cancelled tokens
+        except ReproError as exc:
+            with contextlib.suppress(_ConnectionClosed, _SlowPeer):
+                await self._send(conn, error_frame_for(rid, exc))
+        except Exception as exc:  # untyped server bug → internal, typed
+            with contextlib.suppress(_ConnectionClosed, _SlowPeer):
+                await self._send(
+                    conn,
+                    error_response(
+                        rid, "internal", str(exc), error_type=type(exc).__name__
+                    ),
+                )
+        finally:
+            conn.tokens.discard(token)
+
+    def _result_body(self, rid, msg: dict, result) -> dict:
+        from .workload import result_digest
+
+        stats = result.stats
+        table = result.table
+        body_stats = {
+            "strategy": stats.strategy,
+            "outcome": stats.outcome,
+            "seconds": stats.total_seconds,
+            "filter_cache_hits": stats.filter_cache_hits_total,
+            "filter_cache_misses": stats.filter_cache_misses_total,
+            "filters_degraded": stats.filters_degraded,
+        }
+        data = None
+        truncated = False
+        columns = None
+        if msg.get("include_data"):
+            cap = self.config.max_result_rows
+            columns = list(table.column_names)
+            head = table.head(cap) if table.num_rows > cap else table
+            truncated = table.num_rows > cap
+            data = [
+                [_json_value(v) for v in row] for row in head.to_rows()
+            ]
+        return result_response(
+            rid,
+            digest=result_digest(table),
+            rows=table.num_rows,
+            stats=body_stats,
+            columns=columns,
+            data=data,
+            data_truncated=truncated,
+        )
+
+    # ------------------------------------------------------------------
+    # STATS
+    # ------------------------------------------------------------------
+    def _stats_body(self, rid) -> dict:
+        cache = self.engine.cache_stats()
+        return {
+            "type": "STATS",
+            "id": rid,
+            "protocol": PROTOCOL_VERSION,
+            "engine": dataclasses.asdict(self.engine.stats()),
+            "cache": None if cache is None else cache.to_dict(),
+            "server": {
+                "draining": self._draining,
+                "connections": len(self._conns),
+                "connections_total": self.connections_total,
+                "queries_total": self.queries_total,
+                "protocol_errors": self.protocol_errors,
+                "cancelled_by_disconnect": self.cancelled_by_disconnect,
+                "inflight": len(self._inflight),
+                "pending_jobs": self.engine.pending,
+                "queries": sorted(self.specs),
+            },
+            "meta": self.meta,
+        }
+
+
+# ----------------------------------------------------------------------
+# Default registry
+# ----------------------------------------------------------------------
+def build_default_registry(sf: float, seed: int = 0):
+    """The stock serving universe: merged TPC-H+SSB catalog and every
+    registered query (TPC-H 1–22 + cyclic extras, all SSB flights with
+    ``ssb.``-prefixed tables).  Returns ``(catalog, specs)``."""
+    from ..ssb import ALL_SSB_QUERY_IDS, get_ssb_query
+    from ..tpch.queries import CYCLIC_QUERY_IDS, get_query
+    from .workload import SSB_PREFIX, build_catalog, prefix_tables
+
+    catalog = build_catalog(sf=sf, seed=seed)
+    specs: dict[str, QuerySpec] = {}
+    for qid in list(range(1, 23)) + list(CYCLIC_QUERY_IDS):
+        spec = get_query(qid, sf=sf)
+        specs[spec.name] = spec
+    for qid in ALL_SSB_QUERY_IDS:
+        spec = prefix_tables(get_ssb_query(qid), SSB_PREFIX)
+        specs[spec.name] = spec
+    return catalog, specs
+
+
+# ----------------------------------------------------------------------
+# Owners: background thread (tests/tools) and blocking CLI entrypoint
+# ----------------------------------------------------------------------
+class ServerThread:
+    """Run a :class:`QueryServer` on a private event loop in a
+    background thread — the in-process harness used by the tests, the
+    network-chaos sweep and the self-hosted loadtest.
+
+    The thread owns the loop, not the engine; :meth:`close` drains the
+    server (every pending request resolves) and stops the loop, then
+    the caller shuts the engine down.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        specs: Mapping[str, QuerySpec],
+        *,
+        config: ServerConfig | None = None,
+        meta: dict | None = None,
+    ) -> None:
+        self.server = QueryServer(engine, specs, config=config, meta=meta)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._boot_error: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-server", daemon=True
+        )
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._boot_error is not None:
+            raise self._boot_error
+        if not self._ready.is_set():
+            raise RuntimeError("server failed to start within 30s")
+        return self
+
+    @property
+    def port(self) -> int:
+        assert self.server.port is not None, "server not started"
+        return self.server.port
+
+    @property
+    def host(self) -> str:
+        return self.server.config.host
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self.server.start())
+        except BaseException as exc:  # bind failure etc.
+            self._boot_error = exc
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            loop.close()
+
+    def drain(self, grace: float | None = None, timeout: float = 60.0) -> None:
+        """Graceful drain from any thread (blocks until resolved)."""
+        assert self._loop is not None
+        fut = asyncio.run_coroutine_threadsafe(
+            self.server.drain(grace), self._loop
+        )
+        fut.result(timeout=timeout)
+
+    def close(self) -> None:
+        """Drain, stop the loop, join the thread (idempotent)."""
+        if self._loop is None or not self._thread.is_alive():
+            return
+        with contextlib.suppress(Exception):
+            self.drain()
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=30)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def run_server(
+    *,
+    sf: float = 0.01,
+    seed: int = 0,
+    host: str = "127.0.0.1",
+    port: int = 7531,
+    workers: int = 4,
+    max_pending: int = 256,
+    threads: int = 1,
+    config: ServerConfig | None = None,
+) -> int:
+    """Blocking CLI entrypoint: build the stock registry, serve until
+    SIGTERM/SIGINT, drain gracefully, shut the engine down.
+
+    Returns the process exit code (0 on a clean drain).
+    """
+    import signal
+
+    catalog, specs = build_default_registry(sf, seed)
+    engine = Engine(
+        catalog,
+        config=RunConfig(threads=max(1, threads)),
+        workers=workers,
+        max_pending=max_pending,
+    )
+    cfg = config or ServerConfig(host=host, port=port)
+    server = QueryServer(
+        engine, specs, config=cfg, meta={"sf": sf, "seed": seed}
+    )
+
+    async def _amain() -> None:
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(
+                    sig, lambda: asyncio.ensure_future(server.drain())
+                )
+        print(
+            f"serving {len(specs)} queries (sf={sf}) on "
+            f"{server.config.host}:{server.port} "
+            f"[workers={workers}, max_pending={max_pending}]",
+            flush=True,
+        )
+        await server.wait_drained()
+
+    try:
+        asyncio.run(_amain())
+    finally:
+        engine.shutdown(wait=True, cancel=True)
+    print("drained cleanly", flush=True)
+    return 0

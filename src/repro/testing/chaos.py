@@ -24,6 +24,21 @@ CLI (the CI chaos job)::
 
 exits non-zero iff any case violated the invariant, and writes a
 ``repro-bench/v5`` JSON record of every case either way.
+
+Network sweep (the CI ``serve`` job)::
+
+    python -m repro.testing.chaos --network --json chaos-net.json
+
+extends the same invariant across the wire: a real asyncio
+:class:`~repro.service.server.QueryServer` is stood up in-process and
+every ``net.accept`` / ``net.read`` / ``net.write`` fault (delays,
+drops, injected disconnects) plus engine-side faults are swept across
+strategies × {lazy, eager}, asserting each client request ends in a
+clean typed error or a digest byte-identical to the in-process engine
+oracle, that zero worker slots leak, and that a post-fault recovery
+query succeeds.  A drain-under-load block additionally shuts the
+server down mid-storm and demands every pending request resolve (no
+hangs, no untyped leakage).
 """
 
 from __future__ import annotations
@@ -32,6 +47,7 @@ import argparse
 import json
 import platform
 import sys
+import threading
 import time
 from concurrent.futures import TimeoutError as FutureTimeout
 from dataclasses import dataclass
@@ -41,7 +57,9 @@ import numpy as np
 from ..core.runner import MATERIALIZE_MODES, STRATEGIES, RunConfig
 from ..errors import ReproError
 from ..plan.query import QuerySpec
+from ..service.client import ReproClient
 from ..service.engine import Engine
+from ..service.server import ServerConfig, ServerThread
 from ..service.workload import result_digest
 from ..storage.catalog import Catalog
 from ..tpch import generate_tpch
@@ -377,6 +395,348 @@ def format_sweep(payload: dict) -> str:
     return "\n".join(lines)
 
 
+# ----------------------------------------------------------------------
+# Network chaos: the same invariant across the wire
+# ----------------------------------------------------------------------
+
+#: Network fault scenarios swept against a real client/server pair.
+#: ``nth=2`` on the read disconnect skips the pre-QUERY read hit so the
+#: reset lands *while the query is in flight* — the abandoned query
+#: must be cancelled and its worker slot reclaimed.
+NETWORK_CASES: tuple[ChaosCase, ...] = (
+    ChaosCase("net-accept-disconnect", FaultRule("net.accept", "disconnect")),
+    ChaosCase("net-accept-drop", FaultRule("net.accept", "drop")),
+    ChaosCase(
+        "net-read-disconnect-idle", FaultRule("net.read", "disconnect")
+    ),
+    ChaosCase(
+        "net-read-disconnect-midquery",
+        FaultRule("net.read", "disconnect", nth=2),
+    ),
+    ChaosCase(
+        "net-read-delay",
+        FaultRule("net.read", "delay", delay=0.002, count=None),
+    ),
+    ChaosCase("net-write-disconnect", FaultRule("net.write", "disconnect")),
+    ChaosCase("net-write-drop", FaultRule("net.write", "drop")),
+    ChaosCase("engine-submit-raise", FaultRule("worker.submit", "raise")),
+    ChaosCase("engine-filter-raise", FaultRule("filter.build", "raise")),
+)
+
+#: Clients under a storm never wait longer than this for a response —
+#: a server that stalls past it is a hang by definition.
+NET_IO_TIMEOUT = 5.0
+
+
+def _net_classify(
+    host: str,
+    port: int,
+    query: str,
+    oracle: str,
+    *,
+    strategy: str | None = None,
+    materialize: str | None = None,
+    io_timeout: float = NET_IO_TIMEOUT,
+) -> str:
+    """One query over the wire, classified like :func:`_classify`.
+
+    A fresh connection per attempt — exactly what a real client retry
+    does after a transport loss.
+    """
+    try:
+        with ReproClient(
+            host, port, connect_timeout=5.0, io_timeout=io_timeout
+        ) as client:
+            frame = client.query_once(
+                query,
+                strategy=strategy,
+                materialize=materialize,
+                timeout_ms=30_000,
+            )
+    except ReproError as exc:
+        return f"error:{type(exc).__name__}"
+    except Exception as exc:  # untyped leakage is a violation
+        return f"UNTYPED:{type(exc).__name__}"
+    return "identical" if frame["digest"] == oracle else "WRONG_ANSWER"
+
+
+def _settle_pending(engine: Engine, deadline: float = 10.0) -> bool:
+    """Wait for the engine to drain to zero admitted-but-unfinished
+    queries (disconnect cancellations resolve asynchronously)."""
+    t0 = time.monotonic()
+    while time.monotonic() - t0 < deadline:
+        if engine.pending == 0:
+            return True
+        time.sleep(0.01)
+    return engine.pending == 0
+
+
+def run_network_case(
+    case: ChaosCase,
+    host: str,
+    port: int,
+    engine: Engine,
+    query: str,
+    oracle: str,
+    strategy: str,
+    materialize: str,
+    seed: int,
+) -> dict:
+    """One (network fault, strategy, materialize) cell of the sweep."""
+    plan = FaultPlan([case.rule], seed=seed)
+    if case.rule.point == "filter.build" and engine.filter_cache is not None:
+        # Cold-start the cell: a warm shared cache would satisfy the
+        # query without ever building a filter, starving the fault.
+        engine.filter_cache.clear()
+    # Faults at wire/admission points fire for every cell; whether a
+    # filter build happens at all is the strategy's business
+    # (nopredtrans never builds one), so only those points make a
+    # zero-trigger cell a violation.
+    must_trigger = (
+        case.rule.point.startswith("net.")
+        or case.rule.point == "worker.submit"
+    )
+    # A blackholed response is only detected by the client timing out;
+    # keep that bound tight so the sweep stays fast.
+    io_timeout = (
+        1.0
+        if (case.rule.action == "drop" and case.rule.point == "net.write")
+        else NET_IO_TIMEOUT
+    )
+    with inject(plan):
+        outcome = _net_classify(
+            host,
+            port,
+            query,
+            oracle,
+            strategy=strategy,
+            materialize=materialize,
+            io_timeout=io_timeout,
+        )
+    slots_clean = _settle_pending(engine)
+    recovered = (
+        _net_classify(
+            host, port, query, oracle,
+            strategy=strategy, materialize=materialize,
+        )
+        == "identical"
+    )
+    clean = outcome == "identical" or outcome.startswith("error:")
+    ok = (
+        clean
+        and recovered
+        and slots_clean
+        and (bool(plan.triggered) or not must_trigger)
+    )
+    return {
+        "case": case.name,
+        "strategy": strategy,
+        "materialize": materialize,
+        "outcome": outcome,
+        "faults_triggered": len(plan.triggered),
+        "recovered": recovered,
+        "slots_clean": slots_clean,
+        "ok": ok,
+    }
+
+
+def network_drain_block(
+    catalog: Catalog, spec: QuerySpec, oracle: str, seed: int
+) -> dict:
+    """Graceful drain under concurrent load.
+
+    Six clients fire the chaos query at a 2-worker server while every
+    chunk kernel is slowed (guaranteeing work is in flight), then the
+    server drains with a grace period shorter than the queries.  The
+    invariant: **every** client resolves — a byte-identical result for
+    whatever finished inside the grace, a typed error for the rest —
+    with no hangs and no leaked slots.
+    """
+    config = RunConfig(
+        strategy="predtrans", threads=1, partition_rows=CHAOS_PARTITION_ROWS
+    )
+    engine = Engine(catalog, config=config, workers=2, max_pending=16)
+    outcomes: list[str] = []
+    lock = threading.Lock()
+    plan = FaultPlan(
+        [FaultRule("chunk.kernel", "delay", delay=0.02, count=None)],
+        seed=seed,
+    )
+    clients = 6
+    try:
+        with ServerThread(
+            engine, {spec.name: spec}, config=ServerConfig()
+        ) as st:
+
+            def one() -> None:
+                try:
+                    with ReproClient(
+                        st.host, st.port, io_timeout=30.0
+                    ) as client:
+                        frame = client.query_once(
+                            spec.name, timeout_ms=30_000
+                        )
+                except ReproError as exc:
+                    out = f"error:{type(exc).__name__}"
+                except Exception as exc:
+                    out = f"UNTYPED:{type(exc).__name__}"
+                else:
+                    out = (
+                        "identical"
+                        if frame["digest"] == oracle
+                        else "WRONG_ANSWER"
+                    )
+                with lock:
+                    outcomes.append(out)
+
+            with inject(plan):
+                workers = [
+                    threading.Thread(target=one, name=f"drain-client-{i}")
+                    for i in range(clients)
+                ]
+                for t in workers:
+                    t.start()
+                # Let the queries admit and start chewing (slowed)
+                # chunks so the drain provably lands mid-flight.
+                time.sleep(0.15)
+                t0 = time.perf_counter()
+                st.drain(grace=0.2)
+                drain_seconds = time.perf_counter() - t0
+                for t in workers:
+                    t.join(timeout=30.0)
+                hung = any(t.is_alive() for t in workers)
+    finally:
+        engine.shutdown(wait=True, cancel=True)
+    slots_clean = engine.pending == 0
+    typed = all(
+        o == "identical" or o.startswith("error:") for o in outcomes
+    )
+    ok = (
+        typed
+        and not hung
+        and slots_clean
+        and len(outcomes) == clients
+        and bool(plan.triggered)
+    )
+    return {
+        "clients": clients,
+        "outcomes": sorted(outcomes),
+        "drain_seconds": drain_seconds,
+        "hung_clients": hung,
+        "slots_clean": slots_clean,
+        "faults_triggered": len(plan.triggered),
+        "ok": ok,
+    }
+
+
+def run_network_sweep(
+    sf: float = CHAOS_SF,
+    seed: int = 0,
+    strategies: tuple[str, ...] = STRATEGIES,
+) -> dict:
+    """The full network-chaos record: wire cases + drain block.
+
+    One engine + server pair serves the whole sweep — surviving every
+    cell *and* the recovery probes on the same process is itself part
+    of the invariant (a server that must be restarted after a fault
+    has leaked something).
+    """
+    from ..service.loadtest import SCHEMA_V6
+
+    catalog = generate_tpch(sf=sf, seed=seed)
+    spec = get_query(CHAOS_QUERY, sf=sf)
+    oracles = {s: oracle_digest(spec, catalog, s) for s in strategies}
+    config = RunConfig(
+        strategy="predtrans", threads=1, partition_rows=CHAOS_PARTITION_ROWS
+    )
+    engine = Engine(catalog, config=config, workers=2, max_pending=16)
+    cases = []
+    try:
+        with ServerThread(
+            engine,
+            {spec.name: spec},
+            config=ServerConfig(read_timeout=2.0, write_timeout=2.0),
+            meta={"sf": sf, "seed": seed},
+        ) as st:
+            for case in NETWORK_CASES:
+                for strategy in strategies:
+                    for materialize in MATERIALIZE_MODES:
+                        cases.append(
+                            run_network_case(
+                                case,
+                                st.host,
+                                st.port,
+                                engine,
+                                spec.name,
+                                oracles[strategy],
+                                strategy,
+                                materialize,
+                                seed,
+                            )
+                        )
+    finally:
+        engine.shutdown(wait=True, cancel=True)
+    drain = network_drain_block(catalog, spec, oracles["predtrans"], seed)
+    violations = [c for c in cases if not c["ok"]]
+    return {
+        "schema": SCHEMA_V6,
+        "kind": "network-chaos-sweep",
+        "meta": {
+            "sf": sf,
+            "seed": seed,
+            "query": CHAOS_QUERY,
+            "partition_rows": CHAOS_PARTITION_ROWS,
+            "strategies": list(strategies),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "timestamp_unix": int(time.time()),
+        },
+        "oracle_digests": oracles,
+        "cases": cases,
+        "drain_under_load": drain,
+        "summary": {
+            "cases": len(cases),
+            "identical": sum(
+                1 for c in cases if c["outcome"] == "identical"
+            ),
+            "typed_errors": sum(
+                1 for c in cases if c["outcome"].startswith("error:")
+            ),
+            "faults_triggered": sum(c["faults_triggered"] for c in cases),
+            "violations": len(violations) + (0 if drain["ok"] else 1),
+        },
+    }
+
+
+def format_network_sweep(payload: dict) -> str:
+    """Human-readable one-screen summary of a network-chaos record."""
+    s = payload["summary"]
+    drain = payload["drain_under_load"]
+    lines = [
+        f"network chaos sweep: {s['cases']} cases "
+        f"({len(payload['meta']['strategies'])} strategies x "
+        f"{len(MATERIALIZE_MODES)} materialize x "
+        f"{len(NETWORK_CASES)} faults)",
+        f"  byte-identical results: {s['identical']}",
+        f"  clean typed errors:     {s['typed_errors']}",
+        f"  faults triggered:       {s['faults_triggered']}",
+        f"  drain under load ok:    {drain['ok']} "
+        f"(outcomes={drain['outcomes']}, "
+        f"drain={drain['drain_seconds']:.2f}s)",
+        f"  violations:             {s['violations']}",
+    ]
+    for case in payload["cases"]:
+        if not case["ok"]:
+            lines.append(
+                f"  VIOLATION {case['case']} {case['strategy']}/"
+                f"{case['materialize']}: {case['outcome']} "
+                f"(recovered={case['recovered']}, "
+                f"slots_clean={case['slots_clean']})"
+            )
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI: run the sweep, optionally write the JSON record.
 
@@ -395,16 +755,28 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="sweep only predtrans/nopredtrans at threads=1",
     )
+    parser.add_argument(
+        "--network",
+        action="store_true",
+        help="run the client/server network-fault sweep instead of the "
+        "in-process one",
+    )
     args = parser.parse_args(argv)
     strategies = ("nopredtrans", "predtrans") if args.quick else STRATEGIES
-    threads_grid = (1,) if args.quick else (1, 4)
-    payload = run_sweep(
-        sf=args.sf,
-        seed=args.seed,
-        strategies=strategies,
-        threads_grid=threads_grid,
-    )
-    print(format_sweep(payload))
+    if args.network:
+        payload = run_network_sweep(
+            sf=args.sf, seed=args.seed, strategies=strategies
+        )
+        print(format_network_sweep(payload))
+    else:
+        threads_grid = (1,) if args.quick else (1, 4)
+        payload = run_sweep(
+            sf=args.sf,
+            seed=args.seed,
+            strategies=strategies,
+            threads_grid=threads_grid,
+        )
+        print(format_sweep(payload))
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=1)

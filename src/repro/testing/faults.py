@@ -15,6 +15,10 @@ point                fires
 ``chunk.kernel``     before every chunk kernel dispatched by
                      :class:`~repro.engine.parallel.ParallelContext`
 ``worker.submit``    when the service engine hands a query to its pool
+``net.accept``       when the asyncio server accepts a connection,
+                     before any frame is served
+``net.read``         before the server reads a frame from a connection
+``net.write``        before the server writes a response frame
 ===================  ====================================================
 
 When no plan is active (the default, always in production) a fault
@@ -23,6 +27,15 @@ point is a single ``is None`` check.  Tests activate a seeded
 *raises* a typed :class:`~repro.errors.FaultInjected`, *delays* (to
 widen race windows deterministically), or *corrupts* the payload
 (cache reads only — see below) on the Nth hit of its point.
+
+The ``net.*`` points model the network itself misbehaving, so they
+support two extra actions: ``disconnect`` raises a real
+``ConnectionResetError`` (the exact exception a TCP reset produces, so
+the server's handling of an injected reset *is* its handling of a real
+one) and ``drop`` makes the I/O silently vanish — the caller of
+:func:`fault_point` receives the ``"drop"`` verdict and skips the
+write (a blackholed response the peer will time out waiting for) or
+closes the fresh connection unserved (``net.accept``).
 
 Determinism: hits are counted per point under a lock, rules trigger on
 exact hit indices, and the corruption bytes come from a
@@ -58,6 +71,9 @@ FAULT_POINTS: dict[str, frozenset[str]] = {
     "cache.put": frozenset({"raise", "delay"}),
     "chunk.kernel": frozenset({"raise", "delay"}),
     "worker.submit": frozenset({"raise", "delay"}),
+    "net.accept": frozenset({"raise", "delay", "disconnect", "drop"}),
+    "net.read": frozenset({"raise", "delay", "disconnect"}),
+    "net.write": frozenset({"raise", "delay", "disconnect", "drop"}),
 }
 
 
@@ -71,8 +87,11 @@ class FaultRule:
         A name from :data:`FAULT_POINTS`.
     action:
         ``"raise"`` (typed :class:`FaultInjected`), ``"delay"``
-        (sleep ``delay`` seconds), or ``"corrupt"`` (flip bytes of the
-        payload in place; ``cache.get`` only).
+        (sleep ``delay`` seconds), ``"corrupt"`` (flip bytes of the
+        payload in place; ``cache.get`` only), ``"disconnect"``
+        (raise ``ConnectionResetError``; ``net.*`` only) or ``"drop"``
+        (return the ``"drop"`` verdict so the I/O silently vanishes;
+        ``net.accept``/``net.write`` only).
     nth:
         1-based hit index of ``point`` at which the rule first fires.
     count:
@@ -134,8 +153,14 @@ class FaultPlan:
         with self._lock:
             return self._hits.get(point, 0)
 
-    def on_hit(self, point: str, payload: object) -> None:
-        """Advance the point's hit counter and apply any firing rule."""
+    def on_hit(self, point: str, payload: object) -> str | None:
+        """Advance the point's hit counter and apply any firing rule.
+
+        Returns ``"drop"`` when a drop rule fired (the caller owns the
+        drop semantics — skip the write, close the connection unserved)
+        and ``None`` otherwise.  Raising actions win over the drop
+        verdict; delays apply before either.
+        """
         with self._lock:
             hit = self._hits.get(point, 0) + 1
             self._hits[point] = hit
@@ -150,7 +175,8 @@ class FaultPlan:
                 for r in firing if r.action == "corrupt"
             ]
         delay = 0.0
-        raised: FaultInjected | None = None
+        verdict: str | None = None
+        raised: Exception | None = None
         for rule in firing:
             if rule.action == "delay":
                 delay = max(delay, rule.delay)
@@ -158,10 +184,17 @@ class FaultPlan:
                 _corrupt_payload(payload, int(corrupt_draws.pop(0)))
             elif rule.action == "raise":
                 raised = FaultInjected(point, hit)
+            elif rule.action == "disconnect":
+                raised = ConnectionResetError(
+                    f"injected disconnect at {point!r} (hit #{hit})"
+                )
+            elif rule.action == "drop":
+                verdict = "drop"
         if delay:
             time.sleep(delay)
         if raised is not None:
             raise raised
+        return verdict
 
 
 def _corrupt_payload(payload: object, seed: int) -> None:
@@ -219,15 +252,18 @@ def active_plan() -> FaultPlan | None:
     return _ACTIVE
 
 
-def fault_point(point: str, payload: object = None) -> None:
+def fault_point(point: str, payload: object = None) -> str | None:
     """Production-side hook: apply the active plan's rules, if any.
 
     A no-op single ``is None`` test when no plan is injected, so the
-    hooks are safe on hot paths.
+    hooks are safe on hot paths.  Returns the plan's verdict
+    (``"drop"`` for a fired drop rule, else ``None``) so network call
+    sites can blackhole the I/O they were about to perform.
     """
     plan = _ACTIVE
     if plan is not None:
-        plan.on_hit(point, payload)
+        return plan.on_hit(point, payload)
+    return None
 
 
 @contextmanager

@@ -258,3 +258,56 @@ def test_bench_parallel_compare_writes_v4_record(tmp_path, capsys):
     assert len(doc["serial_measurements"]) == len(doc["measurements"])
     out = capsys.readouterr().out
     assert "results identical: True" in out
+
+
+def test_serve_client_loadtest_parser_wiring():
+    parser = build_parser()
+    args = parser.parse_args(
+        [
+            "serve", "--sf", "0.002", "--port", "7700", "--workers", "2",
+            "--max-pending", "8", "--max-frame-mb", "1",
+            "--timeout-ms", "5000",
+        ]
+    )
+    assert args.command == "serve" and args.max_pending == 8
+    assert args.max_frame_mb == 1.0 and args.timeout_ms == 5000.0
+    args = parser.parse_args(
+        ["client", "--query", "5", "--strategy", "predtrans",
+         "--timeout-ms", "250"]
+    )
+    assert args.query == "5" and args.timeout_ms == 250.0
+    args = parser.parse_args(
+        ["loadtest", "--queries", "3,q5,c1", "--connections", "2",
+         "--spawn", "--cold-warm"]
+    )
+    assert args.queries == ["q3", "q5", "c1"]
+    assert args.spawn and args.cold_warm
+
+
+def test_loadtest_spawn_cold_warm_writes_v6_record(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "loadtest.json"
+    code = main(
+        [
+            "loadtest", "--spawn", "--sf", "0.002", "--connections", "2",
+            "--requests", "8", "--queries", "q3,q5", "--workers", "2",
+            "--cold-warm", "--check-digests", "--json", str(path),
+        ]
+    )
+    assert code == 0
+    doc = json.loads(path.read_text())
+    assert doc["schema"] == "repro-bench/v6"
+    assert doc["kind"] == "loadtest-cold-warm"
+    for phase in ("cold", "warm"):
+        assert doc[phase]["outcomes"] == {"ok": 8}
+        assert doc[phase]["digest_check"]["identical"] is True
+        assert doc[phase]["server_stats"]["server"]["pending_jobs"] == 0
+    out = capsys.readouterr().out
+    assert "digest check vs in-process oracle: identical" in out
+
+
+def test_client_against_dead_server_is_typed_error(capsys):
+    code = main(["client", "--port", "1", "--ping"])
+    assert code == 1
+    assert "ConnectionLost" in capsys.readouterr().err
