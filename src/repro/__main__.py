@@ -17,9 +17,15 @@ Commands
 ``client``   One query / ping / stats against a running server, with
              typed errors and saturation backoff.
 ``loadtest`` Closed-loop concurrent driver against a server (or a
-             ``--spawn``ed in-process one); p50/p95/p99 + outcome
+             ``--spawn``ed in-process one); p50/p90/p95/p99 + outcome
              histogram + digest verdict (the ``BENCH_PR7.json``
              artifact via ``--spawn --cold-warm``).
+``stats``    Fetch a running server's ``METRICS``/``STATS`` frames and
+             pretty-print them (``--prom`` dumps the raw Prometheus
+             exposition for piping).
+``trace``    Run one query locally with per-phase tracing and print
+             the span tree (``--out`` appends the spans as JSON
+             lines).
 
 ``tpch``, ``ssb`` and ``bench`` execute through the process-wide
 cross-query filter cache by default — repeated queries within one
@@ -65,9 +71,12 @@ Examples::
     python -m repro workload --sf 0.02 --repeats 2 --threads 4 \
         --json BENCH_PR3.json
     python -m repro cache stats
-    python -m repro serve --sf 0.02 --port 7531 --workers 4
+    python -m repro serve --sf 0.02 --port 7531 --workers 4 \
+        --metrics-port 9090 --slow-query-ms 500
     python -m repro client --query 5 --strategy predtrans --timeout-ms 5000
     python -m repro loadtest --spawn --sf 0.02 --cold-warm --json BENCH_PR7.json
+    python -m repro stats --url 127.0.0.1:7531
+    python -m repro trace --sf 0.02 --query q5 --strategy predtrans
 """
 
 from __future__ import annotations
@@ -469,6 +478,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_pending=args.max_pending,
         threads=max(1, args.threads or 1),
         config=config,
+        metrics_port=args.metrics_port,
+        slow_query_ms=args.slow_query_ms,
+        slow_query_log=args.slow_query_log,
+        trace_out=args.trace_out,
     )
 
 
@@ -500,6 +513,7 @@ def _cmd_client(args: argparse.Namespace) -> int:
                 materialize=args.materialize,
                 timeout_ms=args.timeout_ms,
                 include_data=args.include_data,
+                trace_id=args.trace_id,
             )
     except ReproError as exc:
         print(f"{type(exc).__name__}: {exc}", file=sys.stderr)
@@ -532,7 +546,7 @@ def _parse_query_names(text: str) -> list[str]:
 def _cmd_loadtest(args: argparse.Namespace) -> int:
     from .errors import ReproError
     from .service.loadtest import (
-        SCHEMA_V6,
+        SCHEMA_V7,
         format_loadtest,
         loadtest_violations,
         run_loadtest,
@@ -554,24 +568,31 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
 
     if args.spawn:
         from .core.runner import RunConfig
+        from .obs.adapters import ObsCollector
+        from .obs.metrics import MetricsRegistry
         from .service.engine import Engine
         from .service.server import ServerThread, build_default_registry
 
         catalog, specs = build_default_registry(args.sf, args.seed)
+        registry = MetricsRegistry()
         engine = Engine(
             catalog,
             config=RunConfig(threads=max(1, args.threads or 1)),
             workers=args.workers,
+            registry=registry,
         )
         try:
             with ServerThread(
-                engine, specs, meta={"sf": args.sf, "seed": args.seed}
+                engine,
+                specs,
+                meta={"sf": args.sf, "seed": args.seed},
+                collector=ObsCollector(registry, engine=engine),
             ) as st:
                 if args.cold_warm:
                     cold = one_pass(st.host, st.port)
                     warm = one_pass(st.host, st.port)
                     payload = {
-                        "schema": SCHEMA_V6,
+                        "schema": SCHEMA_V7,
                         "kind": "loadtest-cold-warm",
                         "meta": dict(
                             cold["meta"],
@@ -613,6 +634,139 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     for violation in violations:
         print(f"VIOLATION: {violation}", file=sys.stderr)
     return 1 if violations else 0
+
+
+def _parse_hostport(url: str) -> tuple[str, int]:
+    """``HOST:PORT`` (or bare ``:PORT`` for localhost)."""
+    host, sep, port = url.rpartition(":")
+    if not sep or not port.isdigit():
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT, got {url!r}"
+        )
+    return (host or "127.0.0.1", int(port))
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .errors import ReproError
+    from .service.client import ReproClient
+
+    host, port = args.url
+    metrics = None
+    try:
+        with ReproClient(host, port, io_timeout=args.io_timeout) as client:
+            stats = client.stats()
+            try:
+                metrics = client.metrics()
+            except ReproError:
+                metrics = None  # pre-METRICS server: stats-only output
+    except ReproError as exc:
+        print(f"{type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    if args.prom:
+        if metrics is None:
+            print("server exposes no METRICS frame", file=sys.stderr)
+            return 1
+        sys.stdout.write(metrics["text"])
+        return 0
+    if args.stats_json:
+        print(
+            json.dumps(
+                {
+                    "stats": stats,
+                    "metrics": None if metrics is None else metrics["varz"],
+                },
+                indent=1,
+            )
+        )
+        return 0
+    engine = stats["engine"]
+    server = stats["server"]
+    cache = stats["cache"]
+    meta = stats.get("meta", {})
+    print(
+        f"server {host}:{port} "
+        f"(protocol {stats.get('protocol')}, sf={meta.get('sf')}, "
+        f"draining={server['draining']})"
+    )
+    print(
+        "  engine:  "
+        f"submitted={engine.get('submitted', '?')} ok={engine['queries']} "
+        f"degraded={engine['degraded']} timeouts={engine['timeouts']} "
+        f"cancelled={engine['cancellations']} rejected={engine['rejected']} "
+        f"budget={engine['budget_exceeded']} failures={engine['failures']}"
+    )
+    print(
+        "  wire:    "
+        f"connections={server['connections']} "
+        f"(total {server['connections_total']}) "
+        f"queries={server['queries_total']} "
+        f"inflight={server['inflight']} pending={server['pending_jobs']} "
+        f"protocol_errors={server['protocol_errors']}"
+    )
+    if cache:
+        print(
+            "  cache:   "
+            f"hits={cache['hits']} misses={cache['misses']} "
+            f"hit_rate={cache['hit_rate']:.1%} entries={cache['entries']} "
+            f"bytes={cache['bytes']}"
+        )
+    if metrics is not None:
+        fam = metrics["varz"].get("repro_query_seconds", {})
+        for sample in fam.get("samples", []):
+            if not sample["count"]:
+                continue
+            strategy = sample["labels"].get("strategy", "?")
+            print(
+                f"  latency[{strategy}]: "
+                f"p50={sample['p50'] * 1e3:.1f}ms "
+                f"p90={sample['p90'] * 1e3:.1f}ms "
+                f"p99={sample['p99'] * 1e3:.1f}ms "
+                f"max={sample['max'] * 1e3:.1f}ms "
+                f"(n={sample['count']})"
+            )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .core.runner import RunConfig, run_query
+    from .context import QueryContext
+    from .errors import ReproError
+    from .obs.trace import (
+        TraceSink,
+        format_span_tree,
+        mint_trace_id,
+        spans_from_stats,
+    )
+    from .service.server import build_default_registry
+
+    catalog, specs = build_default_registry(args.sf, args.seed)
+    name = _normalize_query_name(args.query)
+    spec = specs.get(name)
+    if spec is None:
+        print(
+            f"unknown query {name!r}; registered: "
+            f"{', '.join(sorted(specs))}",
+            file=sys.stderr,
+        )
+        return 2
+    trace_id = mint_trace_id()
+    config = RunConfig(
+        strategy=args.strategy or "predtrans",
+        threads=max(1, args.threads or 1),
+        context=QueryContext.start(trace_id=trace_id),
+    )
+    try:
+        result = run_query(spec, catalog, config=config)
+    except ReproError as exc:
+        print(f"{type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    spans = spans_from_stats(result.stats, trace_id=trace_id)
+    print(format_span_tree(spans))
+    if args.out:
+        with TraceSink(args.out) as sink:
+            sink.emit(spans)
+        print(f"appended {len(spans)} spans to {args.out}")
+    return 0
 
 
 def _format_cache_stats(stats) -> str:
@@ -812,6 +966,34 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="intra-query worker threads per query",
     )
+    serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        dest="metrics_port",
+        help="also serve /metrics, /healthz and /varz over HTTP on "
+        "this port (0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        dest="slow_query_ms",
+        help="log queries at or above this wall clock as JSON lines "
+        "(rate-limited)",
+    )
+    serve.add_argument(
+        "--slow-query-log",
+        default=None,
+        dest="slow_query_log",
+        help="slow-query log path (default: stderr)",
+    )
+    serve.add_argument(
+        "--trace-out",
+        default=None,
+        dest="trace_out",
+        help="append per-query span trees as JSON lines here",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     client = sub.add_parser(
@@ -842,6 +1024,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         dest="include_data",
         help="ship result rows inline (server caps the row count)",
+    )
+    client.add_argument(
+        "--trace-id",
+        dest="trace_id",
+        default=None,
+        help="propagate this trace id (echoed on the response frame; "
+        "shows up in server traces and the slow-query log)",
     )
     client.add_argument("--ping", action="store_true", help="liveness probe")
     client.add_argument(
@@ -912,8 +1101,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --spawn: run the pass twice (cold then warm cache) "
         "and embed both (the BENCH_PR7.json shape)",
     )
-    loadtest.add_argument("--json", help="write the v6 record here")
+    loadtest.add_argument("--json", help="write the v7 record here")
     loadtest.set_defaults(func=_cmd_loadtest)
+
+    stats = sub.add_parser(
+        "stats",
+        help="fetch and pretty-print a server's METRICS/STATS frames",
+    )
+    stats.add_argument(
+        "--url",
+        type=_parse_hostport,
+        required=True,
+        help="server address as HOST:PORT",
+    )
+    stats.add_argument(
+        "--io-timeout", type=float, default=10.0, dest="io_timeout"
+    )
+    stats.add_argument(
+        "--prom",
+        action="store_true",
+        help="print the raw Prometheus exposition instead",
+    )
+    stats.add_argument(
+        "--json",
+        dest="stats_json",
+        action="store_true",
+        help="print the raw STATS + varz bodies as JSON",
+    )
+    stats.set_defaults(func=_cmd_stats)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one query locally with tracing and print the span tree",
+    )
+    _add_common(trace)
+    trace.add_argument(
+        "--query",
+        required=True,
+        help='registered query name ("q3", "5", "c1", "ssb_q2_1")',
+    )
+    trace.add_argument("--strategy", choices=STRATEGIES, default=None)
+    trace.add_argument(
+        "--threads", type=int, default=1, help="intra-query worker threads"
+    )
+    trace.add_argument(
+        "--out", default=None, help="append the spans as JSON lines here"
+    )
+    trace.set_defaults(func=_cmd_trace)
 
     cache = sub.add_parser(
         "cache", help="inspect/clear the process-wide filter cache"

@@ -29,11 +29,11 @@ import sys
 #: Schema generations this comparator understands.  Every generation
 #: added fields without renaming the per-pair ``seconds`` the diff
 #: reads, so any v1–v6 mix compares cleanly; anything newer is refused
-#: rather than silently misread.  Note that not every v5/v6 *kind*
+#: rather than silently misread.  Note that not every v5–v7 *kind*
 #: carries per-(query, strategy) measurements — loadtest and chaos
 #: records are rejected with a pointed error below, not compared.
 ACCEPTED_SCHEMAS = frozenset(
-    f"repro-bench/v{n}" for n in (1, 2, 3, 4, 5, 6)
+    f"repro-bench/v{n}" for n in (1, 2, 3, 4, 5, 6, 7)
 )
 
 

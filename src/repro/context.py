@@ -80,6 +80,7 @@ class QueryContext:
     __slots__ = (
         "deadline", "token", "memory_budget",
         "mem_used", "mem_peak", "filters_degraded", "_started",
+        "trace_id", "parent_span_id",
     )
 
     def __init__(
@@ -87,6 +88,8 @@ class QueryContext:
         deadline: float | None = None,
         token: CancelToken | None = None,
         memory_budget: int | None = None,
+        trace_id: str | None = None,
+        parent_span_id: str | None = None,
     ) -> None:
         self.deadline = deadline
         self.token = token or CancelToken()
@@ -94,6 +97,13 @@ class QueryContext:
         self.mem_used = 0
         self.mem_peak = 0
         self.filters_degraded = 0
+        # Observability carriers: the trace id travelling with this
+        # query (stamped onto its QueryStats by the runner) and the
+        # enclosing span to nest under (the server's request span for
+        # wire queries).  None when tracing is off — the runner then
+        # skips the stamp entirely.
+        self.trace_id = trace_id
+        self.parent_span_id = parent_span_id
         self._started = time.monotonic()
 
     # ------------------------------------------------------------------
@@ -103,10 +113,18 @@ class QueryContext:
         timeout: float | None = None,
         token: CancelToken | None = None,
         memory_budget: int | None = None,
+        trace_id: str | None = None,
+        parent_span_id: str | None = None,
     ) -> "QueryContext":
         """A context whose deadline is ``timeout`` seconds from now."""
         deadline = None if timeout is None else time.monotonic() + timeout
-        return cls(deadline=deadline, token=token, memory_budget=memory_budget)
+        return cls(
+            deadline=deadline,
+            token=token,
+            memory_budget=memory_budget,
+            trace_id=trace_id,
+            parent_span_id=parent_span_id,
+        )
 
     # ------------------------------------------------------------------
     def cancel(self) -> None:

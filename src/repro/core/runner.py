@@ -247,6 +247,12 @@ def run_query(
 
     scoped = catalog.scoped()
     stats = QueryStats(strategy=config.strategy, query=spec.name)
+    # Observability anchors: one wall-clock read per query; the trace
+    # id only when the context carries one (tracing off ⇒ "" and no
+    # minting here — the hot path stays free of obs work).
+    stats.started_unix = time.time()
+    if qctx is not None and qctx.trace_id is not None:
+        stats.trace_id = qctx.trace_id
 
     # Per-query view of the intra-query worker pool: shares the
     # process-wide executor for this thread count (or the injected

@@ -88,6 +88,14 @@ class QueryStats:
 
     strategy: str = ""
     query: str = ""
+    # Observability anchors: the trace id travelling with this query
+    # (minted by the service layer or propagated from the client; ""
+    # when tracing is off) and the wall-clock instant execution began.
+    # Phase *offsets* are reconstructed from the per-phase durations —
+    # phases run strictly sequentially — so the runner's hot path pays
+    # one clock read, not a span allocation per phase.
+    trace_id: str = ""
+    started_unix: float = 0.0
     scan_seconds: float = 0.0
     transfer_seconds: float = 0.0
     join_seconds: float = 0.0

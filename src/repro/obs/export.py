@@ -1,0 +1,194 @@
+"""Metric exposition: Prometheus text format v0.0.4 and ``/varz`` JSON.
+
+The renderer follows the v0.0.4 text format exactly (``# HELP`` /
+``# TYPE`` comment lines, backslash escaping, cumulative ``le``
+histogram buckets ending in ``+Inf``, ``_sum``/``_count`` series) so a
+stock Prometheus scraper ingests ``/metrics`` unmodified.  The
+matching :func:`parse_prometheus_text` exists because this repo treats
+metrics as tested code: the chaos sweep and CI parse the rendered text
+back and reconcile it against observed outcomes.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from .metrics import Histogram, MetricFamily, MetricsRegistry
+
+__all__ = [
+    "CONTENT_TYPE",
+    "parse_prometheus_text",
+    "render_prometheus",
+    "render_varz",
+]
+
+#: The Content-Type a v0.0.4 exposition must be served under.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    as_float = float(value)
+    if as_float.is_integer() and abs(as_float) < 2**53:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _labels_text(
+    labelnames: tuple[str, ...],
+    labelvalues: tuple[str, ...],
+    extra: tuple[tuple[str, str], ...] = (),
+) -> str:
+    pairs = [
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(labelnames, labelvalues)
+    ]
+    pairs.extend(
+        f'{name}="{_escape_label_value(value)}"' for name, value in extra
+    )
+    if not pairs:
+        return ""
+    return "{" + ",".join(pairs) + "}"
+
+
+def _render_family(fam: MetricFamily) -> list[str]:
+    lines = [
+        f"# HELP {fam.name} {_escape_help(fam.help)}",
+        f"# TYPE {fam.name} {fam.kind}",
+    ]
+    for labelvalues, child in fam.samples():
+        if fam.kind == "histogram":
+            assert isinstance(child, Histogram)
+            snap = child.snapshot()
+            for bound, cum in snap.cumulative():
+                le = "+Inf" if math.isinf(bound) else _format_value(bound)
+                labels = _labels_text(
+                    fam.labelnames, labelvalues, (("le", le),)
+                )
+                lines.append(f"{fam.name}_bucket{labels} {cum}")
+            labels = _labels_text(fam.labelnames, labelvalues)
+            lines.append(f"{fam.name}_sum{labels} {_format_value(snap.sum)}")
+            lines.append(f"{fam.name}_count{labels} {snap.count}")
+        else:
+            labels = _labels_text(fam.labelnames, labelvalues)
+            lines.append(
+                f"{fam.name}{labels} {_format_value(child.value)}"
+            )
+    return lines
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render every family as Prometheus text exposition v0.0.4.
+
+    An empty registry renders as the empty string (a valid, empty
+    exposition).
+    """
+    lines: list[str] = []
+    for fam in registry.families():
+        lines.extend(_render_family(fam))
+    if not lines:
+        return ""
+    return "\n".join(lines) + "\n"
+
+
+def render_varz(registry: MetricsRegistry) -> dict:
+    """A JSON-ready dump of every family (the ``/varz`` body)."""
+    out: dict[str, dict] = {}
+    for fam in registry.families():
+        samples: list[dict] = []
+        for labelvalues, child in fam.samples():
+            labels = dict(zip(fam.labelnames, labelvalues))
+            if fam.kind == "histogram":
+                assert isinstance(child, Histogram)
+                snap = child.snapshot()
+                samples.append(
+                    {
+                        "labels": labels,
+                        "count": snap.count,
+                        "sum": snap.sum,
+                        "max": snap.max,
+                        "buckets": {
+                            _format_value(b): c
+                            for b, c in zip(snap.buckets, snap.counts)
+                        },
+                        "overflow": snap.counts[-1],
+                        "p50": snap.percentile(50),
+                        "p90": snap.percentile(90),
+                        "p99": snap.percentile(99),
+                    }
+                )
+            else:
+                samples.append({"labels": labels, "value": child.value})
+        out[fam.name] = {
+            "type": fam.kind,
+            "help": fam.help,
+            "samples": samples,
+        }
+    return out
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL_RE = re.compile(
+    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
+)
+
+
+def _unescape_label_value(text: str) -> str:
+    return (
+        text.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def parse_prometheus_text(
+    text: str,
+) -> dict[str, dict[tuple[tuple[str, str], ...], float]]:
+    """Parse an exposition back into ``{name: {label_items: value}}``.
+
+    Label items are sorted ``(name, value)`` tuples so lookups are
+    order-independent.  Used by the chaos reconciliation invariant,
+    the CI consistency gate and the exposition round-trip tests — not
+    a general scraper (it reads only what :func:`render_prometheus`
+    emits, which is exactly what those checks need).
+    """
+    out: dict[str, dict[tuple[tuple[str, str], ...], float]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable exposition line: {line!r}")
+        labels_text = match.group("labels") or ""
+        labels = tuple(
+            sorted(
+                (m.group("name"), _unescape_label_value(m.group("value")))
+                for m in _LABEL_RE.finditer(labels_text)
+            )
+        )
+        raw = match.group("value")
+        if raw == "+Inf":
+            value = math.inf
+        elif raw == "-Inf":
+            value = -math.inf
+        else:
+            value = float(raw)
+        out.setdefault(match.group("name"), {})[labels] = value
+    return out

@@ -35,6 +35,7 @@ from .engine import RetryPolicy
 from .protocol import (
     DEFAULT_MAX_FRAME_BYTES,
     exception_for_response,
+    metrics_request,
     ping_request,
     query_request,
     recv_frame,
@@ -165,6 +166,22 @@ class ReproClient:
             raise ProtocolError(f"expected STATS, got {frame.get('type')!r}")
         return frame
 
+    def metrics(self) -> dict:
+        """The server's metric families: the raw ``METRICS`` body
+        (``text`` = Prometheus exposition, ``varz`` = JSON form).
+
+        A server started without a collector answers
+        ``ERROR code=unavailable``, raised here as
+        :class:`~repro.errors.ServiceUnavailable`.
+        """
+        frame = self.request(metrics_request(self._fresh_id()))
+        kind = frame.get("type")
+        if kind == "METRICS":
+            return frame
+        if kind == "ERROR":
+            raise exception_for_response(frame)
+        raise ProtocolError(f"expected METRICS, got {kind!r}")
+
     def query_once(
         self,
         query: str,
@@ -173,12 +190,14 @@ class ReproClient:
         materialize: str | None = None,
         timeout_ms: float | None = None,
         include_data: bool = False,
+        trace_id: str | None = None,
     ) -> dict:
         """One query attempt: the ``RESULT`` body, or a typed raise.
 
         ``RETRY`` surfaces as :class:`~repro.errors.EngineSaturated`
         (carrying the server's ``retry_after``); use :meth:`query` for
-        automatic backoff.
+        automatic backoff.  ``trace_id`` travels to the server (which
+        otherwise mints one) and is echoed on the response.
         """
         frame = self.request(
             query_request(
@@ -188,6 +207,7 @@ class ReproClient:
                 materialize=materialize,
                 timeout_ms=timeout_ms,
                 include_data=include_data,
+                trace_id=trace_id,
             )
         )
         kind = frame.get("type")
@@ -205,6 +225,7 @@ class ReproClient:
         materialize: str | None = None,
         timeout_ms: float | None = None,
         include_data: bool = False,
+        trace_id: str | None = None,
         policy: RetryPolicy | None = None,
         sleep=time.sleep,
     ) -> dict:
@@ -228,6 +249,7 @@ class ReproClient:
                     materialize=materialize,
                     timeout_ms=timeout_ms,
                     include_data=include_data,
+                    trace_id=trace_id,
                 )
             except policy.retry_on as exc:
                 last = exc

@@ -57,10 +57,12 @@ function of base-table contents and predicate shape.
 
 from __future__ import annotations
 
+import contextlib
 import random
 import threading
 import time
 from collections import deque
+from collections.abc import Callable
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 
@@ -71,6 +73,10 @@ from ..engine.parallel import get_parallel
 from ..engine.stats import QueryStats
 from ..errors import EngineSaturated, QueryCancelled
 from ..filters.hashcache import KeyHashCache
+from ..obs.adapters import EngineObserver
+from ..obs.metrics import MetricsRegistry
+from ..obs.slowlog import SlowQueryLog, plan_fingerprint
+from ..obs.trace import TraceSink, mint_trace_id, spans_from_stats
 from ..plan.query import QuerySpec
 from ..storage.catalog import Catalog
 from ..storage.table import Table
@@ -86,7 +92,16 @@ class EngineStats:
     ``timeouts`` / ``cancellations`` / ``budget_exceeded`` at
     execution, ``failures`` for everything else.  ``degraded`` counts
     *successful* queries that fell back exact→Bloom under a memory
-    budget.
+    budget; ``filters_degraded`` counts the individual fallback
+    events.
+
+    ``submitted`` counts every submission that reached admission
+    control, so scrapes can be reconciled: at any instant, under the
+    engine lock, ``submitted == rejected + resolved + in-flight``
+    where ``resolved = queries + timeouts + cancellations +
+    budget_exceeded + failures`` (the invariant
+    :meth:`Engine.snapshot` exposes and the observability hammer test
+    asserts under concurrent load).
     """
 
     queries: int = 0
@@ -95,12 +110,17 @@ class EngineStats:
     filter_cache_hits: int = 0
     filter_cache_misses: int = 0
     by_strategy: dict[str, int] = field(default_factory=dict)
+    submitted: int = 0
     rejected: int = 0
     timeouts: int = 0
     cancellations: int = 0
     budget_exceeded: int = 0
     failures: int = 0
     degraded: int = 0
+    filters_degraded: int = 0
+    partitions_total: int = 0
+    partitions_pruned: int = 0
+    parallel_tasks: int = 0
 
     def record(self, stats: QueryStats, seconds: float, rows: int) -> None:
         self.queries += 1
@@ -113,6 +133,10 @@ class EngineStats:
         )
         if stats.filters_degraded:
             self.degraded += 1
+        self.filters_degraded += stats.filters_degraded
+        self.partitions_total += stats.partitions_total_all
+        self.partitions_pruned += stats.partitions_pruned_all
+        self.parallel_tasks += stats.parallel_tasks_all
 
     def record_error(self, exc: BaseException) -> None:
         """Count a failed query under its typed outcome."""
@@ -126,6 +150,17 @@ class EngineStats:
         else:
             self.failures += 1
 
+    @property
+    def resolved(self) -> int:
+        """Admitted queries that have reached a terminal outcome."""
+        return (
+            self.queries
+            + self.timeouts
+            + self.cancellations
+            + self.budget_exceeded
+            + self.failures
+        )
+
     def snapshot(self) -> "EngineStats":
         return EngineStats(
             queries=self.queries,
@@ -134,12 +169,43 @@ class EngineStats:
             filter_cache_hits=self.filter_cache_hits,
             filter_cache_misses=self.filter_cache_misses,
             by_strategy=dict(self.by_strategy),
+            submitted=self.submitted,
             rejected=self.rejected,
             timeouts=self.timeouts,
             cancellations=self.cancellations,
             budget_exceeded=self.budget_exceeded,
             failures=self.failures,
             degraded=self.degraded,
+            filters_degraded=self.filters_degraded,
+            partitions_total=self.partitions_total,
+            partitions_pruned=self.partitions_pruned,
+            parallel_tasks=self.parallel_tasks,
+        )
+
+
+@dataclass(frozen=True)
+class EngineSnapshot:
+    """One *atomic* observation of an engine: aggregate stats plus the
+    in-flight gauge, captured under a single lock acquisition.
+
+    Reading ``Engine.stats()`` and ``Engine.pending`` separately can
+    tear — a query resolving between the two reads shows up in both
+    the completed counters and the pending gauge (or in neither).
+    Scrape paths (the metrics adapters, the ``STATS`` frame) read this
+    instead; :attr:`consistent` is the reconciliation invariant.
+    """
+
+    stats: EngineStats
+    pending: int
+    workers: int
+    admission_limit: int
+
+    @property
+    def consistent(self) -> bool:
+        """``submitted == rejected + resolved + pending`` — torn-read
+        detector (must hold for every snapshot, under any load)."""
+        return self.stats.submitted == (
+            self.stats.rejected + self.stats.resolved + self.pending
         )
 
 
@@ -230,6 +296,19 @@ class Engine:
         towards zero) it can be ~0, which would turn every retrying
         client into a hot-spin loop against an already-saturated
         engine.  Must be positive.
+    registry:
+        Optional per-engine :class:`~repro.obs.metrics.MetricsRegistry`.
+        When set, each completed query is observed into the shared
+        latency histograms (total / prefilter / join-phase seconds by
+        strategy); aggregate counters are exported at scrape time from
+        :meth:`snapshot` — never pushed.  ``None`` (the default) is
+        the zero-overhead fast path: no observer, no per-query work.
+    slow_log:
+        Optional :class:`~repro.obs.slowlog.SlowQueryLog`; completed
+        queries at or above its threshold are logged (rate-limited).
+    trace_sink:
+        Optional :class:`~repro.obs.trace.TraceSink`; every completed
+        query's span tree is exported as JSON-lines.
     """
 
     #: Default lower bound on admission-control backoff hints.
@@ -244,6 +323,9 @@ class Engine:
         workers: int = 4,
         max_pending: int = 256,
         retry_after_floor: float = RETRY_AFTER_FLOOR,
+        registry: MetricsRegistry | None = None,
+        slow_log: SlowQueryLog | None = None,
+        trace_sink: TraceSink | None = None,
     ) -> None:
         self.catalog = catalog
         self.filter_cache = (
@@ -271,6 +353,11 @@ class Engine:
         self._jobs: set[_Job] = set()
         self._pending = 0
         self._closed = False
+        # Observability (all optional; None = the no-op fast path).
+        self.registry = registry
+        self._observer = EngineObserver(registry) if registry else None
+        self._slow_log = slow_log
+        self._trace_sink = trace_sink
 
     # ------------------------------------------------------------------
     # Query execution
@@ -294,6 +381,8 @@ class Engine:
         config: RunConfig | None,
         timeout: float | None,
         token: CancelToken | None,
+        trace_id: str | None,
+        parent_span: str | None,
     ) -> QueryContext:
         """The per-query resilience context for one submission.
 
@@ -302,13 +391,32 @@ class Engine:
         argument (falling back to the config's) and the config's
         memory budget.  Every admitted job has a context, so shutdown
         can always cancel it.
+
+        The context also carries the trace identity: an explicit
+        ``trace_id`` (a wire client's or the server's) always wins;
+        otherwise one is minted only when this engine actually traces
+        or slow-logs — with observability off, no id is minted and the
+        runner skips the stamp.
         """
         base = config or self._default_config
+        if trace_id is None and (
+            self._trace_sink is not None or self._slow_log is not None
+        ):
+            trace_id = mint_trace_id()
         if base.context is not None:
-            return base.context
+            ctx = base.context
+            if trace_id is not None and ctx.trace_id is None:
+                ctx.trace_id = trace_id
+            if parent_span is not None and ctx.parent_span_id is None:
+                ctx.parent_span_id = parent_span
+            return ctx
         eff_timeout = timeout if timeout is not None else base.timeout
         return QueryContext.start(
-            timeout=eff_timeout, token=token, memory_budget=base.memory_budget
+            timeout=eff_timeout,
+            token=token,
+            memory_budget=base.memory_budget,
+            trace_id=trace_id,
+            parent_span_id=parent_span,
         )
 
     def _retry_hint_locked(self) -> float:
@@ -327,25 +435,44 @@ class Engine:
         spec: QuerySpec,
         config: RunConfig | None,
         qctx: QueryContext | None = None,
-    ) -> QueryResult:
+    ) -> tuple[QueryResult, float]:
+        """Execute one query; recording happens in :meth:`_resolve`.
+
+        Success accounting used to live here, under its own lock
+        acquisition, with the slot release in :meth:`_resolve` under a
+        second one — so a scrape between the two saw the query counted
+        *both* completed and pending (torn totals under a concurrent
+        burst).  Now the stats mutation and the slot release are one
+        critical section.
+        """
         effective = self._effective_config(config)
         if qctx is not None:
             effective = replace(effective, context=qctx)
         t0 = time.perf_counter()
         result = run_query(spec, self.catalog, config=effective)
-        elapsed = time.perf_counter() - t0
-        with self._lock:
-            self._stats.record(result.stats, elapsed, result.table.num_rows)
-        return result
+        return result, time.perf_counter() - t0
 
     def _resolve(
         self,
         job: _Job,
         *,
         result: QueryResult | None = None,
+        elapsed: float = 0.0,
         exc: BaseException | None = None,
+        observe: Callable[[], None] | None = None,
     ) -> bool:
-        """Resolve a job's future exactly once, releasing its slot."""
+        """Resolve a job's future exactly once, releasing its slot.
+
+        Outcome recording (success *and* error) shares the critical
+        section with the slot release, keeping
+        :attr:`EngineSnapshot.consistent` true at every instant.
+
+        ``observe`` (the push-side obs hook) runs after the critical
+        section but *before* the future resolves, so a caller that has
+        its result and immediately scrapes sees the observation
+        already landed.  A broken sink must never strand the caller,
+        so observation failures are swallowed here.
+        """
         with self._lock:
             if job.done:
                 return False
@@ -354,11 +481,49 @@ class Engine:
             self._jobs.discard(job)
             if exc is not None:
                 self._stats.record_error(exc)
+            else:
+                self._stats.record(
+                    result.stats, elapsed, result.table.num_rows
+                )
+        if observe is not None:
+            with contextlib.suppress(Exception):
+                observe()
         if exc is not None:
             job.future.set_exception(exc)
         else:
             job.future.set_result(result)
         return True
+
+    def _observe_success(
+        self,
+        spec: QuerySpec,
+        result: QueryResult,
+        elapsed: float,
+        qctx: QueryContext,
+    ) -> None:
+        """Push-side observability for one completed query (no engine
+        lock held; every sink is internally synchronized).  Gated on
+        each sink being configured — all ``None`` costs nothing."""
+        stats = result.stats
+        if self._observer is not None:
+            self._observer.observe_query(stats, elapsed)
+        if (
+            self._slow_log is not None
+            and elapsed >= self._slow_log.threshold_s
+        ):
+            self._slow_log.maybe_record(
+                seconds=elapsed,
+                stats=stats,
+                query=stats.query or spec.name,
+                strategy=stats.strategy,
+                trace_id=stats.trace_id,
+                plan_fp=plan_fingerprint(spec),
+                outcome=stats.outcome,
+            )
+        if self._trace_sink is not None:
+            self._trace_sink.emit(
+                spans_from_stats(stats, parent_id=qctx.parent_span_id)
+            )
 
     def _task(self, job: _Job, spec: QuerySpec, config: RunConfig | None) -> None:
         """Pool-side body: skip if shutdown already resolved the job."""
@@ -367,11 +532,18 @@ class Engine:
                 return
             job.started = True
         try:
-            result = self._run(spec, config, job.context)
+            result, elapsed = self._run(spec, config, job.context)
         except BaseException as exc:
             self._resolve(job, exc=exc)
         else:
-            self._resolve(job, result=result)
+            self._resolve(
+                job,
+                result=result,
+                elapsed=elapsed,
+                observe=lambda: self._observe_success(
+                    spec, result, elapsed, job.context
+                ),
+            )
 
     def submit(
         self,
@@ -380,20 +552,25 @@ class Engine:
         *,
         timeout: float | None = None,
         token: CancelToken | None = None,
+        trace_id: str | None = None,
+        parent_span: str | None = None,
     ) -> "Future[QueryResult]":
         """Admit a query to the worker pool; returns its future.
 
         ``timeout`` (seconds, from now) and ``token`` open this
-        query's :class:`~repro.context.QueryContext`.  Raises
+        query's :class:`~repro.context.QueryContext`; ``trace_id`` /
+        ``parent_span`` thread an existing trace through it (the wire
+        server propagates the client's).  Raises
         :class:`~repro.errors.EngineSaturated` when ``workers +
         max_pending`` queries are already unfinished; the error's
         ``retry_after`` estimates when to try again.  Typed errors
         raised by the query are preserved through the returned future.
         """
-        qctx = self._build_context(config, timeout, token)
+        qctx = self._build_context(config, timeout, token, trace_id, parent_span)
         with self._lock:
             if self._closed:
                 raise RuntimeError("engine is closed")
+            self._stats.submitted += 1
             if self._pending >= self._admission_limit:
                 self._stats.rejected += 1
                 raise EngineSaturated(retry_after=self._retry_hint_locked())
@@ -406,10 +583,15 @@ class Engine:
         except BaseException:
             # Slot-leak-free admission: an injected submit fault (or a
             # pool shutdown race) releases the slot before propagating.
+            # The submission is also uncounted — it reaches no outcome
+            # bucket (the error propagates to the caller directly), so
+            # leaving it in ``submitted`` would break the snapshot
+            # reconciliation invariant forever after.
             with self._lock:
                 job.done = True
                 self._pending -= 1
                 self._jobs.discard(job)
+                self._stats.submitted -= 1
             raise
         return job.future
 
@@ -469,6 +651,27 @@ class Engine:
         """Aggregate serving statistics snapshot."""
         with self._lock:
             return self._stats.snapshot()
+
+    def snapshot(self) -> EngineSnapshot:
+        """Stats *and* the pending gauge under one lock acquisition.
+
+        The scrape-safe read: :class:`EngineSnapshot.consistent` holds
+        for every snapshot, which separate ``stats()`` + ``pending``
+        reads cannot guarantee.  All observability exports go through
+        here.
+        """
+        with self._lock:
+            return EngineSnapshot(
+                stats=self._stats.snapshot(),
+                pending=self._pending,
+                workers=self._workers,
+                admission_limit=self._admission_limit,
+            )
+
+    @property
+    def workers(self) -> int:
+        """Worker-pool size (immutable after construction)."""
+        return self._workers
 
     @property
     def pending(self) -> int:

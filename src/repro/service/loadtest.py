@@ -3,11 +3,15 @@
 Drives N concurrent client connections against a running server (or a
 self-hosted in-process one), each issuing queries back-to-back from a
 deterministic per-connection schedule, and records per-request latency
-and the typed outcome of every request.  Emits a ``repro-bench/v6``
-JSON record: latency percentiles (p50/p95/p99), an outcome histogram,
-per-query digest consistency, and — when asked — a digest verdict
-against an in-process engine oracle built at the server's reported
-scale factor and seed.
+and the typed outcome of every request.  Emits a ``repro-bench/v7``
+JSON record: latency percentiles (p50/p90/p95/p99, estimated from the
+same shared log-scale bucket ladder the server's ``/metrics``
+histograms use, so client- and server-side latencies are directly
+comparable and mergeable), an outcome histogram, per-query digest
+consistency, a ``metrics`` block (the client-side latency histogram
+plus the server's ``METRICS`` families when the server exposes them),
+and — when asked — a digest verdict against an in-process engine
+oracle built at the server's reported scale factor and seed.
 
 Invariants the record makes checkable (the CI ``serve`` job fails on
 either):
@@ -29,26 +33,46 @@ import time
 import numpy as np
 
 from ..errors import ReproError
+from ..obs.metrics import Histogram, HistogramSnapshot
 from .engine import RetryPolicy
 from .client import ReproClient
 
 #: Schema generation of loadtest / network-chaos records.
+SCHEMA_V7 = "repro-bench/v7"
+#: Previous generation (kept so old records stay identifiable).
 SCHEMA_V6 = "repro-bench/v6"
 
 
+def _latency_histogram(latencies_ms: list[float]) -> HistogramSnapshot:
+    """The latencies folded onto the shared obs bucket ladder."""
+    hist = Histogram()
+    for ms in latencies_ms:
+        hist.observe(ms / 1e3)
+    return hist.snapshot()
+
+
 def _percentiles(latencies_ms: list[float]) -> dict:
+    """Latency summary from the shared histogram buckets.
+
+    Percentiles are bucket estimates — the same math a Prometheus
+    ``histogram_quantile`` applies to the server-side families, so the
+    client and server views of one storm agree on methodology.  Mean
+    and max stay exact (the histogram tracks both outside the
+    buckets).
+    """
     if not latencies_ms:
         return {
-            "p50_ms": None, "p95_ms": None, "p99_ms": None,
+            "p50_ms": None, "p90_ms": None, "p95_ms": None, "p99_ms": None,
             "mean_ms": None, "max_ms": None,
         }
-    arr = np.asarray(latencies_ms, dtype=np.float64)
+    snap = _latency_histogram(latencies_ms)
     return {
-        "p50_ms": float(np.percentile(arr, 50)),
-        "p95_ms": float(np.percentile(arr, 95)),
-        "p99_ms": float(np.percentile(arr, 99)),
-        "mean_ms": float(arr.mean()),
-        "max_ms": float(arr.max()),
+        "p50_ms": snap.percentile(50) * 1e3,
+        "p90_ms": snap.percentile(90) * 1e3,
+        "p95_ms": snap.percentile(95) * 1e3,
+        "p99_ms": snap.percentile(99) * 1e3,
+        "mean_ms": (snap.sum / snap.count) * 1e3,
+        "max_ms": snap.max * 1e3,
     }
 
 
@@ -158,7 +182,7 @@ def run_loadtest(
     check_digests: bool = False,
     oracle: dict[str, str] | None = None,
 ) -> dict:
-    """One closed-loop pass; returns the ``repro-bench/v6`` payload.
+    """One closed-loop pass; returns the ``repro-bench/v7`` payload.
 
     ``requests`` is the total across all connections.  ``queries``
     defaults to a stock mix read from the server's registry (via
@@ -219,8 +243,15 @@ def run_loadtest(
     wall = time.perf_counter() - t0
     records = [r for conn in records_per_conn for r in conn]
 
+    server_varz = None
     with ReproClient(host, port, io_timeout=io_timeout) as probe:
         stats_after = probe.stats()
+        try:
+            server_varz = probe.metrics().get("varz")
+        except ReproError:
+            # Pre-METRICS server (or no collector): the record simply
+            # carries no server-side families.
+            server_varz = None
 
     ok = [r for r in records if r["outcome"] == "ok"]
     outcomes: dict[str, int] = {}
@@ -241,7 +272,8 @@ def run_loadtest(
                 "requests": sum(1 for r in records if r["query"] == name),
                 "ok": len(lat),
                 "p50_ms": (
-                    float(np.percentile(np.asarray(lat), 50)) if lat else None
+                    _latency_histogram(lat).percentile(50) * 1e3
+                    if lat else None
                 ),
                 "digest_consistent": len(digests.get(name, set())) <= 1,
             }
@@ -273,8 +305,9 @@ def run_loadtest(
             "mismatches": mismatches,
         }
 
+    ok_latency = _latency_histogram([r["latency_ms"] for r in ok])
     return {
-        "schema": SCHEMA_V6,
+        "schema": SCHEMA_V7,
         "kind": "loadtest",
         "meta": {
             "host": host,
@@ -295,6 +328,20 @@ def run_loadtest(
         "wall_seconds": wall,
         "throughput_rps": (len(records) / wall) if wall else None,
         "latency": _percentiles([r["latency_ms"] for r in ok]),
+        "metrics": {
+            # The client's own view of the storm on the shared bucket
+            # ladder — mergeable with the server-side families below.
+            "client_latency": {
+                "buckets_s": list(ok_latency.buckets),
+                "counts": list(ok_latency.counts),
+                "sum_s": ok_latency.sum,
+                "count": ok_latency.count,
+                "max_s": ok_latency.max,
+            },
+            # The server's METRICS families (varz form), or null when
+            # the server predates the METRICS frame.
+            "server": server_varz,
+        },
         "outcomes": outcomes,
         "per_query": per_query,
         "digest_check": digest_check,
@@ -317,8 +364,9 @@ def format_loadtest(payload: dict) -> str:
         f"({payload['throughput_rps']:.1f} req/s)",
         "  latency: "
         + (
-            f"p50={lat['p50_ms']:.1f}ms p95={lat['p95_ms']:.1f}ms "
-            f"p99={lat['p99_ms']:.1f}ms max={lat['max_ms']:.1f}ms"
+            f"p50={lat['p50_ms']:.1f}ms p90={lat['p90_ms']:.1f}ms "
+            f"p95={lat['p95_ms']:.1f}ms p99={lat['p99_ms']:.1f}ms "
+            f"max={lat['max_ms']:.1f}ms"
             if lat["p50_ms"] is not None
             else "n/a (no successful requests)"
         ),

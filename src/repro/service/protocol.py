@@ -15,10 +15,18 @@ connection can multiplex concurrent requests and match responses by id
 regardless of completion order.
 
 Request types: ``QUERY`` (run a registered query), ``PING`` (liveness
-/ readiness probe) and ``STATS`` (engine/cache/server snapshots).
+/ readiness probe), ``STATS`` (engine/cache/server snapshots) and
+``METRICS`` (the Prometheus exposition + ``/varz`` dump for clients
+without HTTP access to the metrics sidecar).
 Response types: ``RESULT``, ``ERROR``, ``RETRY`` (admission control —
-carries the server's ``retry_after`` backoff hint), ``PONG`` and
-``STATS``.
+carries the server's ``retry_after`` backoff hint), ``PONG``,
+``STATS`` and ``METRICS``.
+
+Tracing rides the same frames: ``QUERY`` takes an optional string
+``trace_id`` (client-minted, e.g. from an upstream request) which the
+server propagates into the query's context and echoes on the matching
+``RESULT``/``ERROR``/``RETRY`` frame; without one the server mints a
+trace id itself, so every response is attributable either way.
 
 Error-code ↔ exception mapping
 ------------------------------
@@ -81,8 +89,10 @@ DEFAULT_MAX_FRAME_BYTES = 4 * 2**20
 #: Protocol revision, echoed in PONG/STATS so clients can detect skew.
 PROTOCOL_VERSION = 1
 
-REQUEST_TYPES = frozenset({"QUERY", "PING", "STATS"})
-RESPONSE_TYPES = frozenset({"RESULT", "ERROR", "RETRY", "PONG", "STATS"})
+REQUEST_TYPES = frozenset({"QUERY", "PING", "STATS", "METRICS"})
+RESPONSE_TYPES = frozenset(
+    {"RESULT", "ERROR", "RETRY", "PONG", "STATS", "METRICS"}
+)
 
 
 # ----------------------------------------------------------------------
@@ -137,6 +147,7 @@ def query_request(
     materialize: str | None = None,
     timeout_ms: float | None = None,
     include_data: bool = False,
+    trace_id: str | None = None,
 ) -> dict:
     """A ``QUERY`` request: run the registered query named ``query``.
 
@@ -144,6 +155,8 @@ def query_request(
     against its configured maximum before opening the query's
     :class:`~repro.context.QueryContext`.  ``include_data`` asks for
     the result rows inline (the server caps how many it will ship).
+    ``trace_id`` threads a client-owned trace through the server's
+    spans; the server echoes it on the response.
     """
     body: dict = {"type": "QUERY", "id": request_id, "query": query}
     if strategy is not None:
@@ -154,6 +167,8 @@ def query_request(
         body["timeout_ms"] = timeout_ms
     if include_data:
         body["include_data"] = True
+    if trace_id is not None:
+        body["trace_id"] = trace_id
     return body
 
 
@@ -165,6 +180,22 @@ def ping_request(request_id: int) -> dict:
 def stats_request(request_id: int) -> dict:
     """A ``STATS`` snapshot request."""
     return {"type": "STATS", "id": request_id}
+
+
+def metrics_request(request_id: int) -> dict:
+    """A ``METRICS`` request: the Prometheus exposition over the wire."""
+    return {"type": "METRICS", "id": request_id}
+
+
+def metrics_response(request_id, *, text: str, varz: dict) -> dict:
+    """A ``METRICS`` frame: exposition ``text`` plus the ``/varz`` dump."""
+    return {
+        "type": "METRICS",
+        "id": request_id,
+        "protocol": PROTOCOL_VERSION,
+        "text": text,
+        "varz": varz,
+    }
 
 
 # ----------------------------------------------------------------------

@@ -50,6 +50,7 @@ import asyncio
 import contextlib
 import dataclasses
 import threading
+import time
 from collections.abc import Mapping
 from dataclasses import dataclass, replace
 
@@ -63,6 +64,11 @@ from ..errors import (
     ReproError,
     ServiceUnavailable,
 )
+from ..obs.adapters import ObsCollector
+from ..obs.httpd import MetricsServer
+from ..obs.metrics import MetricsRegistry
+from ..obs.slowlog import SlowQueryLog
+from ..obs.trace import Span, TraceSink, mint_span_id, mint_trace_id
 from ..plan.query import QuerySpec
 from ..testing.faults import fault_point
 from .engine import Engine
@@ -74,6 +80,7 @@ from .protocol import (
     encode_frame,
     error_frame_for,
     error_response,
+    metrics_response,
     pong_response,
     result_response,
 )
@@ -177,6 +184,15 @@ class QueryServer:
         Arbitrary JSON-safe facts echoed in ``STATS`` (e.g. ``sf`` /
         ``seed`` of the served catalog, so clients can rebuild an
         in-process oracle for digest verification).
+    collector:
+        Optional :class:`~repro.obs.adapters.ObsCollector` answering
+        ``METRICS`` frames (and backing the HTTP sidecar).  Without
+        one, ``METRICS`` is a typed ``unavailable`` error.
+    trace_sink:
+        Optional :class:`~repro.obs.trace.TraceSink`; when set, every
+        wire query gets a *request* span covering the full
+        frame-to-frame wall time, and the engine's per-phase spans
+        nest under it via the context's ``parent_span_id``.
     """
 
     def __init__(
@@ -186,11 +202,15 @@ class QueryServer:
         *,
         config: ServerConfig | None = None,
         meta: dict | None = None,
+        collector: ObsCollector | None = None,
+        trace_sink: TraceSink | None = None,
     ) -> None:
         self.engine = engine
         self.specs = dict(specs)
         self.config = config or ServerConfig()
         self.meta = dict(meta or {})
+        self.collector = collector
+        self.trace_sink = trace_sink
         self._server: asyncio.Server | None = None
         self._conns: set[_Conn] = set()
         self._inflight: set[asyncio.Task] = set()
@@ -202,6 +222,16 @@ class QueryServer:
         self.queries_total = 0
         self.protocol_errors = 0
         self.cancelled_by_disconnect = 0
+
+    @property
+    def connections(self) -> int:
+        """Open connections right now (scraped as a gauge)."""
+        return len(self._conns)
+
+    @property
+    def inflight(self) -> int:
+        """Wire queries currently being served."""
+        return len(self._inflight)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -413,6 +443,27 @@ class QueryServer:
         if kind == "STATS":
             await self._send(conn, self._stats_body(rid))
             return
+        if kind == "METRICS":
+            if self.collector is None:
+                await self._send(
+                    conn,
+                    error_frame_for(
+                        rid,
+                        ServiceUnavailable(
+                            "server was started without a metrics collector"
+                        ),
+                    ),
+                )
+                return
+            await self._send(
+                conn,
+                metrics_response(
+                    rid,
+                    text=self.collector.prometheus(),
+                    varz=self.collector.varz(),
+                ),
+            )
+            return
         if kind == "QUERY":
             if self._draining:
                 await self._send(
@@ -518,44 +569,90 @@ class QueryServer:
         future.add_done_callback(_transfer)
         return await done
 
+    @staticmethod
+    def _request_trace_id(msg: dict) -> str:
+        """The request's trace id: the client's (validated) or a fresh
+        mint, so every RESULT/ERROR/RETRY frame carries one."""
+        wish = msg.get("trace_id")
+        if wish is None:
+            return mint_trace_id()
+        if not isinstance(wish, str) or not wish or len(wish) > 128:
+            raise ProtocolError(
+                "trace_id must be a non-empty string of at most 128 chars"
+            )
+        return wish
+
     async def _serve_query(self, conn: _Conn, msg: dict) -> None:
         rid = msg.get("id")
         token = CancelToken()
+        trace_id = ""
+        req_span = mint_span_id() if self.trace_sink is not None else None
+        started = time.time()
+        # What the request span reports; "disconnect" survives only
+        # when the peer vanished before any response could be sent.
+        last = {"outcome": "disconnect"}
+
+        async def _answer(body: dict) -> None:
+            if trace_id:
+                body.setdefault("trace_id", trace_id)
+            code = body.get("code")
+            last["outcome"] = code if code else "ok"
+            await self._send(conn, body)
+
         try:
+            trace_id = self._request_trace_id(msg)
             spec = self._resolve_spec(msg)
             config = self._request_config(msg)
             timeout_s = self._clamp_timeout(msg)
             conn.tokens.add(token)
             try:
                 future = self.engine.submit(
-                    spec, config, timeout=timeout_s, token=token
+                    spec,
+                    config,
+                    timeout=timeout_s,
+                    token=token,
+                    trace_id=trace_id,
+                    parent_span=req_span,
                 )
             except EngineSaturated as exc:
-                await self._send(conn, error_frame_for(rid, exc))
+                await _answer(error_frame_for(rid, exc))
                 return
             except RuntimeError as exc:
                 # Engine closed under us (drain race): typed answer.
-                await self._send(
-                    conn, error_frame_for(rid, ServiceUnavailable(str(exc)))
-                )
+                await _answer(error_frame_for(rid, ServiceUnavailable(str(exc))))
                 return
             result = await self._await_job(future)
-            await self._send(conn, self._result_body(rid, msg, result))
+            await _answer(self._result_body(rid, msg, result))
         except (_ConnectionClosed, _SlowPeer):
             pass  # peer is gone; _on_conn_dead already cancelled tokens
         except ReproError as exc:
             with contextlib.suppress(_ConnectionClosed, _SlowPeer):
-                await self._send(conn, error_frame_for(rid, exc))
+                await _answer(error_frame_for(rid, exc))
         except Exception as exc:  # untyped server bug → internal, typed
             with contextlib.suppress(_ConnectionClosed, _SlowPeer):
-                await self._send(
-                    conn,
+                await _answer(
                     error_response(
                         rid, "internal", str(exc), error_type=type(exc).__name__
-                    ),
+                    )
                 )
         finally:
             conn.tokens.discard(token)
+            if req_span is not None and self.trace_sink is not None:
+                self.trace_sink.emit([
+                    Span(
+                        trace_id=trace_id or mint_trace_id(),
+                        span_id=req_span,
+                        parent_id=None,
+                        name="request",
+                        start_unix=started,
+                        seconds=time.time() - started,
+                        attrs={
+                            "rid": rid,
+                            "query": msg.get("query"),
+                            "outcome": last["outcome"],
+                        },
+                    )
+                ])
 
     def _result_body(self, rid, msg: dict, result) -> dict:
         from .workload import result_digest
@@ -596,11 +693,15 @@ class QueryServer:
     # ------------------------------------------------------------------
     def _stats_body(self, rid) -> dict:
         cache = self.engine.cache_stats()
+        # One atomic snapshot: counters and the pending gauge are taken
+        # under a single lock acquisition, so a scrape racing query
+        # completion never sees a query counted both done and pending.
+        snap = self.engine.snapshot()
         return {
             "type": "STATS",
             "id": rid,
             "protocol": PROTOCOL_VERSION,
-            "engine": dataclasses.asdict(self.engine.stats()),
+            "engine": dataclasses.asdict(snap.stats),
             "cache": None if cache is None else cache.to_dict(),
             "server": {
                 "draining": self._draining,
@@ -610,7 +711,7 @@ class QueryServer:
                 "protocol_errors": self.protocol_errors,
                 "cancelled_by_disconnect": self.cancelled_by_disconnect,
                 "inflight": len(self._inflight),
-                "pending_jobs": self.engine.pending,
+                "pending_jobs": snap.pending,
                 "queries": sorted(self.specs),
             },
             "meta": self.meta,
@@ -650,6 +751,11 @@ class ServerThread:
     The thread owns the loop, not the engine; :meth:`close` drains the
     server (every pending request resolves) and stops the loop, then
     the caller shuts the engine down.
+
+    ``metrics_port`` (0 = ephemeral) additionally boots the
+    :class:`~repro.obs.httpd.MetricsServer` sidecar on the same loop;
+    a collector is built from the engine's registry when none is
+    given.  ``/healthz`` flips to 503 the moment :meth:`drain` begins.
     """
 
     def __init__(
@@ -659,8 +765,37 @@ class ServerThread:
         *,
         config: ServerConfig | None = None,
         meta: dict | None = None,
+        collector: ObsCollector | None = None,
+        trace_sink: TraceSink | None = None,
+        metrics_port: int | None = None,
+        metrics_host: str = "127.0.0.1",
     ) -> None:
-        self.server = QueryServer(engine, specs, config=config, meta=meta)
+        if collector is None and metrics_port is not None:
+            collector = ObsCollector(
+                engine.registry or MetricsRegistry(), engine=engine
+            )
+        self.server = QueryServer(
+            engine,
+            specs,
+            config=config,
+            meta=meta,
+            collector=collector,
+            trace_sink=trace_sink,
+        )
+        if collector is not None and collector.server is None:
+            collector.server = self.server
+        self.metrics: MetricsServer | None = None
+        if metrics_port is not None:
+            self.metrics = MetricsServer(
+                collector,
+                host=metrics_host,
+                port=metrics_port,
+                health=lambda: (
+                    (False, "draining")
+                    if self.server.draining
+                    else (True, "ok")
+                ),
+            )
         self._loop: asyncio.AbstractEventLoop | None = None
         self._ready = threading.Event()
         self._boot_error: BaseException | None = None
@@ -686,12 +821,19 @@ class ServerThread:
     def host(self) -> str:
         return self.server.config.host
 
+    @property
+    def metrics_port(self) -> int | None:
+        """The sidecar's bound port (``None`` when not enabled)."""
+        return None if self.metrics is None else self.metrics.port
+
     def _run(self) -> None:
         loop = asyncio.new_event_loop()
         asyncio.set_event_loop(loop)
         self._loop = loop
         try:
             loop.run_until_complete(self.server.start())
+            if self.metrics is not None:
+                loop.run_until_complete(self.metrics.start())
         except BaseException as exc:  # bind failure etc.
             self._boot_error = exc
             self._ready.set()
@@ -724,6 +866,11 @@ class ServerThread:
             return
         with contextlib.suppress(Exception):
             self.drain()
+        if self.metrics is not None:
+            with contextlib.suppress(Exception):
+                asyncio.run_coroutine_threadsafe(
+                    self.metrics.aclose(), self._loop
+                ).result(timeout=10)
         self._loop.call_soon_threadsafe(self._loop.stop)
         self._thread.join(timeout=30)
 
@@ -744,28 +891,69 @@ def run_server(
     max_pending: int = 256,
     threads: int = 1,
     config: ServerConfig | None = None,
+    metrics_port: int | None = None,
+    slow_query_ms: float | None = None,
+    slow_query_log: str | None = None,
+    trace_out: str | None = None,
 ) -> int:
     """Blocking CLI entrypoint: build the stock registry, serve until
     SIGTERM/SIGINT, drain gracefully, shut the engine down.
 
+    The observability surfaces are always live on the wire (``METRICS``
+    frames work against any served port); ``metrics_port`` additionally
+    exposes them over HTTP for ``curl``/Prometheus.  ``slow_query_ms``
+    arms the slow-query log (JSON lines to ``slow_query_log`` or
+    stderr) and ``trace_out`` streams per-query span trees.
+
     Returns the process exit code (0 on a clean drain).
     """
     import signal
+    import sys
 
     catalog, specs = build_default_registry(sf, seed)
+    registry = MetricsRegistry()
+    slow_log = None
+    if slow_query_ms is not None:
+        slow_log = SlowQueryLog(
+            slow_query_log if slow_query_log else sys.stderr,
+            threshold_s=float(slow_query_ms) / 1000.0,
+        )
+    trace_sink = TraceSink(trace_out) if trace_out else None
     engine = Engine(
         catalog,
         config=RunConfig(threads=max(1, threads)),
         workers=workers,
         max_pending=max_pending,
+        registry=registry,
+        slow_log=slow_log,
+        trace_sink=trace_sink,
     )
     cfg = config or ServerConfig(host=host, port=port)
+    collector = ObsCollector(registry, engine=engine)
     server = QueryServer(
-        engine, specs, config=cfg, meta={"sf": sf, "seed": seed}
+        engine,
+        specs,
+        config=cfg,
+        meta={"sf": sf, "seed": seed},
+        collector=collector,
+        trace_sink=trace_sink,
     )
+    collector.server = server
+    metrics: MetricsServer | None = None
+    if metrics_port is not None:
+        metrics = MetricsServer(
+            collector,
+            host=cfg.host,
+            port=metrics_port,
+            health=lambda: (
+                (False, "draining") if server.draining else (True, "ok")
+            ),
+        )
 
     async def _amain() -> None:
         await server.start()
+        if metrics is not None:
+            await metrics.start()
         loop = asyncio.get_running_loop()
         for sig in (signal.SIGTERM, signal.SIGINT):
             with contextlib.suppress(NotImplementedError):
@@ -778,11 +966,23 @@ def run_server(
             f"[workers={workers}, max_pending={max_pending}]",
             flush=True,
         )
+        if metrics is not None:
+            print(
+                f"metrics on http://{metrics.host}:{metrics.port}"
+                "/metrics (/healthz, /varz)",
+                flush=True,
+            )
         await server.wait_drained()
+        if metrics is not None:
+            await metrics.aclose()
 
     try:
         asyncio.run(_amain())
     finally:
         engine.shutdown(wait=True, cancel=True)
+        if slow_log is not None:
+            slow_log.close()
+        if trace_sink is not None:
+            trace_sink.close()
     print("drained cleanly", flush=True)
     return 0

@@ -640,8 +640,21 @@ def run_network_sweep(
     cell *and* the recovery probes on the same process is itself part
     of the invariant (a server that must be restarted after a fault
     has leaked something).
+
+    The sweep engine carries a metrics registry, and the record ends
+    with a **reconciliation** block: after every fault has fired, the
+    scraped ``repro_queries_total`` outcome counters must sum to the
+    engine's resolved+rejected total, the latency-histogram count must
+    equal its success count, the client-side byte-identical verdicts
+    must not exceed the engine's successes, and the atomic snapshot
+    must satisfy its own admission invariant.  A fault that corrupted
+    the bookkeeping (double-counted, dropped, or torn) fails the sweep
+    even if every individual case looked clean.
     """
-    from ..service.loadtest import SCHEMA_V6
+    from ..obs.adapters import ObsCollector
+    from ..obs.export import parse_prometheus_text
+    from ..obs.metrics import MetricsRegistry
+    from ..service.loadtest import SCHEMA_V7
 
     catalog = generate_tpch(sf=sf, seed=seed)
     spec = get_query(CHAOS_QUERY, sf=sf)
@@ -649,7 +662,10 @@ def run_network_sweep(
     config = RunConfig(
         strategy="predtrans", threads=1, partition_rows=CHAOS_PARTITION_ROWS
     )
-    engine = Engine(catalog, config=config, workers=2, max_pending=16)
+    registry = MetricsRegistry()
+    engine = Engine(
+        catalog, config=config, workers=2, max_pending=16, registry=registry
+    )
     cases = []
     try:
         with ServerThread(
@@ -658,6 +674,7 @@ def run_network_sweep(
             config=ServerConfig(read_timeout=2.0, write_timeout=2.0),
             meta={"sf": sf, "seed": seed},
         ) as st:
+            collector = ObsCollector(registry, engine=engine, server=st.server)
             for case in NETWORK_CASES:
                 for strategy in strategies:
                     for materialize in MATERIALIZE_MODES:
@@ -674,12 +691,43 @@ def run_network_sweep(
                                 seed,
                             )
                         )
+            metrics_text = collector.prometheus()
+        snap = engine.snapshot()
     finally:
         engine.shutdown(wait=True, cancel=True)
+    families = parse_prometheus_text(metrics_text)
+    outcome_total = int(sum(families.get("repro_queries_total", {}).values()))
+    hist_count = int(
+        sum(families.get("repro_query_seconds_count", {}).values())
+    )
+    ok_plus_degraded = int(
+        sum(
+            v
+            for labels, v in families.get("repro_queries_total", {}).items()
+            if dict(labels).get("outcome") in ("ok", "degraded")
+        )
+    )
+    client_identical = sum(1 for c in cases if c["outcome"] == "identical")
+    expected = snap.stats.resolved + snap.stats.rejected
+    reconciliation = {
+        "outcome_total": outcome_total,
+        "resolved_plus_rejected": expected,
+        "query_seconds_count": hist_count,
+        "engine_queries": snap.stats.queries,
+        "client_identical": client_identical,
+        "ok_plus_degraded": ok_plus_degraded,
+        "snapshot_consistent": snap.consistent,
+        "ok": (
+            outcome_total == expected
+            and hist_count == snap.stats.queries
+            and client_identical <= ok_plus_degraded
+            and snap.consistent
+        ),
+    }
     drain = network_drain_block(catalog, spec, oracles["predtrans"], seed)
     violations = [c for c in cases if not c["ok"]]
     return {
-        "schema": SCHEMA_V6,
+        "schema": SCHEMA_V7,
         "kind": "network-chaos-sweep",
         "meta": {
             "sf": sf,
@@ -695,16 +743,19 @@ def run_network_sweep(
         "oracle_digests": oracles,
         "cases": cases,
         "drain_under_load": drain,
+        "metrics_reconciliation": reconciliation,
         "summary": {
             "cases": len(cases),
-            "identical": sum(
-                1 for c in cases if c["outcome"] == "identical"
-            ),
+            "identical": client_identical,
             "typed_errors": sum(
                 1 for c in cases if c["outcome"].startswith("error:")
             ),
             "faults_triggered": sum(c["faults_triggered"] for c in cases),
-            "violations": len(violations) + (0 if drain["ok"] else 1),
+            "violations": (
+                len(violations)
+                + (0 if drain["ok"] else 1)
+                + (0 if reconciliation["ok"] else 1)
+            ),
         },
     }
 
@@ -726,6 +777,17 @@ def format_network_sweep(payload: dict) -> str:
         f"drain={drain['drain_seconds']:.2f}s)",
         f"  violations:             {s['violations']}",
     ]
+    recon = payload.get("metrics_reconciliation")
+    if recon is not None:
+        lines.insert(
+            -1,
+            f"  metrics reconcile ok:   {recon['ok']} "
+            f"(outcomes={recon['outcome_total']}=="
+            f"{recon['resolved_plus_rejected']}, "
+            f"hist={recon['query_seconds_count']}=="
+            f"{recon['engine_queries']}, "
+            f"consistent={recon['snapshot_consistent']})",
+        )
     for case in payload["cases"]:
         if not case["ok"]:
             lines.append(

@@ -284,7 +284,7 @@ def test_serve_client_loadtest_parser_wiring():
     assert args.spawn and args.cold_warm
 
 
-def test_loadtest_spawn_cold_warm_writes_v6_record(tmp_path, capsys):
+def test_loadtest_spawn_cold_warm_writes_v7_record(tmp_path, capsys):
     import json
 
     path = tmp_path / "loadtest.json"
@@ -297,7 +297,7 @@ def test_loadtest_spawn_cold_warm_writes_v6_record(tmp_path, capsys):
     )
     assert code == 0
     doc = json.loads(path.read_text())
-    assert doc["schema"] == "repro-bench/v6"
+    assert doc["schema"] == "repro-bench/v7"
     assert doc["kind"] == "loadtest-cold-warm"
     for phase in ("cold", "warm"):
         assert doc[phase]["outcomes"] == {"ok": 8}

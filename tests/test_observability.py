@@ -1,0 +1,289 @@
+"""The wired-up observability surfaces: the metrics HTTP sidecar,
+the ``METRICS`` wire frame, trace-id propagation over the wire,
+engine-side slow-query logging and span export, and scrape atomicity
+under a concurrent hammer (the torn-read regression).
+
+Companion to ``test_metrics.py`` (the ``repro.obs`` package in
+isolation) and ``test_server.py`` (wire semantics without obs).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.runner import RunConfig
+from repro.errors import PlanError, ReproError
+from repro.obs import (
+    MetricsRegistry,
+    ObsCollector,
+    SlowQueryLog,
+    TraceSink,
+    parse_prometheus_text,
+)
+from repro.service import Engine, ReproClient, ServerThread
+from repro.service.protocol import query_request
+from repro.tpch import generate_tpch
+from repro.tpch.queries import get_query
+
+SF = 0.002
+PARTITION_ROWS = 64
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return generate_tpch(sf=SF, seed=0)
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return {s.name: s for s in (get_query(1, sf=SF), get_query(3, sf=SF))}
+
+
+def _engine(catalog, **kw):
+    kw.setdefault("config", RunConfig(partition_rows=PARTITION_ROWS))
+    kw.setdefault("workers", 2)
+    return Engine(catalog, **kw)
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return resp.status, resp.read().decode("utf-8")
+
+
+# ----------------------------------------------------------------------
+# HTTP sidecar
+# ----------------------------------------------------------------------
+def test_sidecar_serves_metrics_healthz_varz(catalog, specs):
+    engine = _engine(catalog, registry=MetricsRegistry())
+    try:
+        with ServerThread(engine, specs, metrics_port=0) as st:
+            with ReproClient(st.host, st.port, io_timeout=30.0) as client:
+                client.query_once("q3")
+            base = f"http://127.0.0.1:{st.metrics_port}"
+            status, text = _get(f"{base}/metrics")
+            assert status == 200
+            families = parse_prometheus_text(text)
+            outcomes = {
+                dict(labels)["outcome"]: v
+                for labels, v in families["repro_queries_total"].items()
+            }
+            assert outcomes["ok"] == 1
+            assert sum(
+                v
+                for labels, v in families["repro_query_seconds_count"].items()
+            ) == 1
+            assert "repro_prefilter_phase_seconds_bucket" in families
+            assert "repro_join_phase_seconds_bucket" in families
+            assert families["repro_filter_cache_hits_total"][()] >= 0
+            assert families["repro_engine_slots_in_use"][()] == 0
+            assert families["repro_server_inflight"][()] == 0
+            assert families["repro_server_connections_total"][()] >= 1
+            status, _ = _get(f"{base}/healthz")
+            assert status == 200
+            status, body = _get(f"{base}/varz")
+            assert status == 200
+            assert "repro_queries_total" in json.loads(body)
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(f"{base}/nope")
+            assert err.value.code == 404
+    finally:
+        engine.shutdown(wait=True, cancel=True)
+
+
+def test_healthz_flips_to_503_during_drain(catalog, specs):
+    engine = _engine(catalog, registry=MetricsRegistry())
+    try:
+        with ServerThread(engine, specs, metrics_port=0) as st:
+            base = f"http://127.0.0.1:{st.metrics_port}"
+            assert _get(f"{base}/healthz")[0] == 200
+            st.drain(grace=1.0)
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(f"{base}/healthz")
+            assert err.value.code == 503
+            # /metrics keeps answering while draining — a scraper must
+            # be able to watch the drain itself.
+            status, text = _get(f"{base}/metrics")
+            assert status == 200
+            assert parse_prometheus_text(text)["repro_server_draining"][()] == 1
+    finally:
+        engine.shutdown(wait=True, cancel=True)
+
+
+# ----------------------------------------------------------------------
+# METRICS wire frame
+# ----------------------------------------------------------------------
+def test_metrics_frame_over_the_wire(catalog, specs):
+    registry = MetricsRegistry()
+    engine = _engine(catalog, registry=registry)
+    try:
+        collector = ObsCollector(registry, engine=engine)
+        with ServerThread(engine, specs, collector=collector) as st:
+            with ReproClient(st.host, st.port, io_timeout=30.0) as client:
+                client.query_once("q1")
+                frame = client.metrics()
+            assert frame["type"] == "METRICS"
+            families = parse_prometheus_text(frame["text"])
+            outcomes = {
+                dict(labels)["outcome"]: v
+                for labels, v in families["repro_queries_total"].items()
+            }
+            assert outcomes["ok"] == 1
+            assert frame["varz"]["repro_queries_total"]["type"] == "counter"
+    finally:
+        engine.shutdown(wait=True, cancel=True)
+
+
+def test_metrics_frame_without_collector_is_typed_unavailable(catalog, specs):
+    engine = _engine(catalog)
+    try:
+        with ServerThread(engine, specs) as st:
+            with ReproClient(st.host, st.port, io_timeout=30.0) as client:
+                with pytest.raises(ReproError):
+                    client.metrics()
+                # The connection survives the typed error.
+                assert client.ping()["ready"] is True
+    finally:
+        engine.shutdown(wait=True, cancel=True)
+
+
+# ----------------------------------------------------------------------
+# Trace-id round trips
+# ----------------------------------------------------------------------
+def test_trace_id_round_trips_on_result_and_error(catalog, specs):
+    engine = _engine(catalog)
+    try:
+        with ServerThread(engine, specs) as st:
+            with ReproClient(st.host, st.port, io_timeout=30.0) as client:
+                frame = client.query_once("q3", trace_id="deadbeef01")
+                assert frame["trace_id"] == "deadbeef01"
+                # ERROR echo: raw request so the typed error frame is
+                # observable instead of raised.
+                err = client.request(
+                    query_request(999, "nope", trace_id="deadbeef02")
+                )
+                assert err["type"] == "ERROR"
+                assert err["code"] == "bad_request"
+                assert err["trace_id"] == "deadbeef02"
+                with pytest.raises(PlanError):
+                    client.query_once("nope", trace_id="deadbeef03")
+    finally:
+        engine.shutdown(wait=True, cancel=True)
+
+
+def test_server_mints_trace_id_when_client_sends_none(catalog, specs):
+    engine = _engine(catalog)
+    try:
+        with ServerThread(engine, specs) as st:
+            with ReproClient(st.host, st.port, io_timeout=30.0) as client:
+                a = client.query_once("q3")["trace_id"]
+                b = client.query_once("q3")["trace_id"]
+            assert a != b
+            assert len(a) == 32 and int(a, 16) >= 0
+    finally:
+        engine.shutdown(wait=True, cancel=True)
+
+
+def test_invalid_trace_id_is_a_protocol_error(catalog, specs):
+    engine = _engine(catalog)
+    try:
+        with ServerThread(engine, specs) as st:
+            with ReproClient(st.host, st.port, io_timeout=30.0) as client:
+                frame = client.request(
+                    query_request(7, "q3", trace_id=123)  # type: ignore[arg-type]
+                )
+                assert frame["type"] == "ERROR"
+                assert frame["code"] == "protocol"
+                # Connection still serves.
+                assert client.query_once("q3")["rows"] >= 0
+    finally:
+        engine.shutdown(wait=True, cancel=True)
+
+
+def test_wire_spans_nest_under_request_span(catalog, specs):
+    buf = io.StringIO()
+    sink = TraceSink(buf)
+    engine = _engine(catalog, trace_sink=sink)
+    try:
+        with ServerThread(engine, specs, trace_sink=sink) as st:
+            with ReproClient(st.host, st.port, io_timeout=30.0) as client:
+                client.query_once("q3", trace_id="f00d" * 8)
+    finally:
+        engine.shutdown(wait=True, cancel=True)
+    spans = [json.loads(x) for x in buf.getvalue().strip().splitlines()]
+    assert all(s["trace_id"] == "f00d" * 8 for s in spans)
+    request = next(s for s in spans if s["name"] == "request")
+    query = next(s for s in spans if s["name"] == "query")
+    assert query["parent_id"] == request["span_id"]
+    assert request["attrs"]["outcome"] == "ok"
+    phases = {s["name"] for s in spans if s["parent_id"] == query["span_id"]}
+    assert {"scan", "transfer", "join"} <= phases
+
+
+# ----------------------------------------------------------------------
+# Engine-side slow log
+# ----------------------------------------------------------------------
+def test_engine_slow_log_records_wire_queries(catalog, specs):
+    buf = io.StringIO()
+    slow = SlowQueryLog(buf, threshold_s=0.0)
+    engine = _engine(catalog, slow_log=slow)
+    try:
+        with ServerThread(engine, specs) as st:
+            with ReproClient(st.host, st.port, io_timeout=30.0) as client:
+                frame = client.query_once("q3", trace_id="beef" * 8)
+    finally:
+        engine.shutdown(wait=True, cancel=True)
+    records = [json.loads(x) for x in buf.getvalue().strip().splitlines()]
+    assert len(records) == 1
+    record = records[0]
+    assert record["query"] == "q3"
+    assert record["trace_id"] == "beef" * 8 == frame["trace_id"]
+    assert record["outcome"] == "ok"
+    assert len(record["plan_fp"]) == 16
+    assert record["phases"]["prefilter_s"] >= 0.0
+
+
+# ----------------------------------------------------------------------
+# Scrape atomicity (the torn-read regression)
+# ----------------------------------------------------------------------
+def test_snapshot_stays_consistent_under_hammer(catalog):
+    spec = get_query(1, sf=SF)
+    engine = _engine(catalog, workers=4, max_pending=64)
+    stop = threading.Event()
+    torn: list = []
+
+    def scrape() -> None:
+        while not stop.is_set():
+            snap = engine.snapshot()
+            if not snap.consistent:
+                torn.append(snap)
+                return
+
+    scrapers = [
+        threading.Thread(target=scrape, name=f"scraper-{i}")
+        for i in range(3)
+    ]
+    for t in scrapers:
+        t.start()
+    try:
+        futures = [engine.submit(spec) for _ in range(40)]
+        for future in futures:
+            future.result(timeout=60)
+    finally:
+        stop.set()
+        for t in scrapers:
+            t.join(timeout=10)
+        engine.shutdown(wait=True, cancel=True)
+    assert not torn, (
+        "torn scrape: submitted != rejected + resolved + pending in "
+        f"{torn[0]}"
+    )
+    snap = engine.snapshot()
+    assert snap.consistent
+    assert snap.stats.queries == 40
+    assert snap.pending == 0
