@@ -26,6 +26,12 @@ Commands
 ``trace``    Run one query locally with per-phase tracing and print
              the span tree (``--out`` appends the spans as JSON
              lines).
+``check``    Statically validate registered query plans with the
+             semantic analyzer (``repro.analysis``): resolves every
+             column reference, infers dtypes through the whole plan,
+             and prints structured ``REPxxx`` diagnostics.  Exits
+             non-zero on any diagnostic (``--all`` is the default
+             scope; name queries to narrow it).
 
 ``tpch``, ``ssb`` and ``bench`` execute through the process-wide
 cross-query filter cache by default — repeated queries within one
@@ -77,6 +83,8 @@ Examples::
     python -m repro loadtest --spawn --sf 0.02 --cold-warm --json BENCH_PR7.json
     python -m repro stats --url 127.0.0.1:7531
     python -m repro trace --sf 0.02 --query q5 --strategy predtrans
+    python -m repro check --all --sf 0.01
+    python -m repro check q3 c1 ssb_q2_1 --json
 """
 
 from __future__ import annotations
@@ -693,6 +701,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         f"submitted={engine.get('submitted', '?')} ok={engine['queries']} "
         f"degraded={engine['degraded']} timeouts={engine['timeouts']} "
         f"cancelled={engine['cancellations']} rejected={engine['rejected']} "
+        f"invalid={engine.get('rejected_invalid', 0)} "
         f"budget={engine['budget_exceeded']} failures={engine['failures']}"
     )
     print(
@@ -767,6 +776,52 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             sink.emit(spans)
         print(f"appended {len(spans)} spans to {args.out}")
     return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .analysis import analyze
+    from .service.server import build_default_registry
+
+    catalog, specs = build_default_registry(args.sf, args.seed)
+    if args.queries:
+        names = [_normalize_query_name(name) for name in args.queries]
+        unknown = [name for name in names if name not in specs]
+        if unknown:
+            print(
+                f"unknown query {unknown[0]!r}; registered: "
+                f"{', '.join(sorted(specs))}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        names = sorted(specs)
+    findings: dict[str, list[dict]] = {}
+    total = 0
+    for name in names:
+        diags = analyze(specs[name], catalog)
+        if diags:
+            findings[name] = [d.as_dict() for d in diags]
+            total += len(diags)
+            if not args.check_json:
+                print(f"{name}: {len(diags)} diagnostic(s)")
+                for d in diags:
+                    print(f"  {d}")
+    if args.check_json:
+        print(
+            json.dumps(
+                {
+                    "checked": len(names),
+                    "diagnostics_total": total,
+                    "diagnostics": findings,
+                },
+                indent=1,
+            )
+        )
+    elif total == 0:
+        print(f"checked {len(names)} plan(s): all clean")
+    else:
+        print(f"checked {len(names)} plan(s): {total} diagnostic(s)")
+    return 1 if total else 0
 
 
 def _format_cache_stats(stats) -> str:
@@ -1148,6 +1203,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="append the spans as JSON lines here"
     )
     trace.set_defaults(func=_cmd_trace)
+
+    check = sub.add_parser(
+        "check",
+        help="statically validate registered query plans (REPxxx "
+        "diagnostics; non-zero exit on any finding)",
+    )
+    _add_common(check)
+    check.add_argument(
+        "queries",
+        nargs="*",
+        help='registered query names ("q3", "5", "c1", "ssb_q2_1"); '
+        "empty = every registered query",
+    )
+    check.add_argument(
+        "--all",
+        action="store_true",
+        help="check every registered query (the default when no names "
+        "are given; explicit for CI invocations)",
+    )
+    check.add_argument(
+        "--json",
+        dest="check_json",
+        action="store_true",
+        help="print the structured diagnostic report as JSON",
+    )
+    check.set_defaults(func=_cmd_check)
 
     cache = sub.add_parser(
         "cache", help="inspect/clear the process-wide filter cache"

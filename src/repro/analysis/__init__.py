@@ -1,0 +1,25 @@
+"""Static analysis: plan semantic analyzer + repo invariant linter.
+
+Public surface:
+
+- :func:`analyze` / :func:`validate` — schema-inference pass over a
+  :class:`~repro.plan.query.QuerySpec` (``repro check``, engine
+  pre-flight, server pre-admission gate all route through these);
+- :class:`Diagnostic` and the :data:`CODES` catalogue of stable
+  ``REPxxx`` diagnostic codes;
+- :mod:`repro.analysis.lint` — the AST invariant linter, run as
+  ``python -m repro.analysis.lint src/`` (not re-exported here so the
+  ``-m`` entry point stays import-clean).
+"""
+
+from .analyzer import analyze, validate
+from .diagnostics import CODES, ERROR, WARNING, Diagnostic
+
+__all__ = [
+    "CODES",
+    "ERROR",
+    "WARNING",
+    "Diagnostic",
+    "analyze",
+    "validate",
+]

@@ -1,0 +1,406 @@
+"""Static type inference for expression trees.
+
+Mirrors the runtime semantics of :mod:`repro.expr.eval` exactly — every
+shape that :func:`~repro.expr.eval.evaluate` rejects with an
+``ExecutionError`` is flagged here statically, and nothing the runtime
+accepts is flagged (zero false positives on the registered query suite
+is an acceptance test).  The checker never raises on malformed input;
+it accumulates :class:`~repro.analysis.diagnostics.Diagnostic` objects
+and degrades to "unknown type" so one bad reference does not cascade
+into a storm of follow-on errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from ..expr import nodes as N
+from ..storage.column import DType
+from ..storage.dates import date_to_days
+from .diagnostics import Diagnostic, diag
+
+#: Operators the runtime comparison/arithmetic dispatchers accept.
+CMP_OPS = ("==", "!=", "<", "<=", ">", ">=")
+ARITH_OPS = ("+", "-", "*", "/")
+
+_NUMERIC = (DType.INT64, DType.FLOAT64)
+
+
+@dataclass(frozen=True)
+class TypeInfo:
+    """Inferred type of a subexpression.
+
+    ``dtype is None`` means "unknown because a diagnostic already
+    fired underneath" — consumers must not pile further diagnostics on
+    top of it.  ``literal`` marks values that evaluate to a scalar
+    (literals, date literals, and resolved scalar subqueries), the
+    distinction the runtime uses for its literal/column error rules.
+    ``value`` is the constant when statically known (literals only).
+    """
+
+    dtype: DType | None
+    literal: bool = False
+    value: object = None
+
+
+_UNKNOWN = TypeInfo(None)
+_BOOL = TypeInfo(DType.BOOL)
+
+
+class SchemaLookup(Protocol):
+    """Anything that can resolve a table name to a schema dict."""
+
+    def get(self, name: str) -> dict[str, DType] | None: ...
+
+
+class ExprChecker:
+    """Type-checks expressions against a qualified-column environment."""
+
+    def __init__(
+        self,
+        env: dict[str, DType],
+        aliases: frozenset[str],
+        scalar_tables: SchemaLookup,
+        diags: list[Diagnostic],
+        opaque: frozenset[str] = frozenset(),
+    ) -> None:
+        self.env = env
+        self.aliases = aliases
+        self.scalar_tables = scalar_tables
+        self.diags = diags
+        #: Aliases whose table failed to resolve (REP101 already fired):
+        #: references through them type as unknown without cascading.
+        self.opaque = opaque
+
+    def _emit(self, code: str, message: str, path: str) -> TypeInfo:
+        self.diags.append(diag(code, message, path))
+        return _UNKNOWN
+
+    def check_predicate(self, expr: N.Expr, path: str) -> None:
+        """Top-level predicate rule: must infer to a boolean."""
+        info = self.infer(expr, path)
+        if info.dtype is None:
+            return  # already diagnosed underneath
+        if info.dtype is not DType.BOOL:
+            self._emit(
+                "REP109",
+                f"predicate infers to {info.dtype.name}, not BOOL",
+                path,
+            )
+
+    def infer(self, expr: N.Expr, path: str) -> TypeInfo:
+        if isinstance(expr, N.ColumnRef):
+            return self._column_ref(expr, path)
+        if isinstance(expr, N.Literal):
+            return self._literal(expr, path)
+        if isinstance(expr, N.DateLiteral):
+            return self._date_literal(expr, path)
+        if isinstance(expr, N.ScalarRef):
+            return self._scalar_ref(expr, path)
+        if isinstance(expr, N.Comparison):
+            left = self.infer(expr.left, f"{path}.left")
+            right = self.infer(expr.right, f"{path}.right")
+            return self._compare(expr.op, left, right, path)
+        if isinstance(expr, N.Between):
+            operand = self.infer(expr.operand, f"{path}.operand")
+            low = self.infer(expr.low, f"{path}.low")
+            high = self.infer(expr.high, f"{path}.high")
+            self._compare(">=", operand, low, path)
+            self._compare("<=", operand, high, path)
+            return _BOOL
+        if isinstance(expr, N.InSet):
+            return self._in_set(expr, path)
+        if isinstance(expr, N.Like):
+            operand = self.infer(expr.operand, f"{path}.operand")
+            if operand.dtype is not None and (
+                operand.literal or operand.dtype is not DType.STRING
+            ):
+                return self._emit(
+                    "REP114", "LIKE expects a string column", path
+                )
+            return _BOOL
+        if isinstance(expr, N.IsNull):
+            operand = self.infer(expr.operand, f"{path}.operand")
+            if operand.literal:
+                return self._emit("REP114", "IS NULL on a literal", path)
+            return _BOOL
+        if isinstance(expr, (N.And, N.Or)):
+            self._connective_side(expr.left, f"{path}.left")
+            self._connective_side(expr.right, f"{path}.right")
+            return _BOOL
+        if isinstance(expr, N.Not):
+            self._connective_side(expr.operand, f"{path}.operand")
+            return _BOOL
+        if isinstance(expr, N.Arithmetic):
+            left = self.infer(expr.left, f"{path}.left")
+            right = self.infer(expr.right, f"{path}.right")
+            return self._arith(expr.op, left, right, path)
+        if isinstance(expr, N.Case):
+            return self._case(expr, path)
+        if isinstance(expr, N.Year):
+            operand = self.infer(expr.operand, f"{path}.operand")
+            if operand.dtype is not None and (
+                operand.literal or operand.dtype is not DType.DATE
+            ):
+                return self._emit(
+                    "REP114", "YEAR expects a DATE column", path
+                )
+            return TypeInfo(DType.INT64)
+        if isinstance(expr, N.Substr):
+            operand = self.infer(expr.operand, f"{path}.operand")
+            if operand.dtype is not None and (
+                operand.literal or operand.dtype is not DType.STRING
+            ):
+                return self._emit(
+                    "REP114", "SUBSTRING expects a string column", path
+                )
+            return TypeInfo(DType.STRING)
+        return self._emit(
+            "REP108", f"cannot type node {type(expr).__name__}", path
+        )
+
+    # ------------------------------------------------------------------
+    # Leaves
+    # ------------------------------------------------------------------
+    def _column_ref(self, expr: N.ColumnRef, path: str) -> TypeInfo:
+        dtype = self.env.get(expr.name)
+        if dtype is not None:
+            return TypeInfo(dtype)
+        alias, dot, _ = expr.name.partition(".")
+        if dot and alias in self.opaque:
+            return _UNKNOWN
+        if dot and alias not in self.aliases:
+            return self._emit(
+                "REP103",
+                f"column {expr.name!r} references unknown alias {alias!r}",
+                path,
+            )
+        known = ", ".join(sorted(self.env)[:8]) or "<empty schema>"
+        return self._emit(
+            "REP104",
+            f"unknown column {expr.name!r} (in scope: {known}, ...)",
+            path,
+        )
+
+    def _literal(self, expr: N.Literal, path: str) -> TypeInfo:
+        value = expr.value
+        if isinstance(value, bool):
+            return TypeInfo(DType.BOOL, literal=True, value=value)
+        if isinstance(value, int):
+            return TypeInfo(DType.INT64, literal=True, value=value)
+        if isinstance(value, float):
+            return TypeInfo(DType.FLOAT64, literal=True, value=value)
+        if isinstance(value, str):
+            return TypeInfo(DType.STRING, literal=True, value=value)
+        return self._emit(
+            "REP108", f"cannot broadcast literal {value!r}", path
+        )
+
+    def _date_literal(self, expr: N.DateLiteral, path: str) -> TypeInfo:
+        try:
+            days = date_to_days(expr.iso)
+        except Exception:
+            return self._emit(
+                "REP108", f"malformed date literal {expr.iso!r}", path
+            )
+        return TypeInfo(DType.DATE, literal=True, value=days)
+
+    def _scalar_ref(self, expr: N.ScalarRef, path: str) -> TypeInfo:
+        schema = self.scalar_tables.get(expr.table)
+        if schema is None:
+            return self._emit(
+                "REP115",
+                f"scalar reference to unknown table {expr.table!r}",
+                path,
+            )
+        dtype = schema.get(expr.column)
+        if dtype is None:
+            return self._emit(
+                "REP115",
+                f"scalar reference to unknown column "
+                f"{expr.table!r}.{expr.column!r}",
+                path,
+            )
+        # Resolved to a scalar before execution: literal-like, but with
+        # a value only known at run time.
+        return TypeInfo(dtype, literal=True)
+
+    # ------------------------------------------------------------------
+    # Compound nodes
+    # ------------------------------------------------------------------
+    def _compare(
+        self, op: str, left: TypeInfo, right: TypeInfo, path: str
+    ) -> TypeInfo:
+        if op not in CMP_OPS:
+            return self._emit(
+                "REP113", f"unknown comparison operator {op!r}", path
+            )
+        if left.dtype is None or right.dtype is None:
+            return _BOOL
+        if left.literal and right.literal:
+            return self._emit(
+                "REP108", "comparison between two literals", path
+            )
+        # Normalize the column side to the left, as the runtime does.
+        if left.literal:
+            left, right = right, left
+        if right.literal:
+            return self._cmp_column_scalar(left, right, path)
+        # column vs column: mixing string with non-string breaks the
+        # vectorized kernel.
+        if (left.dtype is DType.STRING) != (right.dtype is DType.STRING):
+            return self._emit(
+                "REP108",
+                f"comparison between {left.dtype.name} and "
+                f"{right.dtype.name} columns",
+                path,
+            )
+        return _BOOL
+
+    def _cmp_column_scalar(
+        self, column: TypeInfo, scalar: TypeInfo, path: str
+    ) -> TypeInfo:
+        assert column.dtype is not None and scalar.dtype is not None
+        if column.dtype is DType.STRING:
+            if scalar.dtype is not DType.STRING:
+                return self._emit(
+                    "REP108", "string column compared to non-string", path
+                )
+            return _BOOL
+        if column.dtype is DType.DATE:
+            # DATE columns accept ISO strings (parsed), date literals,
+            # and raw epoch-day integers.
+            if scalar.dtype is DType.STRING and isinstance(
+                scalar.value, str
+            ):
+                try:
+                    date_to_days(scalar.value)
+                except Exception:
+                    return self._emit(
+                        "REP108",
+                        f"DATE column compared to unparseable string "
+                        f"{scalar.value!r}",
+                        path,
+                    )
+            return _BOOL
+        if scalar.dtype is DType.STRING:
+            return self._emit(
+                "REP108",
+                f"{column.dtype.name} column compared to a string "
+                f"literal",
+                path,
+            )
+        return _BOOL
+
+    def _in_set(self, expr: N.InSet, path: str) -> TypeInfo:
+        operand = self.infer(expr.operand, f"{path}.operand")
+        if operand.literal:
+            return self._emit("REP114", "IN applied to a literal", path)
+        if operand.dtype is DType.STRING:
+            if not all(isinstance(v, str) for v in expr.values):
+                return self._emit(
+                    "REP108",
+                    "IN list for a string column holds non-strings",
+                    path,
+                )
+        elif operand.dtype is DType.DATE:
+            try:
+                for v in expr.values:
+                    date_to_days(v)
+            except Exception:
+                return self._emit(
+                    "REP108",
+                    "IN list for a DATE column holds non-ISO values",
+                    path,
+                )
+        elif operand.dtype in _NUMERIC or operand.dtype is DType.BOOL:
+            if any(isinstance(v, str) for v in expr.values):
+                return self._emit(
+                    "REP108",
+                    f"IN list for a {operand.dtype.name} column holds "
+                    f"strings",
+                    path,
+                )
+        return _BOOL
+
+    def _connective_side(self, expr: N.Expr, path: str) -> None:
+        info = self.infer(expr, path)
+        if info.dtype is None:
+            return
+        if info.literal:
+            self._emit(
+                "REP109", "boolean connective applied to a literal", path
+            )
+        elif info.dtype is not DType.BOOL:
+            self._emit(
+                "REP109",
+                f"boolean connective applied to a {info.dtype.name} "
+                f"operand",
+                path,
+            )
+
+    def _arith(
+        self, op: str, left: TypeInfo, right: TypeInfo, path: str
+    ) -> TypeInfo:
+        if op not in ARITH_OPS:
+            return self._emit(
+                "REP113", f"unknown arithmetic operator {op!r}", path
+            )
+        for side in (left, right):
+            if side.dtype in (DType.STRING, DType.BOOL):
+                return self._emit(
+                    "REP108",
+                    f"arithmetic on a {side.dtype.name} operand",
+                    path,
+                )
+        if left.dtype is None or right.dtype is None:
+            return _UNKNOWN
+        if op == "/" or DType.FLOAT64 in (left.dtype, right.dtype):
+            dtype = DType.FLOAT64
+        else:
+            dtype = DType.INT64
+        return TypeInfo(dtype, literal=left.literal and right.literal)
+
+    def _case(self, expr: N.Case, path: str) -> TypeInfo:
+        float_branch = False
+        for i, (cond, value) in enumerate(expr.whens):
+            cond_info = self.infer(cond, f"{path}.whens[{i}].cond")
+            if cond_info.dtype is not None and (
+                cond_info.dtype is not DType.BOOL
+            ):
+                self._emit(
+                    "REP109",
+                    f"CASE condition infers to {cond_info.dtype.name}, "
+                    f"not BOOL",
+                    f"{path}.whens[{i}].cond",
+                )
+            value_info = self.infer(value, f"{path}.whens[{i}].value")
+            float_branch |= self._case_branch(
+                value_info, f"{path}.whens[{i}].value"
+            )
+        default_info = self.infer(expr.default, f"{path}.default")
+        float_branch |= self._case_branch(default_info, f"{path}.default")
+        return TypeInfo(DType.FLOAT64 if float_branch else DType.INT64)
+
+    def _case_branch(self, info: TypeInfo, path: str) -> bool:
+        """Validate a CASE result branch; returns True if it is float."""
+        if info.dtype in (DType.STRING,):
+            self._emit("REP108", "CASE branch yields a string", path)
+            return False
+        return info.dtype is DType.FLOAT64
+
+
+def alias_env(alias: str, schema: dict[str, DType]) -> dict[str, DType]:
+    """Qualify a table schema under an alias.
+
+    Mirrors ``_qualified_mapping`` in :mod:`repro.core.runner`: the
+    short name is everything after the first ``.`` in the base column
+    name (so a derived table whose columns are already qualified
+    re-qualifies cleanly under its new alias).
+    """
+    out: dict[str, DType] = {}
+    for name, dtype in schema.items():
+        short = name.split(".", 1)[1] if "." in name else name
+        out[f"{alias}.{short}"] = dtype
+    return out

@@ -16,8 +16,15 @@ from scratch, exactly as when no cache is configured.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from typing import Iterable
+
+    from ..plan.query import QuerySpec
+    from ..storage.catalog import Catalog
 
 from ..errors import CacheCorruption, QueryAborted, ReproError
 from .fingerprint import (
@@ -64,7 +71,7 @@ class QueryCache:
         """Is this alias backed by a versioned base table?"""
         return alias in self.aliases
 
-    def covers(self, aliases) -> bool:
+    def covers(self, aliases: "Iterable[str]") -> bool:
         """Are *all* of the given aliases cacheable (required for
         whole-query pre-filter entries)?"""
         return all(a in self.aliases for a in aliases)
@@ -119,7 +126,7 @@ class QueryCache:
 
     def get_filter(
         self, alias: str, key_columns: tuple[str, ...], kind: str, params: str
-    ):
+    ) -> object | None:
         """Cached built filter for a pristine vertex, if present."""
         return self._get(self.filter_fp(alias, key_columns, kind, params))
 
@@ -129,7 +136,7 @@ class QueryCache:
         key_columns: tuple[str, ...],
         kind: str,
         params: str,
-        filt,
+        filt: object,
     ) -> None:
         self._put(
             self.filter_fp(alias, key_columns, kind, params),
@@ -159,7 +166,9 @@ class QueryCache:
         self._put(fp, dict(rows), tables)
 
 
-def build_query_cache(spec, catalog, cache: FilterCache) -> QueryCache:
+def build_query_cache(
+    spec: "QuerySpec", catalog: "Catalog", cache: FilterCache
+) -> QueryCache:
     """Construct the per-query context from a *resolved* spec.
 
     Must run after scalar-subquery resolution so predicates contain only

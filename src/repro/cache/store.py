@@ -97,7 +97,7 @@ class _Entry:
     __slots__ = ("payload", "nbytes", "tables", "crc")
 
     def __init__(self, payload: object, nbytes: int, tables: tuple[str, ...],
-                 crc: int | None = None):
+                 crc: int | None = None) -> None:
         self.payload = payload
         self.nbytes = nbytes
         self.tables = tables

@@ -19,6 +19,25 @@ class PlanError(ReproError):
     join graph where connectivity is required, bad edge kind, ...)."""
 
 
+class PlanValidationError(PlanError):
+    """A plan failed static semantic analysis before execution.
+
+    Raised by ``Engine.execute(validate=True)`` and the server's
+    pre-admission gate.  ``diagnostics`` carries the analyzer findings
+    — objects (or plain dicts, when rebuilt from a wire frame) exposing
+    ``code`` / ``severity`` / ``message`` / ``path``.
+    """
+
+    def __init__(
+        self,
+        message: str = "plan failed static validation",
+        *,
+        diagnostics: tuple = (),
+    ) -> None:
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics)
+
+
 class ExecutionError(ReproError):
     """A runtime failure inside the execution engine."""
 

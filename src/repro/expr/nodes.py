@@ -47,7 +47,7 @@ class Expr:
         """``self >= other``"""
         return Comparison(">=", self, other)
 
-    def between(self, low, high) -> "Between":
+    def between(self, low: "Expr", high: "Expr") -> "Between":
         """``self BETWEEN low AND high`` (inclusive both ends)."""
         return Between(self, low, high)
 
@@ -269,7 +269,7 @@ def col(name: str) -> ColumnRef:
     return ColumnRef(name)
 
 
-def lit(value) -> Literal:
+def lit(value: object) -> Literal:
     """Wrap a Python constant as a literal expression."""
     return Literal(value)
 

@@ -40,7 +40,8 @@ __all__ = [
 #: and ``degraded`` partition successful queries; the rest mirror the
 #: typed-error taxonomy of :mod:`repro.errors`.
 OUTCOME_LABELS = (
-    "ok", "degraded", "timeout", "cancelled", "rejected", "budget", "failure",
+    "ok", "degraded", "timeout", "cancelled", "rejected",
+    "rejected_invalid", "budget", "failure",
 )
 
 
@@ -91,6 +92,7 @@ def export_engine(registry: MetricsRegistry, snap: "EngineSnapshot") -> None:
         ("timeout", stats.timeouts),
         ("cancelled", stats.cancellations),
         ("rejected", stats.rejected),
+        ("rejected_invalid", stats.rejected_invalid),
         ("budget", stats.budget_exceeded),
         ("failure", stats.failures),
     ):

@@ -99,7 +99,15 @@ def _add_edge(graph: nx.Graph, e: JoinEdge, query_name: str) -> None:
 
 def edge_keys_for(graph: nx.Graph, a: str, b: str) -> list[tuple[str, str]]:
     """Key pairs of edge ``a``–``b`` oriented as ``(a_col, b_col)``."""
-    data = graph.edges[a, b]
+    try:
+        data = graph.edges[a, b]
+    except KeyError:
+        # Same code the static analyzer assigns to invalid join steps
+        # (REP116), so runtime and `repro check` report identically.
+        raise PlanError(
+            f"REP116: no join edge between {a!r} and {b!r}; the join "
+            f"order requests a step the graph cannot serve"
+        ) from None
     pairs = data["keys"]
     if data["u_of_keys"] == a:
         return list(pairs)

@@ -66,6 +66,7 @@ from collections.abc import Callable
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 
+from ..analysis import validate as _validate_plan
 from ..cache.store import CacheStats, FilterCache
 from ..context import CancelToken, QueryContext
 from ..core.runner import QueryResult, RunConfig, run_query
@@ -102,6 +103,12 @@ class EngineStats:
     budget_exceeded + failures`` (the invariant
     :meth:`Engine.snapshot` exposes and the observability hammer test
     asserts under concurrent load).
+
+    ``rejected_invalid`` counts queries the static analyzer refused
+    *before* admission (``Engine.execute(validate=True)`` pre-flight
+    or the server's pre-admission gate).  Such queries never reach
+    ``submit``, so they are deliberately outside ``submitted`` and the
+    reconciliation invariant above is unchanged.
     """
 
     queries: int = 0
@@ -112,6 +119,7 @@ class EngineStats:
     by_strategy: dict[str, int] = field(default_factory=dict)
     submitted: int = 0
     rejected: int = 0
+    rejected_invalid: int = 0
     timeouts: int = 0
     cancellations: int = 0
     budget_exceeded: int = 0
@@ -171,6 +179,7 @@ class EngineStats:
             by_strategy=dict(self.by_strategy),
             submitted=self.submitted,
             rejected=self.rejected,
+            rejected_invalid=self.rejected_invalid,
             timeouts=self.timeouts,
             cancellations=self.cancellations,
             budget_exceeded=self.budget_exceeded,
@@ -349,10 +358,10 @@ class Engine:
             max_workers=self._workers, thread_name_prefix="repro-engine"
         )
         self._lock = threading.Lock()
-        self._stats = EngineStats()
-        self._jobs: set[_Job] = set()
-        self._pending = 0
-        self._closed = False
+        self._stats = EngineStats()  # guarded-by: _lock
+        self._jobs: set[_Job] = set()  # guarded-by: _lock
+        self._pending = 0  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
         # Observability (all optional; None = the no-op fast path).
         self.registry = registry
         self._observer = EngineObserver(registry) if registry else None
@@ -426,8 +435,9 @@ class Engine:
         estimate can race towards zero (tiny recorded average query
         time), and a ~0 hint would make retrying clients hot-spin.
         """
-        avg = self._stats.seconds / self._stats.queries if self._stats.queries else 0.05
-        queued = max(1, self._pending - self._workers + 1)
+        stats = self._stats  # lint: unguarded — only called under the lock
+        avg = stats.seconds / stats.queries if stats.queries else 0.05
+        queued = max(1, self._pending - self._workers + 1)  # lint: unguarded
         return min(5.0, max(self._retry_after_floor, avg * queued / self._workers))
 
     def _run(
@@ -595,6 +605,32 @@ class Engine:
             raise
         return job.future
 
+    def count_invalid(self) -> None:
+        """Count one statically-rejected plan (pre-admission).
+
+        Called by :meth:`validate_spec` and the server's pre-admission
+        gate when the analyzer refuses a plan.  The rejection happens
+        *before* :meth:`submit`, so ``rejected_invalid`` is outside the
+        ``submitted == rejected + resolved + pending`` reconciliation
+        invariant — no worker slot was ever consumed.
+        """
+        with self._lock:
+            self._stats.rejected_invalid += 1
+
+    def validate_spec(self, spec: QuerySpec) -> None:
+        """Run the static plan analyzer against this engine's catalog.
+
+        Raises :class:`~repro.errors.PlanValidationError` (carrying the
+        full diagnostic list) when the analyzer finds any
+        error-severity diagnostic, counting the rejection under
+        ``rejected_invalid``.  Warnings alone do not reject.
+        """
+        try:
+            _validate_plan(spec, self.catalog)
+        except Exception:
+            self.count_invalid()
+            raise
+
     def execute(
         self,
         spec: QuerySpec,
@@ -602,8 +638,22 @@ class Engine:
         *,
         timeout: float | None = None,
         token: CancelToken | None = None,
+        validate: bool = False,
     ) -> QueryResult:
-        """Run a query through the worker pool and wait for its result."""
+        """Run a query through the worker pool and wait for its result.
+
+        With ``validate=True`` the static plan analyzer
+        (:func:`repro.analysis.validate`) runs as a pre-flight check
+        against the engine's catalog *before* admission: an invalid
+        plan raises :class:`~repro.errors.PlanValidationError` carrying
+        the structured diagnostic list (stable ``REPxxx`` codes), no
+        worker slot is consumed, and the rejection is counted under
+        ``EngineStats.rejected_invalid``.  The default (``False``) is
+        the zero-overhead path — execution-time errors still surface as
+        typed :class:`~repro.errors.ReproError` subclasses.
+        """
+        if validate:
+            self.validate_spec(spec)
         return self.submit(spec, config, timeout=timeout, token=token).result()
 
     def run_many(
@@ -747,10 +797,10 @@ class Session:
         self.config = config
         self.history: deque[QueryStats] = deque(maxlen=self.HISTORY_LIMIT)
         self._lock = threading.Lock()
-        self._queries = 0
-        self._hits = 0
-        self._misses = 0
-        self._active_tokens: set[CancelToken] = set()
+        self._queries = 0  # guarded-by: _lock
+        self._hits = 0  # guarded-by: _lock
+        self._misses = 0  # guarded-by: _lock
+        self._active_tokens: set[CancelToken] = set()  # guarded-by: _lock
 
     def execute(
         self,

@@ -45,6 +45,9 @@ code                exception (both directions)
                     (sent as ``RETRY``, never as ``ERROR``)
 ``unavailable``     :class:`~repro.errors.ServiceUnavailable`
 ``bad_request``     :class:`~repro.errors.PlanError`
+``invalid_plan``    :class:`~repro.errors.PlanValidationError`
+                    (pre-admission static analysis; the frame carries
+                    the structured ``diagnostics`` list)
 ``protocol``        :class:`~repro.errors.ProtocolError`
 ``frame_too_large`` :class:`~repro.errors.FrameTooLarge`
 ``internal``        :class:`~repro.errors.RemoteError` (client side;
@@ -70,6 +73,7 @@ from ..errors import (
     FrameTooLarge,
     MemoryBudgetExceeded,
     PlanError,
+    PlanValidationError,
     ProtocolError,
     QueryCancelled,
     QueryTimeout,
@@ -245,9 +249,20 @@ def retry_response(request_id, retry_after: float) -> dict:
 
 
 def error_response(
-    request_id, code: str, message: str, *, error_type: str | None = None
+    request_id,
+    code: str,
+    message: str,
+    *,
+    error_type: str | None = None,
+    diagnostics: list[dict] | None = None,
 ) -> dict:
-    """An ``ERROR`` frame with a stable taxonomy ``code``."""
+    """An ``ERROR`` frame with a stable taxonomy ``code``.
+
+    ``diagnostics`` (only on ``code=invalid_plan``) is the static
+    analyzer's finding list — plain dicts with ``code`` / ``severity``
+    / ``message`` / ``path`` — so the client can rebuild the same
+    :class:`~repro.errors.PlanValidationError` the engine raises.
+    """
     body = {
         "type": "ERROR",
         "id": request_id,
@@ -256,6 +271,8 @@ def error_response(
     }
     if error_type is not None:
         body["error_type"] = error_type
+    if diagnostics is not None:
+        body["diagnostics"] = diagnostics
     return body
 
 
@@ -283,6 +300,7 @@ _CODE_BY_TYPE: tuple[tuple[type, str], ...] = (
     (FrameTooLarge, "frame_too_large"),
     (ProtocolError, "protocol"),
     (SchemaError, "bad_request"),
+    (PlanValidationError, "invalid_plan"),
     (PlanError, "bad_request"),
 )
 
@@ -299,11 +317,18 @@ def error_frame_for(request_id, exc: BaseException) -> dict:
     """The ``ERROR``/``RETRY`` frame answering a server-side failure."""
     if isinstance(exc, EngineSaturated):
         return retry_response(request_id, exc.retry_after)
+    diagnostics = None
+    if isinstance(exc, PlanValidationError):
+        diagnostics = [
+            d.as_dict() if hasattr(d, "as_dict") else dict(d)
+            for d in exc.diagnostics
+        ]
     return error_response(
         request_id,
         code_for_exception(exc),
         str(exc),
         error_type=type(exc).__name__,
+        diagnostics=diagnostics,
     )
 
 
@@ -338,6 +363,12 @@ def exception_for_response(body: dict) -> ReproError:
         return ProtocolError(message)
     if code == "protocol":
         return ProtocolError(message)
+    if code == "invalid_plan":
+        raw = body.get("diagnostics")
+        diags = tuple(d for d in raw if isinstance(d, dict)) if isinstance(
+            raw, list
+        ) else ()
+        return PlanValidationError(message, diagnostics=diags)
     if code == "bad_request":
         return PlanError(message)
     return RemoteError(

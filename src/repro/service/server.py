@@ -19,6 +19,12 @@ a typed, recoverable outcome:
   is cancelled through its :class:`~repro.context.CancelToken`; the
   engine reclaims the worker slot and counts the cancellation.  An
   abandoned query never holds a worker.
+* **Pre-admission plan validation** — every ``QUERY`` frame's resolved
+  spec is checked by the static analyzer (:mod:`repro.analysis`,
+  memoized per query name) *before* ``Engine.submit``: an invalid plan
+  is answered with ``ERROR code=invalid_plan`` carrying the structured
+  diagnostic list, consumes no worker slot, and is counted under
+  ``EngineStats.rejected_invalid``.
 * **Admission control** — :class:`~repro.errors.EngineSaturated`
   becomes a ``RETRY`` frame carrying the engine's (floored)
   ``retry_after`` hint, which the bundled client honours with
@@ -54,12 +60,15 @@ import time
 from collections.abc import Mapping
 from dataclasses import dataclass, replace
 
+from ..analysis import ERROR as DIAG_ERROR
+from ..analysis import analyze
 from ..core.runner import MATERIALIZE_MODES, STRATEGIES, RunConfig
 from ..context import CancelToken
 from ..errors import (
     EngineSaturated,
     FaultInjected,
     PlanError,
+    PlanValidationError,
     ProtocolError,
     ReproError,
     ServiceUnavailable,
@@ -222,6 +231,10 @@ class QueryServer:
         self.queries_total = 0
         self.protocol_errors = 0
         self.cancelled_by_disconnect = 0
+        # Pre-admission static analysis verdicts, memoized by query
+        # name (specs are immutable once registered): () = clean,
+        # a non-empty tuple = the error diagnostics that reject it.
+        self._analysis_memo: dict[str, tuple] = {}
 
     @property
     def connections(self) -> int:
@@ -539,6 +552,32 @@ class QueryServer:
             )
         return spec
 
+    def _precheck(self, spec: QuerySpec) -> None:
+        """Pre-admission static analysis: reject invalid plans before
+        they reach :meth:`Engine.submit`.
+
+        A rejected request is answered with ``ERROR code=invalid_plan``
+        carrying the full diagnostic list, consumes no worker slot, and
+        is counted under ``EngineStats.rejected_invalid`` (once per
+        request; the analysis itself is memoized per query name, since
+        registered specs are immutable).
+        """
+        errors = self._analysis_memo.get(spec.name)
+        if errors is None:
+            errors = tuple(
+                d
+                for d in analyze(spec, self.engine.catalog)
+                if d.severity == DIAG_ERROR
+            )
+            self._analysis_memo[spec.name] = errors
+        if errors:
+            self.engine.count_invalid()
+            raise PlanValidationError(
+                f"plan {spec.name!r} failed validation with "
+                f"{len(errors)} error(s); first: {errors[0]}",
+                diagnostics=errors,
+            )
+
     async def _await_job(self, future):
         """Await an engine future without cancellation back-propagation.
 
@@ -602,6 +641,7 @@ class QueryServer:
         try:
             trace_id = self._request_trace_id(msg)
             spec = self._resolve_spec(msg)
+            self._precheck(spec)
             config = self._request_config(msg)
             timeout_s = self._clamp_timeout(msg)
             conn.tokens.add(token)

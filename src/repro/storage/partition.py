@@ -94,7 +94,7 @@ class PartitionLayout:
         n = table.num_rows
         self.starts = np.arange(0, n, self.partition_rows, dtype=np.int64)
         self.stops = np.minimum(self.starts + self.partition_rows, n)
-        self._zones: dict[str, ZoneMap | None] = {}
+        self._zones: dict[str, ZoneMap | None] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------

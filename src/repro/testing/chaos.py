@@ -55,7 +55,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.runner import MATERIALIZE_MODES, STRATEGIES, RunConfig
-from ..errors import ReproError
+from ..errors import PlanValidationError, ReproError
 from ..plan.query import QuerySpec
 from ..service.client import ReproClient
 from ..service.engine import Engine
@@ -460,6 +460,89 @@ def _net_classify(
     return "identical" if frame["digest"] == oracle else "WRONG_ANSWER"
 
 
+#: Registered name of the deliberately-malformed plan the network sweep
+#: serves (unknown column), exercising the pre-admission analyzer gate.
+INVALID_QUERY_NAME = "chaos-invalid-plan"
+
+
+def _invalid_spec() -> QuerySpec:
+    """A statically-invalid plan (unknown column ``l.nonexistent``)."""
+    from ..expr.nodes import col, lit
+    from ..plan.query import Relation
+
+    return QuerySpec(
+        name=INVALID_QUERY_NAME,
+        relations=[
+            Relation(
+                alias="l",
+                table="lineitem",
+                predicate=col("l.nonexistent").gt(lit(1)),
+            )
+        ],
+    )
+
+
+def invalid_plan_block(
+    host: str,
+    port: int,
+    engine: Engine,
+    good_query: str,
+    oracle: str,
+    attempts: int = 3,
+) -> dict:
+    """Malformed-plan frames over the wire: the pre-admission gate.
+
+    Each attempt queries the registered-but-invalid plan and must come
+    back as a typed :class:`~repro.errors.PlanValidationError` carrying
+    a non-empty diagnostics list — rejected by the server's static
+    analyzer *before* admission, so no worker slot is ever consumed,
+    every rejection lands in ``EngineStats.rejected_invalid``, and the
+    engine's reconciliation invariant is untouched.  A recovery probe
+    then proves the same connection path still serves valid plans.
+    """
+    before = engine.snapshot().stats.rejected_invalid
+    outcomes: list[str] = []
+    diagnostics_ok = True
+    for _ in range(attempts):
+        try:
+            with ReproClient(
+                host, port, connect_timeout=5.0, io_timeout=NET_IO_TIMEOUT
+            ) as client:
+                client.query_once(INVALID_QUERY_NAME, timeout_ms=30_000)
+        except PlanValidationError as exc:
+            outcomes.append("error:PlanValidationError")
+            if not exc.diagnostics:
+                diagnostics_ok = False
+        except ReproError as exc:
+            outcomes.append(f"error:{type(exc).__name__}")
+        except Exception as exc:  # untyped leakage is a violation
+            outcomes.append(f"UNTYPED:{type(exc).__name__}")
+        else:
+            outcomes.append("ACCEPTED")
+    slots_clean = _settle_pending(engine)
+    snap = engine.snapshot()
+    counted = snap.stats.rejected_invalid - before
+    recovered = _net_classify(host, port, good_query, oracle) == "identical"
+    ok = (
+        all(o == "error:PlanValidationError" for o in outcomes)
+        and diagnostics_ok
+        and counted == attempts
+        and slots_clean
+        and snap.consistent
+        and recovered
+    )
+    return {
+        "attempts": attempts,
+        "outcomes": outcomes,
+        "diagnostics_present": diagnostics_ok,
+        "rejected_invalid_counted": counted,
+        "slots_clean": slots_clean,
+        "snapshot_consistent": snap.consistent,
+        "recovered": recovered,
+        "ok": ok,
+    }
+
+
 def _settle_pending(engine: Engine, deadline: float = 10.0) -> bool:
     """Wait for the engine to drain to zero admitted-but-unfinished
     queries (disconnect cancellations resolve asynchronously)."""
@@ -670,7 +753,10 @@ def run_network_sweep(
     try:
         with ServerThread(
             engine,
-            {spec.name: spec},
+            # The invalid plan is registered alongside the real one:
+            # requesting it by name exercises the server's
+            # pre-admission static-analysis gate.
+            {spec.name: spec, INVALID_QUERY_NAME: _invalid_spec()},
             config=ServerConfig(read_timeout=2.0, write_timeout=2.0),
             meta={"sf": sf, "seed": seed},
         ) as st:
@@ -691,6 +777,9 @@ def run_network_sweep(
                                 seed,
                             )
                         )
+            invalid = invalid_plan_block(
+                st.host, st.port, engine, spec.name, oracles["predtrans"]
+            )
             metrics_text = collector.prometheus()
         snap = engine.snapshot()
     finally:
@@ -708,7 +797,19 @@ def run_network_sweep(
         )
     )
     client_identical = sum(1 for c in cases if c["outcome"] == "identical")
-    expected = snap.stats.resolved + snap.stats.rejected
+    metric_rejected_invalid = int(
+        sum(
+            v
+            for labels, v in families.get("repro_queries_total", {}).items()
+            if dict(labels).get("outcome") == "rejected_invalid"
+        )
+    )
+    # Pre-admission rejections are outside ``submitted`` but *are* an
+    # exported outcome label, so the scraped counter sum reconciles
+    # against resolved + rejected + rejected_invalid.
+    expected = (
+        snap.stats.resolved + snap.stats.rejected + snap.stats.rejected_invalid
+    )
     reconciliation = {
         "outcome_total": outcome_total,
         "resolved_plus_rejected": expected,
@@ -716,11 +817,14 @@ def run_network_sweep(
         "engine_queries": snap.stats.queries,
         "client_identical": client_identical,
         "ok_plus_degraded": ok_plus_degraded,
+        "rejected_invalid": snap.stats.rejected_invalid,
+        "metric_rejected_invalid": metric_rejected_invalid,
         "snapshot_consistent": snap.consistent,
         "ok": (
             outcome_total == expected
             and hist_count == snap.stats.queries
             and client_identical <= ok_plus_degraded
+            and metric_rejected_invalid == snap.stats.rejected_invalid
             and snap.consistent
         ),
     }
@@ -743,6 +847,7 @@ def run_network_sweep(
         "oracle_digests": oracles,
         "cases": cases,
         "drain_under_load": drain,
+        "invalid_plan": invalid,
         "metrics_reconciliation": reconciliation,
         "summary": {
             "cases": len(cases),
@@ -754,6 +859,7 @@ def run_network_sweep(
             "violations": (
                 len(violations)
                 + (0 if drain["ok"] else 1)
+                + (0 if invalid["ok"] else 1)
                 + (0 if reconciliation["ok"] else 1)
             ),
         },
@@ -777,6 +883,15 @@ def format_network_sweep(payload: dict) -> str:
         f"drain={drain['drain_seconds']:.2f}s)",
         f"  violations:             {s['violations']}",
     ]
+    invalid = payload.get("invalid_plan")
+    if invalid is not None:
+        lines.insert(
+            -1,
+            f"  invalid-plan gate ok:   {invalid['ok']} "
+            f"(outcomes={invalid['outcomes']}, "
+            f"counted={invalid['rejected_invalid_counted']}, "
+            f"slots_clean={invalid['slots_clean']})",
+        )
     recon = payload.get("metrics_reconciliation")
     if recon is not None:
         lines.insert(

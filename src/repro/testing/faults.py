@@ -145,7 +145,7 @@ class FaultPlan:
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
-        self._hits: dict[str, int] = {}
+        self._hits: dict[str, int] = {}  # guarded-by: _lock
         self._rng = np.random.default_rng(self.seed)
         self.triggered: list[tuple[str, int, str]] = []
 
