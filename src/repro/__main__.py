@@ -10,7 +10,13 @@ Commands
              and strategy; ``--json`` writes the machine-readable record
              (the repo's ``BENCH_*.json`` perf-trajectory artifacts).
 ``workload`` Cold/warm replay of a mixed TPC-H+SSB stream through the
-             service Engine (the ``BENCH_PR3.json`` artifact).
+             service Engine (the ``BENCH_PR3.json`` artifact);
+             ``--append-mix N`` interleaves transactional appends into
+             the warm pass every N queries (``repro-bench/v8``).
+``ingest``   Warm the cache, then alternate transactional delta
+             appends with full re-queries and record commit latency,
+             re-query wall time and the cache's extension counters
+             (the ``BENCH_PR10.json`` artifact).
 ``cache``    ``stats`` / ``clear`` on the process-wide filter cache.
 ``serve``    Serve the stock query registry over TCP (length-prefixed
              JSON frames) until SIGTERM, then drain gracefully.
@@ -119,6 +125,7 @@ from .service.workload import (
     DEFAULT_SSB_IDS,
     DEFAULT_TPCH_IDS,
     cold_warm,
+    ingest_bench,
 )
 from .ssb import ALL_SSB_QUERY_IDS, generate_ssb, get_ssb_query
 from .tpch import generate_tpch
@@ -429,6 +436,8 @@ def _cmd_workload(args: argparse.Namespace) -> int:
         partition_rows=args.partition_rows,
         timeout=_timeout_seconds(args),
         memory_budget=_memory_budget_bytes(args),
+        append_mix=max(0, args.append_mix or 0),
+        append_rows=args.append_rows,
     )
     comp = payload["comparison"]
     print(
@@ -455,6 +464,55 @@ def _cmd_workload(args: argparse.Namespace) -> int:
             f"cache: {c['entries']} entries, {c['bytes'] / 1024:.1f} KiB, "
             f"hit rate {c['hit_rate']:.1%}"
         )
+    if "ingest" in comp:
+        ing = comp["ingest"]
+        print(
+            f"ingest: {ing['batches']} commits, "
+            f"{ing['rows_ingested']} rows, "
+            f"{ing['cache_extensions']} cache extensions "
+            f"({ing['cache_extension_rebuilds']} rebuilds); identity "
+            f"checked over first {ing['identical_prefix_items']} items"
+        )
+    if args.json:
+        write_bench_json(args.json, payload)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    payload = ingest_bench(
+        sf=args.sf,
+        seed=args.seed,
+        batches=args.batches,
+        append_rows=args.rows,
+        tpch_ids=args.tpch if args.tpch else (3, 5, 10),
+        strategy=args.strategy,
+        threads=max(1, args.threads or 1),
+        partition_rows=args.partition_rows,
+    )
+    meta = payload["meta"]
+    print(
+        f"ingest bench (SF={meta['sf']}, strategy={meta['strategy']}, "
+        f"tables={','.join(meta['ingest_tables'])}, "
+        f"queries={','.join(str(q) for q in meta['tpch_queries'])})"
+    )
+    print(f"warm pass: {payload['warm_seconds']:.4f}s")
+    for rnd in payload["rounds"]:
+        print(
+            f"  round {rnd['round']}: +{rnd['rows']} rows in "
+            f"{rnd['ingest_seconds'] * 1e3:.1f}ms, requery "
+            f"{rnd['requery_seconds']:.4f}s, cache ext="
+            f"{rnd['cache_extensions']} rebuilds="
+            f"{rnd['cache_extension_rebuilds']}"
+        )
+    totals = payload["totals"]
+    print(
+        f"totals: {totals['ingests']} commits, "
+        f"{totals['rows_ingested']} rows, "
+        f"{totals['cache_extensions']} extensions "
+        f"({totals['cache_extension_rebuilds']} rebuilds), "
+        f"hit rate {totals['cache_hit_rate']:.1%}"
+    )
     if args.json:
         write_bench_json(args.json, payload)
         print(f"wrote {args.json}")
@@ -972,9 +1030,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--strategy", choices=STRATEGIES, default="predtrans"
     )
     workload.add_argument("--json", help="write the cold/warm record here")
+    workload.add_argument(
+        "--append-mix",
+        type=int,
+        default=0,
+        dest="append_mix",
+        metavar="N",
+        help="commit a transactional delta append every N warm items "
+        "(0 = read-only warm pass; >0 switches the record to "
+        "repro-bench/v8 with an ingest block)",
+    )
+    workload.add_argument(
+        "--append-rows",
+        type=int,
+        default=64,
+        dest="append_rows",
+        metavar="ROWS",
+        help="delta rows appended per table per --append-mix event",
+    )
     _add_parallel_args(workload)
     _add_resilience_args(workload)
     workload.set_defaults(func=_cmd_workload)
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="alternate transactional appends with re-queries and "
+        "record commit latency + cache-extension counters",
+    )
+    _add_common(ingest)
+    ingest.add_argument(
+        "--batches", type=int, default=3, help="append/re-query rounds"
+    )
+    ingest.add_argument(
+        "--rows",
+        type=int,
+        default=256,
+        help="delta rows appended per table per round",
+    )
+    ingest.add_argument(
+        "--tpch",
+        type=_parse_query_ids,
+        help='TPC-H query ids to re-run each round, e.g. "3,5,10"',
+    )
+    ingest.add_argument(
+        "--strategy", choices=STRATEGIES, default="predtrans"
+    )
+    ingest.add_argument("--json", help="write the v8 ingest record here")
+    _add_parallel_args(ingest)
+    ingest.set_defaults(func=_cmd_ingest)
 
     serve = sub.add_parser(
         "serve",

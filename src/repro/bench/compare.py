@@ -1,10 +1,11 @@
 """Bench-record comparison: per-query regression/speedup diffing.
 
 Compares two ``BENCH_*.json`` documents (any mix of ``repro-bench/v1``
-through ``v5`` schemas — only the shared per-pair ``seconds`` field is
+through ``v8`` schemas — only the shared per-pair ``seconds`` field is
 read, so the v3 filter-cache counters, the v4 partition/parallel
-counters and the v5 outcome/resilience fields never break older
-baselines; unknown future schemas are refused with a clear error) on
+counters, the v5 outcome/resilience fields and the v8 ingest blocks
+never break older baselines; unknown future schemas are refused with a
+clear error) on
 per-(query, strategy) total wall clock.  Used in two places:
 
 * ``python -m repro bench --compare OLD.json`` embeds the comparison
@@ -28,12 +29,13 @@ import sys
 
 #: Schema generations this comparator understands.  Every generation
 #: added fields without renaming the per-pair ``seconds`` the diff
-#: reads, so any v1–v6 mix compares cleanly; anything newer is refused
-#: rather than silently misread.  Note that not every v5–v7 *kind*
-#: carries per-(query, strategy) measurements — loadtest and chaos
-#: records are rejected with a pointed error below, not compared.
+#: reads, so any v1–v8 mix compares cleanly; anything newer is refused
+#: rather than silently misread.  Note that not every v5–v8 *kind*
+#: carries per-(query, strategy) measurements — loadtest, chaos and
+#: ingest records are rejected with a pointed error below, not
+#: compared.
 ACCEPTED_SCHEMAS = frozenset(
-    f"repro-bench/v{n}" for n in (1, 2, 3, 4, 5, 6, 7)
+    f"repro-bench/v{n}" for n in (1, 2, 3, 4, 5, 6, 7, 8)
 )
 
 

@@ -11,22 +11,55 @@ Aliases over unversioned tables (derived pre-stage outputs registered
 on a scoped catalog) are simply absent from the context: every lookup
 for them reports "not cacheable" and the phases fall back to building
 from scratch, exactly as when no cache is configured.
+
+Delta extension
+---------------
+Appends bump only a version's delta sequence
+(:class:`~repro.storage.catalog.DataVersion`), and the appended rows
+are strictly *after* every pre-existing row.  An artifact cached at
+``(base, older_delta)`` is therefore not stale, merely incomplete: on
+an exact-fingerprint miss, :meth:`QueryCache.get_scan` and
+:meth:`QueryCache.get_filter` probe the version's recorded delta
+history and, on a hit, **extend** the cached artifact over just the
+delta rows — evaluating the local predicate on the delta slice,
+appending qualifying indices to a cached selection vector, OR-merging
+delta key hashes into a clone of a cached Bloom filter (at its cached
+geometry, so the result is bit-identical to a from-scratch build with
+that geometry), or inserting them into a clone of a cached exact set.
+The extended artifact is published under the current fingerprint, so
+later queries hit exactly.
+
+Every extension is sound-or-rebuilt: any case the extension cannot
+prove equivalent to a from-scratch build — predicate columns the base
+table cannot supply, an unexpected payload shape, a geometry merge
+failure, a saturated Bloom filter, or an injected ``cache.extend``
+fault — returns a miss and the caller rebuilds in full (counted in
+``extension_rebuilds``).  Replaces bump the base version, which no
+probe matches, so full invalidation stays intact.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from typing import Iterable
+    from typing import Iterable, Iterator
 
+    from ..expr.nodes import Expr
     from ..plan.query import QuerySpec
-    from ..storage.catalog import Catalog
+    from ..storage.catalog import Catalog, DataVersion
+    from ..storage.table import Table
 
 from ..errors import CacheCorruption, QueryAborted, ReproError
+from ..expr.eval import evaluate_mask
+from ..filters.bloom import BloomFilter
+from ..filters.exact import ExactFilter
+from ..filters.hashing import bloom_keys
+from ..storage.partition import slice_table
+from ..testing.faults import fault_point
 from .fingerprint import (
     canonical_expr,
     filter_fingerprint,
@@ -36,14 +69,34 @@ from .fingerprint import (
 )
 from .store import FilterCache
 
+#: How far back in a version's delta history extension lookups probe.
+#: Older entries than this simply miss (full rebuild) — bounding probe
+#: cost per lookup under long append streams.
+MAX_EXTENSION_PROBES = 8
+
+#: Bloom filters whose word array is more than half ones after an
+#: extension are rebuilt instead: the cached geometry was sized for the
+#: pre-append row count and its false-positive rate has degraded past
+#: usefulness.  (Saturation is a quality cliff, not a soundness issue —
+#: Bloom filters never produce false negatives at any saturation.)
+MAX_EXTENSION_SATURATION = 0.5
+
 
 @dataclass(frozen=True)
 class AliasKey:
-    """Cache identity of one aliased base relation."""
+    """Cache identity of one aliased base relation.
+
+    ``expr`` and ``base`` carry the original predicate tree and the
+    pinned snapshot's table object for delta extension; they are
+    derived from the compared fields (via the catalog snapshot) and
+    excluded from equality/hashing.
+    """
 
     table: str
-    version: int
+    version: "int | DataVersion"
     predicate: str  # canonical, alias-stripped local-predicate form
+    expr: "Expr | None" = field(default=None, compare=False, repr=False)
+    base: "Table | None" = field(default=None, compare=False, repr=False)
 
 
 class QueryCache:
@@ -106,8 +159,20 @@ class QueryCache:
         return scan_fingerprint(key.table, key.version, key.predicate)
 
     def get_scan(self, alias: str) -> np.ndarray | None:
-        """Cached local-predicate selection vector, if present."""
-        return self._get(self.scan_fp(alias))
+        """Cached local-predicate selection vector, if present.
+
+        On an exact miss, tries extending a vector cached at an older
+        delta of the same base version over the appended rows; an
+        extended vector is published under the current fingerprint.
+        """
+        fp = self.scan_fp(alias)
+        payload = self._get(fp)
+        if payload is not None:
+            return payload
+        extended = self._extend_scan(alias)
+        if extended is not None:
+            self._put(fp, extended, (self.aliases[alias].table,))
+        return extended
 
     def put_scan(self, alias: str, rows: np.ndarray) -> None:
         self._put(self.scan_fp(alias), rows, (self.aliases[alias].table,))
@@ -127,8 +192,22 @@ class QueryCache:
     def get_filter(
         self, alias: str, key_columns: tuple[str, ...], kind: str, params: str
     ) -> object | None:
-        """Cached built filter for a pristine vertex, if present."""
-        return self._get(self.filter_fp(alias, key_columns, kind, params))
+        """Cached built filter for a pristine vertex, if present.
+
+        On an exact miss, tries extending a filter cached at an older
+        delta: a Bloom filter gains the delta's qualifying key hashes
+        by OR-merge at its cached geometry, an exact set gains them by
+        insertion into a clone.  The extended filter is published under
+        the current fingerprint.
+        """
+        fp = self.filter_fp(alias, key_columns, kind, params)
+        payload = self._get(fp)
+        if payload is not None:
+            return payload
+        extended = self._extend_filter(alias, key_columns, kind, params)
+        if extended is not None:
+            self._put(fp, extended, (self.aliases[alias].table,))
+        return extended
 
     def put_filter(
         self,
@@ -145,6 +224,159 @@ class QueryCache:
         )
 
     # ------------------------------------------------------------------
+    # Delta extension
+    # ------------------------------------------------------------------
+    def _older_versions(self, key: AliasKey) -> "Iterator[tuple[str, int]]":
+        """Recent prior versions of the same base, newest first.
+
+        Yields ``(version_string, rows_at_that_version)`` pairs drawn
+        from the version's bounded delta history; an int-versioned key
+        (pre-append era, or a hand-built test key) has none.
+        """
+        version = key.version
+        history = getattr(version, "history", ())
+        for delta, rows_at in reversed(history[-MAX_EXTENSION_PROBES:]):
+            yield f"{version.base}.{delta}", rows_at
+
+    def _delta_selection(
+        self, alias: str, key: AliasKey, rows_at: int
+    ) -> np.ndarray | None:
+        """Qualifying row indices in ``[rows_at, num_rows)``.
+
+        Evaluates the alias's local predicate over just the delta slice
+        (zero-copy); ``None`` when the predicate's columns cannot be
+        resolved against the base table — the one case extension cannot
+        prove equivalent to a fresh full scan.
+        """
+        base = key.base
+        assert base is not None
+        n = base.num_rows
+        if rows_at > n:
+            return None  # snapshot/history disagree; never extend
+        if key.expr is None:
+            return np.arange(rows_at, n, dtype=np.intp)
+        # Mirror the runner's scan naming: predicates reference
+        # ``alias.column`` while the base table holds the bare name.
+        mapping: dict[str, str] = {}
+        for name in base.columns:
+            short = name.split(".", 1)[1] if "." in name else name
+            mapping[f"{alias}.{short}"] = name
+        needed = key.expr.columns()
+        if not needed <= set(mapping):
+            return None
+        live = {qualified: mapping[qualified] for qualified in needed}
+        chunk = slice_table(base, rows_at, n, live, name=alias)
+        return rows_at + np.flatnonzero(evaluate_mask(key.expr, chunk))
+
+    def _delta_keys(
+        self, key: AliasKey, stripped: tuple[str, ...], delta_rows: np.ndarray,
+        rows_at: int,
+    ) -> np.ndarray:
+        """Join-key hashes of the delta's qualifying rows.
+
+        Hashing is per-row (:func:`~repro.filters.hashing.bloom_keys`
+        mixes each row independently), so hashing the delta slice and
+        gathering qualifiers equals hashing the full column and
+        gathering — immune to ``concat``'s dictionary re-encoding,
+        which changes codes but not values.
+        """
+        base = key.base
+        assert base is not None
+        cols = [base.column(c).slice(rows_at, base.num_rows) for c in stripped]
+        keys = bloom_keys(cols)
+        return keys[delta_rows - rows_at]
+
+    def _extend_scan(self, alias: str) -> np.ndarray | None:
+        key = self.aliases[alias]
+        if key.base is None:
+            return None
+        try:
+            for older_version, rows_at in self._older_versions(key):
+                fp_old = scan_fingerprint(key.table, older_version, key.predicate)
+                if fp_old not in self.cache:
+                    continue
+                older = self.cache.get(fp_old)
+                if not isinstance(older, np.ndarray):
+                    continue
+                fault_point("cache.extend", older)
+                delta = self._delta_selection(alias, key, rows_at)
+                if delta is None:
+                    self.cache.count_extension_rebuild()
+                    return None
+                self.cache.count_extension()
+                # Cached vectors are sorted and < rows_at; delta indices
+                # are >= rows_at and sorted — concatenation is exactly
+                # the fresh full-scan vector (and a fresh array, never
+                # the shared cached payload).
+                return np.concatenate([older, delta])
+        except (QueryAborted, CacheCorruption):
+            raise
+        except ReproError:
+            self.errors += 1
+            self.cache.count_extension_rebuild()
+            return None
+        return None
+
+    def _extend_filter(
+        self, alias: str, key_columns: tuple[str, ...], kind: str, params: str
+    ) -> object | None:
+        key = self.aliases[alias]
+        if key.base is None or kind not in ("bloom", "exact", "exact-semi"):
+            return None
+        stripped = tuple(strip_alias(c, alias) for c in key_columns)
+        if any(c not in key.base for c in stripped):
+            return None
+        try:
+            for older_version, rows_at in self._older_versions(key):
+                fp_old = filter_fingerprint(
+                    key.table, older_version, key.predicate, stripped, kind, params
+                )
+                if fp_old not in self.cache:
+                    continue
+                older = self.cache.get(fp_old)
+                if older is None:
+                    continue
+                fault_point("cache.extend", older)
+                delta = self._delta_selection(alias, key, rows_at)
+                if delta is None:
+                    self.cache.count_extension_rebuild()
+                    return None
+                keys = self._delta_keys(key, stripped, delta, rows_at)
+                extended = self._extend_payload(older, keys)
+                if extended is None:
+                    self.cache.count_extension_rebuild()
+                    return None
+                self.cache.count_extension()
+                return extended
+        except (QueryAborted, CacheCorruption):
+            raise
+        except ReproError:
+            self.errors += 1
+            self.cache.count_extension_rebuild()
+            return None
+        return None
+
+    def _extend_payload(self, older: object, keys: np.ndarray) -> object | None:
+        """A fresh filter = cached filter ∪ delta keys (never in place)."""
+        if isinstance(older, BloomFilter):
+            extended = BloomFilter(capacity=older.capacity, fpp=older.fpp)
+            # Same (capacity, fpp) ⇒ same deterministic geometry, so
+            # the word-wise OR below is exact; a mismatched cached
+            # payload raises FilterError → rebuild via the except arm.
+            extended.merge_words(older)
+            if len(keys):
+                extended.add_hashes(keys)
+            if extended.saturation() > MAX_EXTENSION_SATURATION:
+                return None
+            return extended
+        if isinstance(older, ExactFilter):
+            extended = older.clone()
+            if len(keys):
+                extended.add_keys(keys)
+            return extended
+        return None
+
+    # ------------------------------------------------------------------
     # Whole-query pre-filter results
     # ------------------------------------------------------------------
     def prefilter_fp(self, edges: list[str], strategy: str, config_form: str) -> str:
@@ -155,7 +387,12 @@ class QueryCache:
         return prefilter_fingerprint(relation_keys, edges, strategy, config_form)
 
     def get_prefilter(self, fp: str) -> dict[str, np.ndarray] | None:
-        """Cached pre-filter phase output (alias → row vector)."""
+        """Cached pre-filter phase output (alias → row vector).
+
+        Never delta-extended: the phase output depends on semi-join
+        interactions *across* tables, so appended rows can change which
+        pre-existing rows survive — a version change is a plain miss.
+        """
         payload = self._get(fp)
         if payload is None:
             return None
@@ -174,6 +411,10 @@ def build_query_cache(
     Must run after scalar-subquery resolution so predicates contain only
     literals — an unresolved :class:`ScalarRef` would fingerprint the
     placeholder rather than the value it resolves to this execution.
+
+    ``catalog`` must be the query's pinned snapshot: the table object
+    and version stored per alias feed delta extension and have to
+    describe the same contents.
     """
     aliases: dict[str, AliasKey] = {}
     for relation in spec.relations:
@@ -184,5 +425,7 @@ def build_query_cache(
             table=relation.table,
             version=version,
             predicate=canonical_expr(relation.predicate, relation.alias),
+            expr=relation.predicate,
+            base=catalog.get(relation.table),
         )
     return QueryCache(cache, aliases)

@@ -132,14 +132,19 @@ def fingerprint(*parts: str) -> str:
     return hashlib.sha256(_SEP.join(parts).encode("utf-8")).hexdigest()
 
 
-def scan_fingerprint(table: str, version: int, predicate: str) -> str:
-    """Key of a cached local-predicate selection vector."""
+def scan_fingerprint(table: str, version: object, predicate: str) -> str:
+    """Key of a cached local-predicate selection vector.
+
+    ``version`` is embedded via ``str()`` — an int (legacy), a
+    :class:`~repro.storage.catalog.DataVersion` (``"base.delta"``), or
+    an already-rendered version string all fingerprint identically.
+    """
     return fingerprint("scan", table, str(version), predicate)
 
 
 def filter_fingerprint(
     table: str,
-    version: int,
+    version: object,
     predicate: str,
     key_columns: tuple[str, ...],
     kind: str,
@@ -157,7 +162,7 @@ def filter_fingerprint(
 
 
 def prefilter_fingerprint(
-    relation_keys: list[tuple[str, str, int, str]],
+    relation_keys: list[tuple[str, str, object, str]],
     edges: list[str],
     strategy: str,
     config_form: str,

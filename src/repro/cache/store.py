@@ -49,6 +49,8 @@ class CacheStats:
     bytes: int
     max_bytes: int
     corruptions: int = 0
+    extensions: int = 0
+    extension_rebuilds: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -132,6 +134,8 @@ class FilterCache:
         self._invalidations = 0
         self._rejected = 0
         self._corruptions = 0
+        self._extensions = 0
+        self._extension_rebuilds = 0
 
     # ------------------------------------------------------------------
     def get(self, fp: str) -> object | None:
@@ -238,6 +242,23 @@ class FilterCache:
             self._invalidations += dropped
             return dropped
 
+    def count_extension(self) -> None:
+        """Record a delta extension of an older-version entry.
+
+        Called by :class:`~repro.cache.context.QueryCache` when a
+        cached artifact built at ``(base, older_delta)`` was extended
+        over the delta rows instead of rebuilt from scratch.
+        """
+        with self._lock:
+            self._extensions += 1
+
+    def count_extension_rebuild(self) -> None:
+        """Record an extension attempt that degraded to a full rebuild
+        (fault during extension, unsupported payload shape, saturated
+        Bloom geometry)."""
+        with self._lock:
+            self._extension_rebuilds += 1
+
     def clear(self) -> None:
         """Drop every entry (counters are kept; see :meth:`stats`)."""
         with self._lock:
@@ -275,4 +296,6 @@ class FilterCache:
                 bytes=self._bytes,
                 max_bytes=self.max_bytes,
                 corruptions=self._corruptions,
+                extensions=self._extensions,
+                extension_rebuilds=self._extension_rebuilds,
             )

@@ -127,6 +127,18 @@ def export_engine(registry: MetricsRegistry, snap: "EngineSnapshot") -> None:
         "repro_parallel_chunks_total",
         "Kernel chunks dispatched to the intra-query worker pool",
     ).set_total(stats.parallel_tasks)
+    registry.counter(
+        "repro_ingests_total",
+        "Committed transactional ingest batches",
+    ).set_total(stats.ingests)
+    registry.counter(
+        "repro_ingest_failures_total",
+        "Ingest batches that failed before commit (catalog untouched)",
+    ).set_total(stats.ingest_failures)
+    registry.counter(
+        "repro_rows_ingested_total",
+        "Delta rows appended through committed ingest batches",
+    ).set_total(stats.rows_ingested)
     registry.gauge(
         "repro_engine_slots_in_use",
         "Admitted, unresolved queries (queued + running)",
@@ -169,6 +181,16 @@ def export_cache(registry: MetricsRegistry, cs: "CacheStats | None") -> None:
             "Checksum failures handled as misses",
             "corruptions",
         ),
+        (
+            "repro_filter_cache_extensions_total",
+            "Older-version entries extended over delta rows",
+            "extensions",
+        ),
+        (
+            "repro_filter_cache_extension_rebuilds_total",
+            "Extension attempts that degraded to a full rebuild",
+            "extension_rebuilds",
+        ),
     )
     for name, help_text, fld in counters:
         registry.counter(name, help_text).set_total(
@@ -201,6 +223,9 @@ def export_server(registry: MetricsRegistry, server: "QueryServer") -> None:
     registry.counter(
         "repro_server_wire_queries_total", "QUERY frames dispatched"
     ).set_total(server.queries_total)
+    registry.counter(
+        "repro_server_wire_ingests_total", "INGEST frames dispatched"
+    ).set_total(server.ingests_total)
     registry.counter(
         "repro_server_protocol_errors_total",
         "Malformed/oversized/unknown frames answered with typed errors",

@@ -35,6 +35,7 @@ from .engine import RetryPolicy
 from .protocol import (
     DEFAULT_MAX_FRAME_BYTES,
     exception_for_response,
+    ingest_request,
     metrics_request,
     ping_request,
     query_request,
@@ -181,6 +182,25 @@ class ReproClient:
         if kind == "ERROR":
             raise exception_for_response(frame)
         raise ProtocolError(f"expected METRICS, got {kind!r}")
+
+    def ingest(self, tables: dict[str, dict[str, list]]) -> dict:
+        """Append delta rows transactionally: the ``INGESTED`` body.
+
+        ``tables`` maps catalog table name → column name → list of
+        values in the wire forms of
+        :func:`~repro.service.protocol.ingest_request`.  All tables
+        commit in one atomic catalog transaction; on any typed failure
+        (schema mismatch, injected ingest fault, draining server) the
+        matching exception is raised here and the server's catalog is
+        guaranteed untouched.
+        """
+        frame = self.request(ingest_request(self._fresh_id(), tables))
+        kind = frame.get("type")
+        if kind == "INGESTED":
+            return frame
+        if kind == "ERROR":
+            raise exception_for_response(frame)
+        raise ProtocolError(f"expected INGESTED, got {kind!r}")
 
     def query_once(
         self,

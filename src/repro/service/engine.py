@@ -109,6 +109,11 @@ class EngineStats:
     or the server's pre-admission gate).  Such queries never reach
     ``submit``, so they are deliberately outside ``submitted`` and the
     reconciliation invariant above is unchanged.
+
+    ``ingests`` / ``ingest_failures`` / ``rows_ingested`` count
+    :meth:`Engine.ingest` batches (committed / aborted) and the delta
+    rows committed.  Ingests never consume a worker slot, so these sit
+    outside the query reconciliation invariant too.
     """
 
     queries: int = 0
@@ -129,6 +134,9 @@ class EngineStats:
     partitions_total: int = 0
     partitions_pruned: int = 0
     parallel_tasks: int = 0
+    ingests: int = 0
+    ingest_failures: int = 0
+    rows_ingested: int = 0
 
     def record(self, stats: QueryStats, seconds: float, rows: int) -> None:
         self.queries += 1
@@ -189,6 +197,9 @@ class EngineStats:
             partitions_total=self.partitions_total,
             partitions_pruned=self.partitions_pruned,
             parallel_tasks=self.parallel_tasks,
+            ingests=self.ingests,
+            ingest_failures=self.ingest_failures,
+            rows_ingested=self.rows_ingested,
         )
 
 
@@ -671,12 +682,14 @@ class Engine:
     # Catalog mutation & cache control
     # ------------------------------------------------------------------
     def register(self, table: Table, name: str | None = None) -> None:
-        """Register/replace/append a table and invalidate derived state.
+        """Register/replace a table and invalidate derived state.
 
-        Bumps the name's monotonic data version (so every fingerprint
+        Bumps the name's **base** data version (so every fingerprint
         minted against the old contents is orphaned), eagerly drops the
         table's cache entries, and swaps in a fresh pre-filter hash
         cache.  In-flight queries keep their immutable snapshot.
+        Appends should use :meth:`ingest` instead, which keeps cached
+        artifacts extendable rather than wiping them.
         """
         key = name or table.name
         with self._lock:
@@ -684,6 +697,38 @@ class Engine:
             if self.filter_cache is not None:
                 self.filter_cache.invalidate_table(key)
                 self._hashes = KeyHashCache()
+
+    def ingest(self, deltas: dict[str, Table]) -> dict[str, str]:
+        """Atomically append delta rows to one or more base tables.
+
+        All deltas publish in one transactional catalog commit
+        (:class:`~repro.storage.catalog.IngestBatch`): readers — and
+        the pinned snapshots of in-flight queries — observe either none
+        of them or all of them, and any failure (schema mismatch,
+        injected ``ingest.*`` fault) leaves the catalog untouched.
+        Returns the committed version string per table name.
+
+        Unlike :meth:`register`, nothing is invalidated: an append only
+        bumps the delta sequence, cached artifacts for the old contents
+        remain reachable for delta extension, and the key-hash cache
+        stays valid because it memoizes by column object identity and
+        appended tables carry new column objects.
+        """
+        batch = self.catalog.begin_ingest()
+        try:
+            for name, delta in deltas.items():
+                batch.stage(name, delta)
+            versions = batch.commit()
+        except BaseException:
+            with self._lock:
+                self._stats.ingest_failures += 1
+            raise
+        with self._lock:
+            self._stats.ingests += 1
+            self._stats.rows_ingested += sum(
+                d.num_rows for d in deltas.values()
+            )
+        return {name: str(v) for name, v in versions.items()}
 
     def cache_stats(self) -> CacheStats | None:
         """Filter-cache snapshot (``None`` when caching is disabled)."""

@@ -14,13 +14,14 @@ requests additionally carry an ``"id"`` the server echoes back, so one
 connection can multiplex concurrent requests and match responses by id
 regardless of completion order.
 
-Request types: ``QUERY`` (run a registered query), ``PING`` (liveness
-/ readiness probe), ``STATS`` (engine/cache/server snapshots) and
-``METRICS`` (the Prometheus exposition + ``/varz`` dump for clients
-without HTTP access to the metrics sidecar).
-Response types: ``RESULT``, ``ERROR``, ``RETRY`` (admission control —
-carries the server's ``retry_after`` backoff hint), ``PONG``,
-``STATS`` and ``METRICS``.
+Request types: ``QUERY`` (run a registered query), ``INGEST``
+(atomically append delta rows to one or more base tables), ``PING``
+(liveness / readiness probe), ``STATS`` (engine/cache/server
+snapshots) and ``METRICS`` (the Prometheus exposition + ``/varz``
+dump for clients without HTTP access to the metrics sidecar).
+Response types: ``RESULT``, ``INGESTED``, ``ERROR``, ``RETRY``
+(admission control — carries the server's ``retry_after`` backoff
+hint), ``PONG``, ``STATS`` and ``METRICS``.
 
 Tracing rides the same frames: ``QUERY`` takes an optional string
 ``trace_id`` (client-minted, e.g. from an upstream request) which the
@@ -93,9 +94,9 @@ DEFAULT_MAX_FRAME_BYTES = 4 * 2**20
 #: Protocol revision, echoed in PONG/STATS so clients can detect skew.
 PROTOCOL_VERSION = 1
 
-REQUEST_TYPES = frozenset({"QUERY", "PING", "STATS", "METRICS"})
+REQUEST_TYPES = frozenset({"QUERY", "INGEST", "PING", "STATS", "METRICS"})
 RESPONSE_TYPES = frozenset(
-    {"RESULT", "ERROR", "RETRY", "PONG", "STATS", "METRICS"}
+    {"RESULT", "INGESTED", "ERROR", "RETRY", "PONG", "STATS", "METRICS"}
 )
 
 
@@ -176,6 +177,22 @@ def query_request(
     return body
 
 
+def ingest_request(request_id: int, tables: dict[str, dict[str, list]]) -> dict:
+    """An ``INGEST`` request: append delta rows to base tables.
+
+    ``tables`` maps catalog table name → column name → list of values
+    (one list entry per delta row; every column of the target table
+    must be present and all lists the same length).  Values are typed
+    by the *target table's* schema: numbers for INT64/FLOAT64,
+    ``"YYYY-MM-DD"`` strings for DATE, strings for STRING; JSON
+    ``null`` marks a null row in any column.  The server stages all
+    tables into one transactional catalog commit — the reply is
+    ``INGESTED`` with the new version per table, or an ``ERROR`` with
+    *nothing* applied.
+    """
+    return {"type": "INGEST", "id": request_id, "tables": tables}
+
+
 def ping_request(request_id: int) -> dict:
     """A ``PING`` liveness/readiness probe."""
     return {"type": "PING", "id": request_id}
@@ -236,6 +253,25 @@ def result_response(
         body["data"] = data
         body["data_truncated"] = data_truncated
     return body
+
+
+def ingested_response(
+    request_id, *, versions: dict[str, str], rows: int
+) -> dict:
+    """An ``INGESTED`` frame: the committed version per table.
+
+    ``versions`` maps table name → ``"base.delta"`` version string;
+    ``rows`` is the total delta rows committed across all tables.
+    Sent only after the atomic commit succeeded — a failed ingest
+    answers with ``ERROR`` and the catalog is guaranteed untouched.
+    """
+    return {
+        "type": "INGESTED",
+        "id": request_id,
+        "protocol": PROTOCOL_VERSION,
+        "versions": dict(versions),
+        "rows": int(rows),
+    }
 
 
 def retry_response(request_id, retry_after: float) -> dict:

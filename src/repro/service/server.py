@@ -25,6 +25,12 @@ a typed, recoverable outcome:
   is answered with ``ERROR code=invalid_plan`` carrying the structured
   diagnostic list, consumes no worker slot, and is counted under
   ``EngineStats.rejected_invalid``.
+* **Transactional ingest** — ``INGEST`` frames decode and
+  schema-validate their delta tables *before* anything is staged, then
+  commit through :meth:`Engine.ingest`'s all-or-nothing catalog
+  transaction: the reply is ``INGESTED`` with the new per-table
+  versions, or a typed ``ERROR`` with the catalog untouched.  Queries
+  already in flight keep their pinned snapshot either way.
 * **Admission control** — :class:`~repro.errors.EngineSaturated`
   becomes a ``RETRY`` frame carrying the engine's (floored)
   ``retry_after`` hint, which the bundled client honours with
@@ -57,6 +63,8 @@ import contextlib
 import dataclasses
 import threading
 import time
+
+import numpy as np
 from collections.abc import Mapping
 from dataclasses import dataclass, replace
 
@@ -71,6 +79,7 @@ from ..errors import (
     PlanValidationError,
     ProtocolError,
     ReproError,
+    SchemaError,
     ServiceUnavailable,
 )
 from ..obs.adapters import ObsCollector
@@ -79,6 +88,8 @@ from ..obs.metrics import MetricsRegistry
 from ..obs.slowlog import SlowQueryLog
 from ..obs.trace import Span, TraceSink, mint_span_id, mint_trace_id
 from ..plan.query import QuerySpec
+from ..storage.column import Column, DType
+from ..storage.table import Table
 from ..testing.faults import fault_point
 from .engine import Engine
 from .protocol import (
@@ -89,6 +100,7 @@ from .protocol import (
     encode_frame,
     error_frame_for,
     error_response,
+    ingested_response,
     metrics_response,
     pong_response,
     result_response,
@@ -174,6 +186,131 @@ def _json_value(value):
     return str(value)
 
 
+def _wire_column(table: str, name: str, dtype: DType, values: list) -> Column:
+    """Decode one wire column against the target column's logical type.
+
+    JSON ``null`` marks a null row (a validity mask is attached only
+    when at least one appears); everything else must already be the
+    dtype's wire form — numbers for INT64/FLOAT64, ``"YYYY-MM-DD"``
+    strings for DATE, strings for STRING, booleans for BOOL.
+    """
+    valid = [v is not None for v in values]
+    all_valid = all(valid)
+
+    def _typed(value, check, conv, want: str):
+        if not check(value):
+            raise SchemaError(
+                f"column {table}.{name} ({dtype.value}) expects {want}, "
+                f"got {value!r}"
+            )
+        return conv(value)
+
+    if dtype is DType.INT64:
+        data = [
+            0 if v is None else _typed(
+                v,
+                lambda x: isinstance(x, int) and not isinstance(x, bool),
+                int,
+                "an integer",
+            )
+            for v in values
+        ]
+        column = Column.from_ints(np.asarray(data, dtype=np.int64))
+    elif dtype is DType.FLOAT64:
+        data = [
+            0.0 if v is None else _typed(
+                v,
+                lambda x: isinstance(x, (int, float))
+                and not isinstance(x, bool),
+                float,
+                "a number",
+            )
+            for v in values
+        ]
+        column = Column.from_floats(np.asarray(data, dtype=np.float64))
+    elif dtype is DType.DATE:
+        data = [
+            "1970-01-01" if v is None else _typed(
+                v, lambda x: isinstance(x, str), str, "a 'YYYY-MM-DD' string"
+            )
+            for v in values
+        ]
+        try:
+            column = Column.from_dates(data)
+        except (ValueError, TypeError) as exc:
+            raise SchemaError(
+                f"column {table}.{name} (date): {exc}"
+            ) from None
+    elif dtype is DType.STRING:
+        data = [
+            "" if v is None else _typed(
+                v, lambda x: isinstance(x, str), str, "a string"
+            )
+            for v in values
+        ]
+        column = Column.from_strings(data)
+    elif dtype is DType.BOOL:
+        data = [
+            False if v is None else _typed(
+                v, lambda x: isinstance(x, bool), bool, "a boolean"
+            )
+            for v in values
+        ]
+        column = Column.from_bools(np.asarray(data, dtype=np.bool_))
+    else:  # pragma: no cover - DType is closed
+        raise SchemaError(f"cannot ingest into {dtype.value} column {name!r}")
+    if all_valid:
+        return column
+    return Column(
+        column.data,
+        column.dtype,
+        column.dictionary,
+        np.asarray(valid, dtype=np.bool_),
+    )
+
+
+def decode_wire_table(name: str, base: Table, payload: object) -> Table:
+    """Decode one ``INGEST`` table payload into a delta :class:`Table`.
+
+    The payload must carry *exactly* the base table's columns, each a
+    JSON list, all the same (non-zero) length; values are typed by the
+    base schema (see :func:`~repro.service.protocol.ingest_request`).
+    Any mismatch raises :class:`~repro.errors.SchemaError`, which the
+    wire maps to ``ERROR code=bad_request`` — and because decoding
+    happens before staging, the catalog is untouched.
+    """
+    if not isinstance(payload, dict) or not payload:
+        raise SchemaError(
+            f"INGEST table {name!r} needs a non-empty object of "
+            "column name -> list of values"
+        )
+    schema = base.schema()
+    missing = set(schema) - set(payload)
+    extra = set(payload) - set(schema)
+    if missing or extra:
+        raise SchemaError(
+            f"INGEST table {name!r} column mismatch: "
+            f"missing {sorted(missing)}, unknown {sorted(extra)}"
+        )
+    lengths = set()
+    for col_name, values in payload.items():
+        if not isinstance(values, list):
+            raise SchemaError(
+                f"column {name}.{col_name} must be a JSON list"
+            )
+        lengths.add(len(values))
+    if len(lengths) != 1 or lengths == {0}:
+        raise SchemaError(
+            f"INGEST table {name!r} needs equal-length, non-empty "
+            f"columns (got lengths {sorted(lengths)})"
+        )
+    columns = {
+        col_name: _wire_column(name, col_name, schema[col_name], payload[col_name])
+        for col_name in schema  # preserve base declaration order
+    }
+    return Table(name, columns)
+
+
 class QueryServer:
     """The asyncio serving front of one :class:`Engine`.
 
@@ -229,6 +366,7 @@ class QueryServer:
         # Serving counters (event-loop-thread only).
         self.connections_total = 0
         self.queries_total = 0
+        self.ingests_total = 0
         self.protocol_errors = 0
         self.cancelled_by_disconnect = 0
         # Pre-admission static analysis verdicts, memoized by query
@@ -492,6 +630,21 @@ class QueryServer:
             self._inflight.add(task)
             task.add_done_callback(self._inflight.discard)
             return
+        if kind == "INGEST":
+            if self._draining:
+                await self._send(
+                    conn,
+                    error_frame_for(
+                        rid,
+                        ServiceUnavailable("server is draining"),
+                    ),
+                )
+                return
+            self.ingests_total += 1
+            task = asyncio.ensure_future(self._serve_ingest(conn, msg))
+            self._inflight.add(task)
+            task.add_done_callback(self._inflight.discard)
+            return
         self.protocol_errors += 1
         await self._send(
             conn,
@@ -694,6 +847,57 @@ class QueryServer:
                     )
                 ])
 
+    # ------------------------------------------------------------------
+    # INGEST handling
+    # ------------------------------------------------------------------
+    async def _serve_ingest(self, conn: _Conn, msg: dict) -> None:
+        """Serve one ``INGEST`` frame: decode, commit, answer.
+
+        Decoding and schema validation happen *before* anything is
+        staged, so a malformed payload is answered ``ERROR
+        code=bad_request`` with the catalog untouched; the transactional
+        commit itself runs on the default executor (it takes the catalog
+        lock and concatenates columns — never on the event loop).  The
+        task joins ``_inflight`` so :meth:`drain` waits for in-flight
+        ingests exactly as it does for queries.
+        """
+        rid = msg.get("id")
+        try:
+            tables = msg.get("tables")
+            if not isinstance(tables, dict) or not tables:
+                raise ProtocolError(
+                    "INGEST needs a non-empty 'tables' object"
+                )
+            deltas: dict[str, Table] = {}
+            for name, payload in tables.items():
+                base = self.engine.catalog.get(name)  # unknown -> SchemaError
+                deltas[name] = decode_wire_table(name, base, payload)
+            loop = asyncio.get_running_loop()
+            versions = await loop.run_in_executor(
+                None, self.engine.ingest, deltas
+            )
+            await self._send(
+                conn,
+                ingested_response(
+                    rid,
+                    versions=versions,
+                    rows=sum(d.num_rows for d in deltas.values()),
+                ),
+            )
+        except (_ConnectionClosed, _SlowPeer):
+            pass  # peer is gone; nothing to answer
+        except ReproError as exc:
+            with contextlib.suppress(_ConnectionClosed, _SlowPeer):
+                await self._send(conn, error_frame_for(rid, exc))
+        except Exception as exc:  # untyped server bug → internal, typed
+            with contextlib.suppress(_ConnectionClosed, _SlowPeer):
+                await self._send(
+                    conn,
+                    error_response(
+                        rid, "internal", str(exc), error_type=type(exc).__name__
+                    ),
+                )
+
     def _result_body(self, rid, msg: dict, result) -> dict:
         from .workload import result_digest
 
@@ -748,6 +952,7 @@ class QueryServer:
                 "connections": len(self._conns),
                 "connections_total": self.connections_total,
                 "queries_total": self.queries_total,
+                "ingests_total": self.ingests_total,
                 "protocol_errors": self.protocol_errors,
                 "cancelled_by_disconnect": self.cancelled_by_disconnect,
                 "inflight": len(self._inflight),

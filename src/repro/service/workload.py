@@ -63,6 +63,11 @@ from .engine import Engine
 #: SSB tables are registered under this prefix in the merged catalog.
 SSB_PREFIX = "ssb."
 
+#: Tables receiving delta rows in append-mixed workloads and the
+#: ingest bench (both are staged per batch: every commit is a
+#: multi-table transaction).
+INGEST_TABLES = ("orders", "lineitem")
+
 #: Default query mixes (kept modest so smoke runs stay fast).  The
 #: cyclic extras ("c1" triangle, SSB "c.1") keep general-graph shapes
 #: exercised by every service/bench replay.
@@ -387,6 +392,8 @@ def cold_warm(
     partition_rows: int | None = None,
     timeout: float | None = None,
     memory_budget: int | None = None,
+    append_mix: int = 0,
+    append_rows: int = 64,
 ) -> dict:
     """Replay one stream cold then warm; return the JSON-ready payload.
 
@@ -401,6 +408,17 @@ def cold_warm(
     affects results or digests.  ``timeout`` (seconds) and
     ``memory_budget`` (bytes) apply per query; queries they abort are
     recorded as typed outcomes, not crashes.
+
+    ``append_mix > 0`` turns the warm pass into a mixed read/append
+    replay: after every ``append_mix`` warm items the driver commits a
+    transactional ingest of ``append_rows`` delta rows into each of
+    :data:`INGEST_TABLES`.  The payload then carries the
+    ``repro-bench/v8`` schema with an ``ingest`` block (per-event
+    versions, the engine's ingest counters, and the cache's
+    extension/rebuild counters), and the byte-identity verdict covers
+    only the warm items served *before the first append* — later items
+    legitimately see grown tables.  ``append_mix=0`` (the default)
+    emits the v5 payload unchanged.
     """
     catalog = build_catalog(sf=sf, seed=seed)
     stream = build_stream(
@@ -415,14 +433,54 @@ def cold_warm(
         **kwargs,
     )
     kwargs = {} if cache_bytes is None else {"cache_bytes": cache_bytes}
+    ingest_events: list[dict] = []
+    engine_stats = None
     with Engine(catalog, config=config, workers=max(1, workers), **kwargs) as engine:
         cold = replay(engine, stream, workers=workers)
-        warm = replay(engine, stream, workers=workers)
+        if append_mix > 0:
+            # Deltas are sampled from the pre-append snapshot so every
+            # event appends the same deterministic rows regardless of
+            # how much the tables have grown.
+            snapshot = {name: catalog.get(name) for name in INGEST_TABLES}
+            warm_items: list[dict] = []
+            t0 = time.perf_counter()
+            pos = 0
+            while pos < len(stream):
+                segment = stream[pos : pos + append_mix]
+                part = replay(engine, segment, workers=workers)
+                warm_items.extend(part.items)
+                pos += len(segment)
+                if pos < len(stream):
+                    deltas = {
+                        name: table.head(append_rows)
+                        for name, table in snapshot.items()
+                    }
+                    ti = time.perf_counter()
+                    versions = engine.ingest(deltas)
+                    ingest_events.append(
+                        {
+                            "after_item": pos,
+                            "rows": sum(
+                                d.num_rows for d in deltas.values()
+                            ),
+                            "versions": versions,
+                            "seconds": time.perf_counter() - ti,
+                        }
+                    )
+            warm = ReplayResult(
+                wall_seconds=time.perf_counter() - t0, items=warm_items
+            )
+            engine_stats = engine.stats()
+        else:
+            warm = replay(engine, stream, workers=workers)
         cache_snapshot = engine.cache_stats()
 
+    # With appends mixed in, only warm items served before the first
+    # commit still answer against the cold snapshot.
+    limit = append_mix if append_mix > 0 else len(cold.items)
     identical = all(
         c["digest"] == w["digest"]
-        for c, w in zip(cold.items, warm.items)
+        for c, w in list(zip(cold.items, warm.items))[:limit]
         if c["digest"] is not None and w["digest"] is not None
     )
     cold_by_query = cold.per_query_seconds()
@@ -440,7 +498,7 @@ def cold_warm(
         }
         for name in sorted(cold_by_query)
     ]
-    return {
+    payload = {
         "schema": "repro-bench/v5",
         "kind": "workload-cold-warm",
         "meta": {
@@ -478,5 +536,119 @@ def cold_warm(
             },
             "per_query": per_query,
             "cache": None if cache_snapshot is None else cache_snapshot.to_dict(),
+        },
+    }
+    if append_mix > 0:
+        # Keys are added, never reshaped: an append-free run emits the
+        # v5 payload byte-for-byte so existing tooling keeps working.
+        payload["schema"] = "repro-bench/v8"
+        payload["meta"]["append_mix"] = append_mix
+        payload["meta"]["append_rows"] = append_rows
+        payload["comparison"]["ingest"] = {
+            "events": ingest_events,
+            "batches": engine_stats.ingests,
+            "failures": engine_stats.ingest_failures,
+            "rows_ingested": engine_stats.rows_ingested,
+            "cache_extensions": (
+                0 if cache_snapshot is None else cache_snapshot.extensions
+            ),
+            "cache_extension_rebuilds": (
+                0 if cache_snapshot is None else cache_snapshot.extension_rebuilds
+            ),
+            "identical_prefix_items": limit,
+        }
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Ingest bench artifact
+# ----------------------------------------------------------------------
+def ingest_bench(
+    sf: float = 0.01,
+    seed: int = 0,
+    *,
+    batches: int = 3,
+    append_rows: int = 256,
+    tpch_ids: tuple[int | str, ...] = (3, 5, 10),
+    strategy: str = "predtrans",
+    threads: int = 1,
+    partition_rows: int | None = None,
+) -> dict:
+    """Measure re-query cost after transactional appends (``v8`` payload).
+
+    The scenario behind the repo's ``BENCH_PR10.json`` artifact: warm
+    the filter cache once over ``tpch_ids``, then alternate *ingest a
+    delta batch into each of* :data:`INGEST_TABLES` *and re-run the
+    whole query mix*, ``batches`` times.  Each round records the commit
+    latency, the re-query wall time, and the cache's cumulative
+    hit/extension counters — the extension path is exactly what keeps
+    warm latency flat while the tables grow.  Delta rows are head
+    slices of the pre-append snapshot, so runs are deterministic.
+    """
+    catalog = generate_tpch(sf=sf, seed=seed)
+    specs = [get_query(qid, sf=sf) for qid in tpch_ids]
+    snapshot = {name: catalog.get(name) for name in INGEST_TABLES}
+    kwargs = {} if partition_rows is None else {"partition_rows": partition_rows}
+    config = RunConfig(strategy=strategy, threads=threads, **kwargs)
+    rounds: list[dict] = []
+    with Engine(catalog, config=config) as engine:
+        t0 = time.perf_counter()
+        for spec in specs:
+            engine.execute(spec)
+        warm_seconds = time.perf_counter() - t0
+        for rnd in range(1, max(1, batches) + 1):
+            deltas = {
+                name: table.head(append_rows)
+                for name, table in snapshot.items()
+            }
+            ti = time.perf_counter()
+            versions = engine.ingest(deltas)
+            ingest_seconds = time.perf_counter() - ti
+            tq = time.perf_counter()
+            for spec in specs:
+                engine.execute(spec)
+            requery_seconds = time.perf_counter() - tq
+            cs = engine.cache_stats()
+            rounds.append(
+                {
+                    "round": rnd,
+                    "rows": sum(d.num_rows for d in deltas.values()),
+                    "versions": versions,
+                    "ingest_seconds": ingest_seconds,
+                    "requery_seconds": requery_seconds,
+                    "cache_extensions": cs.extensions,
+                    "cache_extension_rebuilds": cs.extension_rebuilds,
+                    "cache_hits": cs.hits,
+                    "cache_misses": cs.misses,
+                }
+            )
+        stats = engine.stats()
+        cache_snapshot = engine.cache_stats()
+    return {
+        "schema": "repro-bench/v8",
+        "kind": "ingest-bench",
+        "meta": {
+            "sf": sf,
+            "seed": seed,
+            "batches": batches,
+            "append_rows": append_rows,
+            "ingest_tables": list(INGEST_TABLES),
+            "tpch_queries": list(tpch_ids),
+            "strategy": strategy,
+            "threads": threads,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "timestamp_unix": int(time.time()),
+        },
+        "warm_seconds": warm_seconds,
+        "rounds": rounds,
+        "totals": {
+            "ingests": stats.ingests,
+            "ingest_failures": stats.ingest_failures,
+            "rows_ingested": stats.rows_ingested,
+            "cache_extensions": cache_snapshot.extensions,
+            "cache_extension_rebuilds": cache_snapshot.extension_rebuilds,
+            "cache_hit_rate": cache_snapshot.hit_rate,
         },
     }

@@ -5,12 +5,14 @@ Apache Arrow) supplied: dictionary-encoded columnar tables, a catalog,
 and epoch-day date handling.
 """
 
-from .catalog import Catalog
+from .catalog import Catalog, DataVersion, IngestBatch
 from .column import Column, DType
 from .partition import (
     DEFAULT_PARTITION_ROWS,
     PartitionLayout,
     ZoneMap,
+    carry_layouts,
+    extend_layout,
     get_layout,
     slice_table,
 )
@@ -30,8 +32,12 @@ __all__ = [
     "Column",
     "DEFAULT_PARTITION_ROWS",
     "DType",
+    "DataVersion",
+    "IngestBatch",
     "PartitionLayout",
     "ZoneMap",
+    "carry_layouts",
+    "extend_layout",
     "get_layout",
     "slice_table",
     "Table",

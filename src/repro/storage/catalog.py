@@ -8,13 +8,19 @@ into the shared base catalog.
 
 Data versioning
 ---------------
-Every registration on a base catalog stamps the name with a fresh value
-from a process-wide monotonic counter.  The version is the
-cross-query filter cache's invalidation handle
-(:mod:`repro.cache`): cache fingerprints embed ``(table name, data
-version)``, so replacing or appending to a table — which goes through
-:meth:`register` and bumps the version — makes every cached filter and
-selection vector built against the old contents unreachable.
+Every base table carries a :class:`DataVersion` — a ``(base_version,
+delta_seq)`` pair.  *Replacing* a table (:meth:`register`) stamps a
+fresh ``base_version`` from a process-wide monotonic counter, which is
+the cross-query filter cache's full-invalidation handle
+(:mod:`repro.cache`): cache fingerprints embed ``str(version)``, so a
+base bump makes every cached filter and selection vector built against
+the old contents unreachable.  *Appending* rows (an
+:class:`IngestBatch`) keeps the base and bumps only ``delta_seq``: the
+old contents are a prefix of the new, so artifacts built at an older
+delta are not wrong — merely incomplete — and the cache layer can
+**extend** them over the delta instead of rebuilding
+(:mod:`repro.cache.context`).  The version records the table's row
+count at each recent delta for exactly that purpose.
 
 Scoped child catalogs do **not** version their registrations: a derived
 table exists for one query execution only, so stamping it would let a
@@ -23,28 +29,85 @@ returns ``None`` for such tables and the cache layer skips them.
 
 Concurrency
 -----------
-``register`` and ``scoped`` are atomic under an internal lock, so a
-query snapshotting the catalog mid-append can never pair a *new* table
-with an *old* version (or vice versa).  Without the lock that torn
-snapshot would mint cache fingerprints claiming the old version for
-the new contents — poisoning every later warm run.  The version-pinned
-snapshot each query takes (:meth:`scoped`) is then immutable from the
-query's point of view: concurrent appends only touch the parent.
+``register``, ``scoped`` and ingest commits are atomic under an
+internal lock, so a query snapshotting the catalog mid-mutation can
+never pair a *new* table with an *old* version (or vice versa).
+Without the lock that torn snapshot would mint cache fingerprints
+claiming the old version for the new contents — poisoning every later
+warm run.  The version-pinned snapshot each query takes
+(:meth:`scoped`) is then immutable from the query's point of view:
+concurrent appends only touch the parent.
+
+Transactional ingest
+--------------------
+:class:`IngestBatch` stages delta tables for one or more names and
+publishes them in a single critical section: every reader sees either
+no staged delta or all of them.  A fault or exception anywhere before
+the publish (the ``ingest.stage`` / ``ingest.commit`` fault points
+model a failing loader or a crash inside the commit path) leaves the
+catalog byte-for-byte on the old snapshot — all-or-nothing, with
+nothing to roll back because nothing was published.
 """
 
 from __future__ import annotations
 
 import itertools
 import threading
+from dataclasses import dataclass, field
 from typing import Iterator
 
 from ..errors import SchemaError
+from ..testing.faults import fault_point
+from .partition import carry_layouts
 from .table import Table
 
 #: Process-wide monotonic version source.  ``next()`` on an
 #: ``itertools.count`` is atomic under the GIL, so concurrent
 #: registrations (e.g. through a service Engine) get distinct versions.
 _VERSION_COUNTER = itertools.count(1)
+
+#: Deltas remembered per version for cache extension.  Older entries
+#: are still *correct* to miss on — the cap only bounds how far back an
+#: extension probe can reach (and how large a version object grows
+#: under a long append stream).
+MAX_DELTA_HISTORY = 32
+
+
+@dataclass(frozen=True, order=True)
+class DataVersion:
+    """The ``(base_version, delta_seq)`` identity of a table's contents.
+
+    ``base`` changes only on replacement; ``delta`` increments once per
+    committed append batch.  ``rows`` is the table's row count at this
+    version and ``history`` holds ``(delta_seq, rows)`` for up to
+    :data:`MAX_DELTA_HISTORY` preceding deltas of the same base, oldest
+    first — enough for the cache layer to reconstruct the row range
+    ``[rows_then, rows_now)`` a delta-extension must cover.  Ordering,
+    equality and hashing consider only ``(base, delta)``; ``rows`` and
+    ``history`` are derived bookkeeping.
+
+    ``str()`` is the form embedded in cache fingerprints
+    (``"<base>.<delta>"``) — deterministic and collision-free because
+    both components are monotonic integers.
+    """
+
+    base: int
+    delta: int = 0
+    rows: int = field(default=0, compare=False)
+    history: tuple[tuple[int, int], ...] = field(default=(), compare=False)
+
+    def __str__(self) -> str:
+        return f"{self.base}.{self.delta}"
+
+    def appended(self, new_rows: int) -> "DataVersion":
+        """The successor version after one committed append batch."""
+        history = (*self.history, (self.delta, self.rows))
+        return DataVersion(
+            base=self.base,
+            delta=self.delta + 1,
+            rows=new_rows,
+            history=history[-MAX_DELTA_HISTORY:],
+        )
 
 
 class Catalog:
@@ -53,34 +116,42 @@ class Catalog:
     def __init__(
         self,
         tables: dict[str, Table] | None = None,
-        versions: dict[str, int] | None = None,
+        versions: dict[str, DataVersion] | None = None,
         *,
         track_versions: bool = True,
     ) -> None:
         self._tables: dict[str, Table] = dict(tables or {})  # guarded-by: _lock
         self._track_versions = track_versions
-        self._versions: dict[str, int] = dict(versions or {})  # guarded-by: _lock
-        # Guards the table/version pair so register() and scoped() are
-        # atomic with respect to each other (see module docstring).
+        self._versions: dict[str, DataVersion] = dict(versions or {})  # guarded-by: _lock
+        # Guards the table/version pair so register(), ingest commits
+        # and scoped() are atomic with respect to each other (see
+        # module docstring).
         self._lock = threading.Lock()
         if track_versions:
-            for name in self._tables:
-                self._versions.setdefault(name, next(_VERSION_COUNTER))
+            for name, table in self._tables.items():
+                self._versions.setdefault(
+                    name, DataVersion(next(_VERSION_COUNTER), rows=table.num_rows)
+                )
 
     def register(self, table: Table, name: str | None = None) -> None:
         """Register (or replace) a table under ``name`` (default: its own).
 
-        On a base catalog this bumps the name's data version (appending
-        rows is modeled as registering the extended table, e.g. via
-        :meth:`Table.concat`).  On a scoped child the name becomes
-        unversioned instead — derived tables are per-query and must not
-        produce cacheable fingerprints.
+        On a base catalog this stamps a fresh **base** version — the
+        full-invalidation path: nothing cached against the old contents
+        (zone maps included) may survive a replacement, because the old
+        rows are not a prefix of the new ones.  Appends should go
+        through :meth:`begin_ingest` instead, which bumps only the
+        delta sequence and keeps cached artifacts extendable.  On a
+        scoped child the name becomes unversioned — derived tables are
+        per-query and must not produce cacheable fingerprints.
         """
         key = name or table.name
         with self._lock:
             self._tables[key] = table
             if self._track_versions:
-                self._versions[key] = next(_VERSION_COUNTER)
+                self._versions[key] = DataVersion(
+                    next(_VERSION_COUNTER), rows=table.num_rows
+                )
             else:
                 self._versions.pop(key, None)
 
@@ -95,8 +166,8 @@ class Catalog:
                     f"available: {sorted(self._tables)}"
                 ) from None
 
-    def data_version(self, name: str) -> int | None:
-        """The monotonic data version of ``name``.
+    def data_version(self, name: str) -> DataVersion | None:
+        """The :class:`DataVersion` of ``name``.
 
         ``None`` for unknown names and for derived tables registered on
         a scoped child (the "do not cache" signal).
@@ -126,15 +197,114 @@ class Catalog:
         registrations (see :meth:`register`).
 
         The snapshot is taken atomically with respect to concurrent
-        :meth:`register` calls — a query pinned to this child sees one
-        consistent (contents, version) pair per table for its whole
-        lifetime, even if the parent is appended to mid-flight.
+        :meth:`register` calls and ingest commits — a query pinned to
+        this child sees one consistent (contents, version) pair per
+        table for its whole lifetime, even if the parent is appended to
+        mid-flight.
         """
         with self._lock:
             return Catalog(
                 self._tables, self._versions, track_versions=False
             )
 
+    def begin_ingest(self) -> "IngestBatch":
+        """Open a transactional append batch against this catalog.
+
+        Only version-tracking base catalogs can ingest: a scoped child
+        is one query's private snapshot and appending to it could never
+        be observed (or cached) coherently.
+        """
+        if not self._track_versions:
+            raise SchemaError(
+                "cannot ingest into a scoped catalog; "
+                "append to the base catalog it was scoped from"
+            )
+        return IngestBatch(self)
+
     def total_rows(self) -> int:
         """Sum of row counts over all registered tables."""
         return sum(t.num_rows for t in self._tables.values())  # lint: unguarded
+
+
+class IngestBatch:
+    """Staged delta tables for one or more names, committed atomically.
+
+    Usage::
+
+        batch = catalog.begin_ingest()
+        batch.stage("orders", delta_orders)
+        batch.stage("lineitem", delta_lineitem)
+        versions = batch.commit()   # all-or-nothing
+
+    :meth:`stage` validates eagerly (the name must exist, the delta's
+    columns must match) and fires the ``ingest.stage`` fault point, so
+    a failing loader aborts before anything is staged.  :meth:`commit`
+    concatenates and publishes every staged delta inside one catalog
+    critical section: the ``ingest.commit`` fault point sits at the top
+    of that section, *before* any table or version is touched, so an
+    injected commit crash provably leaves readers on the old snapshot.
+    Each committed name's delta sequence advances by exactly one per
+    batch, whatever the number of staged deltas for it.
+
+    A batch is single-shot and not thread-safe — one writer stages and
+    commits it; concurrency comes from the catalog lock at commit.
+    """
+
+    def __init__(self, catalog: Catalog) -> None:
+        self._catalog = catalog
+        self._staged: dict[str, list[Table]] = {}
+        self._committed = False
+
+    @property
+    def staged_names(self) -> list[str]:
+        """Names with at least one staged delta, in staging order."""
+        return list(self._staged)
+
+    def stage(self, name: str, delta: Table) -> None:
+        """Stage one delta table for ``name`` (validates, publishes nothing)."""
+        if self._committed:
+            raise SchemaError("ingest batch was already committed")
+        fault_point("ingest.stage")
+        current = self._catalog.get(name)  # raises SchemaError when absent
+        if set(current.columns) != set(delta.columns):
+            raise SchemaError(
+                f"delta for {name!r} has columns {sorted(delta.columns)}; "
+                f"table has {sorted(current.columns)}"
+            )
+        self._staged.setdefault(name, []).append(delta)
+
+    def commit(self) -> dict[str, "DataVersion"]:
+        """Publish every staged delta atomically; returns new versions.
+
+        All-or-nothing: the extended tables and bumped versions are
+        built first and installed last, so no exception path (injected
+        fault, schema mismatch surfacing at concat) can leave a reader
+        observing some staged tables appended and others not.  The
+        concatenation runs inside the catalog lock — the cost of a
+        torn-read-free publish; delta batches are expected to be small
+        relative to their tables.
+        """
+        if self._committed:
+            raise SchemaError("ingest batch was already committed")
+        catalog = self._catalog
+        with catalog._lock:
+            fault_point("ingest.commit")
+            new_tables: dict[str, Table] = {}
+            new_versions: dict[str, DataVersion] = {}
+            for name, deltas in self._staged.items():
+                merged = catalog._tables[name]
+                for delta in deltas:
+                    merged = merged.concat(delta)
+                new_tables[name] = merged
+                new_versions[name] = catalog._versions[name].appended(
+                    merged.num_rows
+                )
+            for name, merged in new_tables.items():
+                # Appends leave every full chunk's contents untouched,
+                # so the new table object inherits the old one's zone
+                # maps for those chunks instead of recomputing them.
+                carry_layouts(catalog._tables[name], merged)
+            catalog._tables.update(new_tables)
+            catalog._versions.update(new_versions)
+        self._committed = True
+        return new_versions

@@ -28,6 +28,16 @@ Determinism and invalidation guarantees
   collectable — together with the catalog's monotonic data-version
   bump (which orphans cached selection vectors), stale zone maps can
   never be consulted for new data.
+* Appends are the exception to "fresh layout": the old table's rows
+  are an unchanged prefix of the new table's, so
+  :func:`carry_layouts` (called by ingest commits) seeds the new
+  object's layout with the old one's already-built zone maps for
+  every *full* prefix chunk, and only the partial tail chunk plus the
+  delta chunks are computed.  This is sound because zone maps exist
+  only for ``INT64``/``FLOAT64``/``DATE`` columns, whose
+  ``concat`` is a plain ``np.concatenate`` of data and validity —
+  prefix values are byte-identical (``STRING`` concat re-encodes
+  dictionary codes, but strings are never zoned).
 * Zone maps are a pure function of table contents; nothing about the
   layout (partition size, partition count) participates in cross-query
   cache fingerprints, so cached artifacts stay valid across partition
@@ -84,7 +94,10 @@ class PartitionLayout:
     with ``reduceat``.
     """
 
-    __slots__ = ("table", "partition_rows", "starts", "stops", "_zones", "_lock")
+    __slots__ = (
+        "table", "partition_rows", "starts", "stops",
+        "_zones", "_inherited", "reused_chunks", "_lock",
+    )
 
     def __init__(self, table: Table, partition_rows: int = DEFAULT_PARTITION_ROWS) -> None:
         if partition_rows < 1:
@@ -95,6 +108,12 @@ class PartitionLayout:
         self.starts = np.arange(0, n, self.partition_rows, dtype=np.int64)
         self.stops = np.minimum(self.starts + self.partition_rows, n)
         self._zones: dict[str, ZoneMap | None] = {}  # guarded-by: _lock
+        # Zone maps inherited from a pre-append layout: (built zones of
+        # the old layout, number of full prefix chunks they remain
+        # valid for).  Set only by extend_layout(); see module
+        # docstring for why prefix reuse is sound.
+        self._inherited: tuple[dict[str, ZoneMap], int] | None = None
+        self.reused_chunks = 0  # guarded-by: _lock
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -121,26 +140,68 @@ class PartitionLayout:
         col = self.table.column(column)
         if col.dtype not in _ZONED or self.num_partitions == 0:
             return None
+        if self._inherited is not None:
+            zones, reusable = self._inherited
+            old = zones.get(column)
+            if old is not None and reusable > 0:
+                n = min(reusable, self.num_partitions)
+                with self._lock:
+                    # Racing builders of the same column may both count
+                    # here; the counter is observability, not
+                    # correctness (zone() still installs exactly one).
+                    self.reused_chunks += n
+                if n == self.num_partitions:
+                    return ZoneMap(
+                        column=column,
+                        mins=old.mins[:n],
+                        maxs=old.maxs[:n],
+                        null_counts=old.null_counts[:n],
+                        valid_counts=old.valid_counts[:n],
+                    )
+                tail = self._build_zone_range(column, col, n)
+                return ZoneMap(
+                    column=column,
+                    mins=np.concatenate([old.mins[:n], tail.mins]),
+                    maxs=np.concatenate([old.maxs[:n], tail.maxs]),
+                    null_counts=np.concatenate(
+                        [old.null_counts[:n], tail.null_counts]
+                    ),
+                    valid_counts=np.concatenate(
+                        [old.valid_counts[:n], tail.valid_counts]
+                    ),
+                )
+        return self._build_zone_range(column, col, 0)
+
+    def _build_zone_range(self, column: str, col: Column, first: int) -> ZoneMap:
+        """Zone statistics for partitions ``[first, num_partitions)``.
+
+        ``reduceat`` over the **full** column with the tail of the
+        start offsets reduces exactly the requested chunks — the last
+        reduction always runs to the end of the array, matching the
+        final chunk's stop.  Callers guarantee ``first <
+        num_partitions``.
+        """
         data = col.data
-        sizes = self.stops - self.starts
+        starts = self.starts[first:]
+        sizes = (self.stops - self.starts)[first:]
         if data.dtype.kind == "f":
             lo_sent, hi_sent = -np.inf, np.inf
         else:
             info = np.iinfo(data.dtype)
             lo_sent, hi_sent = info.min, info.max
         if col.valid is None:
-            nulls = np.zeros(self.num_partitions, dtype=np.int64)
+            nulls = np.zeros(len(starts), dtype=np.int64)
             valid_counts = sizes.astype(np.int64)
             # fmin/fmax skip NaNs (all-NaN chunks yield NaN sentinels,
             # which fail every satisfiability test — sound, see module
             # docstring); for integer dtypes they equal minimum/maximum.
-            mins = np.fmin.reduceat(data, self.starts)
-            maxs = np.fmax.reduceat(data, self.starts)
+            mins = np.fmin.reduceat(data, starts)
+            maxs = np.fmax.reduceat(data, starts)
         else:
-            nulls = np.add.reduceat((~col.valid).astype(np.int64), self.starts)
+            nulls = np.add.reduceat((~col.valid).astype(np.int64), starts)
             valid_counts = sizes - nulls
-            mins = np.fmin.reduceat(np.where(col.valid, data, hi_sent), self.starts)
-            maxs = np.fmax.reduceat(np.where(col.valid, data, lo_sent), self.starts)
+            mins = np.fmin.reduceat(np.where(col.valid, data, hi_sent), starts)
+            maxs = np.fmax.reduceat(np.where(col.valid, data, lo_sent), starts)
         return ZoneMap(
             column=column,
             mins=mins,
@@ -355,3 +416,45 @@ def get_layout(
             layout = PartitionLayout(table, partition_rows)
             per_table[partition_rows] = layout
         return layout
+
+
+# ----------------------------------------------------------------------
+# Append-aware layout inheritance
+# ----------------------------------------------------------------------
+def extend_layout(old: PartitionLayout, table: Table) -> PartitionLayout:
+    """A layout for the appended-to ``table`` inheriting ``old``'s zones.
+
+    ``table`` must extend ``old.table`` by appended rows.  Every chunk
+    that was *full* in the old layout covers the same rows with the
+    same values in the new one, so its zone statistics carry over
+    verbatim; the old partial tail chunk (if any) and the delta chunks
+    are built on demand.  Only zone maps already built on ``old`` are
+    inherited — unbuilt columns cost nothing either way.
+    """
+    new = PartitionLayout(table, old.partition_rows)
+    reusable = old.table.num_rows // old.partition_rows
+    with old._lock:
+        zones = {name: z for name, z in old._zones.items() if z is not None}
+    if reusable > 0 and zones:
+        new._inherited = (zones, reusable)
+    return new
+
+
+def carry_layouts(old: Table, new: Table) -> None:
+    """Seed ``new``'s layout memo from ``old``'s after an append.
+
+    For every chunk size ``old`` has a layout at, ``new`` gets an
+    extended layout reusing the built zone maps of unchanged full
+    chunks.  ``old``'s own layouts are untouched — queries pinned to
+    the pre-append snapshot keep pruning against them.
+    """
+    with _LAYOUTS_LOCK:
+        per_old = old._layouts
+        if not per_old:
+            return
+        per_new = new._layouts
+        if per_new is None:
+            per_new = new._layouts = {}
+        for partition_rows, layout in per_old.items():
+            if partition_rows not in per_new:
+                per_new[partition_rows] = extend_layout(layout, new)

@@ -29,7 +29,22 @@ Network sweep (the CI ``serve`` job)::
 
     python -m repro.testing.chaos --network --json chaos-net.json
 
-extends the same invariant across the wire: a real asyncio
+Ingest sweep (the CI ``ingest-chaos`` job)::
+
+    python -m repro.testing.chaos --ingest --json bench-ingest.json
+
+turns the invariant loose on *writes*: per fault case, reader threads
+cycling all four strategies race an appender committing multi-table
+delta batches through :meth:`~repro.service.engine.Engine.ingest`,
+with faults injected at the transactional seams (``ingest.stage``,
+``ingest.commit``) and in the delta-extension path of the shared
+cache (``cache.extend``).  Every read must be byte-identical to the
+eager serial oracle of a committed prefix snapshot (the
+pinned-snapshot guarantee), a failed commit must leave the catalog
+version untouched, extension faults must degrade to rebuilds (never a
+wrong answer), and the engine must drain to zero slots.
+
+Network sweep extends the same invariant across the wire: a real asyncio
 :class:`~repro.service.server.QueryServer` is stood up in-process and
 every ``net.accept`` / ``net.read`` / ``net.write`` fault (delays,
 drops, injected disconnects) plus engine-side faults are swept across
@@ -914,6 +929,340 @@ def format_network_sweep(payload: dict) -> str:
     return "\n".join(lines)
 
 
+# ----------------------------------------------------------------------
+# Ingest chaos: serving under writes
+# ----------------------------------------------------------------------
+
+#: Fault scenarios for the read/append sweep.  The ``cache.extend``
+#: rules are unlimited-shot (``count=None``) so *every* extension
+#: attempt faults — together with the warm-up entries this guarantees
+#: at least one trigger regardless of reader/appender interleaving.
+INGEST_CASES: tuple[ChaosCase, ...] = (
+    ChaosCase("ingest-stage-raise", FaultRule("ingest.stage", "raise")),
+    ChaosCase("ingest-commit-raise", FaultRule("ingest.commit", "raise")),
+    ChaosCase(
+        "ingest-commit-raise-2nd", FaultRule("ingest.commit", "raise", nth=2)
+    ),
+    ChaosCase(
+        "ingest-commit-delay",
+        FaultRule("ingest.commit", "delay", delay=0.005),
+    ),
+    ChaosCase(
+        "cache-extend-raise",
+        FaultRule("cache.extend", "raise", count=None),
+        warm=True,
+    ),
+    ChaosCase(
+        "cache-extend-delay",
+        FaultRule("cache.extend", "delay", delay=0.002, count=None),
+        warm=True,
+    ),
+)
+
+#: Delta batches the appender commits per case; valid snapshots are the
+#: strict prefixes ``base + batches[:k]`` for ``k`` in 0..INGEST_BATCHES.
+INGEST_BATCHES = 3
+#: Tables receiving delta rows (both staged in every batch, so each
+#: commit is a genuinely multi-table transaction).
+INGEST_TABLES = ("orders", "lineitem")
+#: Fraction of each ingest table's rows held back as delta batches.
+INGEST_HOLDBACK = 0.10
+#: Queries each reader thread issues during the storm.
+INGEST_READS = 6
+
+
+def _ingest_universe(
+    full: Catalog,
+) -> tuple[dict[str, Table], list[dict[str, Table]]]:
+    """Split a generated catalog into a base state + delta batches.
+
+    The ingest tables lose their tail ``INGEST_HOLDBACK`` fraction to
+    ``INGEST_BATCHES`` row-slice batches; everything else stays whole.
+    Appending all batches in order reconstructs the full tables
+    row-for-row, so the fully-ingested state is the generator's.
+    """
+    base: dict[str, Table] = {}
+    batches: list[dict[str, Table]] = [{} for _ in range(INGEST_BATCHES)]
+    for name in full.names():
+        table = full.get(name)
+        if name not in INGEST_TABLES:
+            base[name] = table
+            continue
+        rows = table.num_rows
+        holdback = max(INGEST_BATCHES, int(rows * INGEST_HOLDBACK))
+        cut = rows - holdback
+        base[name] = table.take(np.arange(cut))
+        per = holdback // INGEST_BATCHES
+        for i in range(INGEST_BATCHES):
+            start = cut + i * per
+            stop = rows if i == INGEST_BATCHES - 1 else start + per
+            batches[i][name] = table.take(np.arange(start, stop))
+    return base, batches
+
+
+def _snapshot_oracle(
+    spec: QuerySpec,
+    base: dict[str, Table],
+    batches: list[dict[str, Table]],
+    strategy: str,
+    k: int,
+    memo: dict[tuple[str, int], str],
+) -> str:
+    """Memoized eager-serial oracle digest of snapshot ``base+batches[:k]``."""
+    key = (strategy, k)
+    if key not in memo:
+        tables = dict(base)
+        for batch in batches[:k]:
+            for name, delta in batch.items():
+                tables[name] = tables[name].concat(delta)
+        memo[key] = oracle_digest(spec, Catalog(tables), strategy)
+    return memo[key]
+
+
+def run_ingest_case(
+    case: ChaosCase,
+    spec: QuerySpec,
+    base: dict[str, Table],
+    batches: list[dict[str, Table]],
+    seed: int,
+    memo: dict[tuple[str, int], str],
+) -> dict:
+    """One read/append storm under one injected fault.
+
+    A fresh catalog (same base snapshot every case) serves two reader
+    threads cycling all four strategies while an appender commits the
+    delta batches; the appender stops at its first failed commit, so
+    live states stay strict prefixes of the batch sequence.  Every
+    reader result must be byte-identical to the eager serial oracle of
+    *some* valid prefix snapshot — the pinned-snapshot guarantee — and
+    a failed commit must leave the catalog version untouched.  After
+    the storm the remaining batches are committed cleanly and a final
+    read per strategy must match the fully-ingested oracle.
+    """
+    config = RunConfig(
+        strategy="predtrans", threads=1, partition_rows=CHAOS_PARTITION_ROWS
+    )
+    catalog = Catalog(dict(base))
+    plan = FaultPlan([case.rule], seed=seed)
+    valid = {
+        _snapshot_oracle(spec, base, batches, strategy, k, memo)
+        for strategy in STRATEGIES
+        for k in range(INGEST_BATCHES + 1)
+    }
+    reads: list[str] = []
+    ingest_outcomes: list[str] = []
+    lock = threading.Lock()
+
+    with Engine(catalog, config=config, workers=2) as engine:
+        if case.warm:
+            # Entries at the base version, so post-commit reads have
+            # something to extend (and the extension fault to hit).
+            for strategy in ("predtrans", "bloomjoin"):
+                engine.execute(
+                    spec,
+                    RunConfig(
+                        strategy=strategy,
+                        threads=1,
+                        partition_rows=CHAOS_PARTITION_ROWS,
+                    ),
+                )
+
+        def read_once(strategy: str) -> None:
+            cfg = RunConfig(
+                strategy=strategy,
+                threads=1,
+                partition_rows=CHAOS_PARTITION_ROWS,
+            )
+            try:
+                result = engine.execute(spec, cfg)
+                out = (
+                    "identical"
+                    if result_digest(result.table) in valid
+                    else "WRONG_ANSWER"
+                )
+            except ReproError as exc:
+                out = f"error:{type(exc).__name__}"
+            except Exception as exc:
+                out = f"UNTYPED:{type(exc).__name__}"
+            with lock:
+                reads.append(out)
+
+        def appender() -> None:
+            for batch in batches:
+                try:
+                    engine.ingest(batch)
+                    out = "committed"
+                except ReproError as exc:
+                    out = f"error:{type(exc).__name__}"
+                except Exception as exc:
+                    out = f"UNTYPED:{type(exc).__name__}"
+                with lock:
+                    ingest_outcomes.append(out)
+                if out != "committed":
+                    return  # retry happens in the recovery phase
+                time.sleep(0.01)
+
+        def reader(offset: int) -> None:
+            for i in range(INGEST_READS):
+                read_once(STRATEGIES[(offset + i) % len(STRATEGIES)])
+
+        with inject(plan):
+            threads = [
+                threading.Thread(target=appender, name="chaos-appender"),
+                threading.Thread(target=reader, args=(0,), name="chaos-r0"),
+                threading.Thread(target=reader, args=(2,), name="chaos-r1"),
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=HANG_SECONDS)
+            hung = any(t.is_alive() for t in threads)
+            if not hung:
+                # Deterministic extension attempt while the fault is
+                # still armed (see INGEST_CASES note on count=None).
+                if case.warm:
+                    read_once("predtrans")
+
+        committed = ingest_outcomes.count("committed")
+        version_ok = all(
+            catalog.data_version(name).delta == committed
+            for name in INGEST_TABLES
+        )
+        # Recovery: the batches the storm failed must commit cleanly
+        # on the same engine, converging on the fully-ingested state.
+        recovery_ok = True
+        try:
+            for batch in batches[committed:]:
+                engine.ingest(batch)
+        except Exception:
+            recovery_ok = False
+        final_ok = recovery_ok and all(
+            catalog.data_version(name).delta == INGEST_BATCHES
+            for name in INGEST_TABLES
+        )
+        final_reads = []
+        for strategy in STRATEGIES:
+            oracle = _snapshot_oracle(
+                spec, base, batches, strategy, INGEST_BATCHES, memo
+            )
+            final_reads.append(_classify(engine, spec, oracle))
+        slots_clean = engine._pending == 0
+        stats = engine.stats()
+        cache = engine.cache_stats()
+        corruptions = 0 if cache is None else cache.corruptions
+        extensions = 0 if cache is None else cache.extensions
+        rebuilds = 0 if cache is None else cache.extension_rebuilds
+    reads_clean = all(
+        o == "identical" or o.startswith("error:") for o in reads
+    )
+    ingests_typed = all(
+        o == "committed" or o.startswith("error:") for o in ingest_outcomes
+    )
+    ok = (
+        not hung
+        and reads_clean
+        and ingests_typed
+        and version_ok
+        and final_ok
+        and all(o == "identical" for o in final_reads)
+        and slots_clean
+        and corruptions == 0
+        and bool(plan.triggered)
+        and stats.ingests == INGEST_BATCHES
+    )
+    return {
+        "case": case.name,
+        "reads": sorted(reads),
+        "ingest_outcomes": ingest_outcomes,
+        "committed_during_storm": committed,
+        "version_ok": version_ok,
+        "final_reads": final_reads,
+        "faults_triggered": len(plan.triggered),
+        "cache_extensions": extensions,
+        "cache_extension_rebuilds": rebuilds,
+        "cache_corruptions": corruptions,
+        "engine_ingests": stats.ingests,
+        "engine_ingest_failures": stats.ingest_failures,
+        "slots_clean": slots_clean,
+        "hung": hung,
+        "ok": ok,
+    }
+
+
+def run_ingest_sweep(sf: float = CHAOS_SF, seed: int = 0) -> dict:
+    """The read/append chaos record: one storm per ingest fault case."""
+    full = generate_tpch(sf=sf, seed=seed)
+    spec = get_query(CHAOS_QUERY, sf=sf)
+    base, batches = _ingest_universe(full)
+    memo: dict[tuple[str, int], str] = {}
+    cases = [
+        run_ingest_case(case, spec, base, batches, seed, memo)
+        for case in INGEST_CASES
+    ]
+    violations = [c for c in cases if not c["ok"]]
+    return {
+        "schema": "repro-bench/v8",
+        "kind": "chaos-ingest",
+        "meta": {
+            "sf": sf,
+            "seed": seed,
+            "query": CHAOS_QUERY,
+            "partition_rows": CHAOS_PARTITION_ROWS,
+            "batches": INGEST_BATCHES,
+            "ingest_tables": list(INGEST_TABLES),
+            "strategies": list(STRATEGIES),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "timestamp_unix": int(time.time()),
+        },
+        "cases": cases,
+        "summary": {
+            "cases": len(cases),
+            "reads": sum(len(c["reads"]) for c in cases),
+            "identical_reads": sum(
+                c["reads"].count("identical") for c in cases
+            ),
+            "batches_committed": sum(
+                c["committed_during_storm"] for c in cases
+            ),
+            "faults_triggered": sum(c["faults_triggered"] for c in cases),
+            "cache_extensions": sum(c["cache_extensions"] for c in cases),
+            "cache_extension_rebuilds": sum(
+                c["cache_extension_rebuilds"] for c in cases
+            ),
+            "violations": len(violations),
+        },
+    }
+
+
+def format_ingest_sweep(payload: dict) -> str:
+    """Human-readable one-screen summary of a chaos-ingest record."""
+    s = payload["summary"]
+    lines = [
+        f"ingest chaos sweep: {s['cases']} cases "
+        f"({payload['meta']['batches']} batches x "
+        f"{len(payload['meta']['ingest_tables'])} tables, "
+        f"readers over {len(payload['meta']['strategies'])} strategies)",
+        f"  reads (all snapshot-identical or typed): {s['reads']} "
+        f"({s['identical_reads']} identical)",
+        f"  batches committed during storms: {s['batches_committed']}",
+        f"  faults triggered:       {s['faults_triggered']}",
+        f"  cache extensions:       {s['cache_extensions']} "
+        f"(+{s['cache_extension_rebuilds']} degraded to rebuild)",
+        f"  violations:             {s['violations']}",
+    ]
+    for case in payload["cases"]:
+        if not case["ok"]:
+            lines.append(
+                f"  VIOLATION {case['case']}: reads={case['reads']} "
+                f"ingests={case['ingest_outcomes']} "
+                f"version_ok={case['version_ok']} "
+                f"final={case['final_reads']} hung={case['hung']}"
+            )
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI: run the sweep, optionally write the JSON record.
 
@@ -938,9 +1287,18 @@ def main(argv: list[str] | None = None) -> int:
         help="run the client/server network-fault sweep instead of the "
         "in-process one",
     )
+    parser.add_argument(
+        "--ingest",
+        action="store_true",
+        help="run the read/append ingest sweep (concurrent readers vs "
+        "transactional appends under injected ingest/extension faults)",
+    )
     args = parser.parse_args(argv)
     strategies = ("nopredtrans", "predtrans") if args.quick else STRATEGIES
-    if args.network:
+    if args.ingest:
+        payload = run_ingest_sweep(sf=args.sf, seed=args.seed)
+        print(format_ingest_sweep(payload))
+    elif args.network:
         payload = run_network_sweep(
             sf=args.sf, seed=args.seed, strategies=strategies
         )

@@ -19,6 +19,12 @@ point                fires
                      before any frame is served
 ``net.read``         before the server reads a frame from a connection
 ``net.write``        before the server writes a response frame
+``ingest.stage``     when an :class:`~repro.storage.catalog.IngestBatch`
+                     stages a delta table, before it is recorded
+``ingest.commit``    inside the catalog lock at the top of an ingest
+                     commit, before any table or version is published
+``cache.extend``     after an older-delta cache entry is found, before
+                     the delta-extension work that would reuse it
 ===================  ====================================================
 
 When no plan is active (the default, always in production) a fault
@@ -74,6 +80,9 @@ FAULT_POINTS: dict[str, frozenset[str]] = {
     "net.accept": frozenset({"raise", "delay", "disconnect", "drop"}),
     "net.read": frozenset({"raise", "delay", "disconnect"}),
     "net.write": frozenset({"raise", "delay", "disconnect", "drop"}),
+    "ingest.stage": frozenset({"raise", "delay"}),
+    "ingest.commit": frozenset({"raise", "delay"}),
+    "cache.extend": frozenset({"raise", "delay"}),
 }
 
 
